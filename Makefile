@@ -1,0 +1,40 @@
+# FaultHound reproduction — convenience targets. Everything is
+# stdlib-only Go; no external dependencies.
+
+GO ?= go
+
+.PHONY: all build test vet race bench experiments extensions quick clean
+
+all: vet test build
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+	gofmt -l .
+
+race:
+	$(GO) test -race ./internal/workload/ ./internal/system/ ./internal/pipeline/
+
+# One iteration of every paper-figure bench plus the ablations.
+bench:
+	$(GO) test -bench=. -benchmem -benchtime 1x -run xxx .
+
+# Full-scale regeneration of every table and figure (tens of minutes).
+experiments:
+	$(GO) run ./cmd/faulthound -experiment all -commits 60000 -injections 600 -csv results -json results | tee results_all.txt
+
+extensions:
+	$(GO) run ./cmd/faulthound -experiment extensions -commits 30000 -injections 400 | tee results_ext.txt
+	$(GO) run ./cmd/faulthound -experiment mp-scaling -commits 30000 | tee results_mp.txt
+
+# Smoke-scale versions of the experiments (a couple of minutes).
+quick:
+	$(GO) run ./cmd/faulthound -experiment all -quick
+
+clean:
+	rm -rf results results_all.txt results_ext.txt results_mp.txt test_output.txt bench_output.txt

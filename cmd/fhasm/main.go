@@ -1,0 +1,120 @@
+// Command fhasm assembles a textual program (see internal/prog.Parse
+// for the syntax) and runs it on the simulated core, optionally under a
+// detection scheme, comparing the result against the sequential
+// reference interpreter.
+//
+//	fhasm program.s
+//	fhasm -scheme faulthound -max-instr 100000 program.s
+//	echo 'movi r1, 42
+//	halt' | fhasm -
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"faulthound/internal/core"
+	"faulthound/internal/detect"
+	"faulthound/internal/isa"
+	"faulthound/internal/pbfs"
+	"faulthound/internal/pipeline"
+	"faulthound/internal/prog"
+)
+
+func main() {
+	var (
+		scheme   = flag.String("scheme", "baseline", "baseline, pbfs, pbfs-biased, faulthound, faulthound-backend")
+		maxInstr = flag.Uint64("max-instr", 1_000_000, "instruction budget")
+		regs     = flag.Bool("regs", true, "print nonzero architectural registers")
+	)
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: fhasm [flags] <file.s | ->")
+		os.Exit(2)
+	}
+
+	src, name, err := readSource(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	p, err := prog.Parse(name, src)
+	if err != nil {
+		fatal(err)
+	}
+
+	var det detect.Detector
+	switch *scheme {
+	case "baseline":
+	case "pbfs":
+		det = pbfs.New(pbfs.Default())
+	case "pbfs-biased":
+		det = pbfs.New(pbfs.Biased())
+	case "faulthound":
+		det = core.New(core.DefaultConfig())
+	case "faulthound-backend":
+		det = core.New(core.BackendConfig())
+	default:
+		fatal(fmt.Errorf("unknown scheme %q", *scheme))
+	}
+
+	c, err := pipeline.New(pipeline.DefaultConfig(1), []*prog.Program{p}, det)
+	if err != nil {
+		fatal(err)
+	}
+	maxCycles := *maxInstr * 20
+	c.RunUntilCommits(0, *maxInstr, maxCycles)
+
+	it := prog.NewInterp(p)
+	it.Run(*maxInstr)
+
+	fmt.Printf("instructions  %d committed in %d cycles (IPC %.2f)\n",
+		c.Committed(0), c.Cycle(), c.Stats().IPC())
+	if exc, msg := c.Excepted(0); exc {
+		fmt.Printf("exception     %s\n", msg)
+	} else if c.Halted(0) {
+		fmt.Println("halted        cleanly")
+	}
+	if det != nil {
+		ds := det.Stats()
+		fmt.Printf("detector      %d checks, %d triggers (%d replays, %d rollbacks, %d singletons)\n",
+			ds.Checks, ds.Triggers, ds.Replays, ds.Rollbacks, ds.Singletons)
+	}
+
+	match := true
+	archRegs := c.ArchRegs(0)
+	for r, v := range it.Regs {
+		if archRegs[r] != v {
+			match = false
+		}
+	}
+	if c.Committed(0) == it.Steps && match {
+		fmt.Println("reference     architectural state matches the sequential interpreter")
+	} else {
+		fmt.Println("reference     WARNING: state differs from the sequential interpreter")
+	}
+
+	if *regs {
+		fmt.Println("registers:")
+		for r := 1; r < isa.NumArchRegs; r++ {
+			if v := archRegs[r]; v != 0 {
+				fmt.Printf("  %-4s = %-20d (%#x)\n", isa.Reg(r), int64(v), v)
+			}
+		}
+	}
+}
+
+func readSource(arg string) (src, name string, err error) {
+	if arg == "-" {
+		b, err := io.ReadAll(os.Stdin)
+		return string(b), "stdin", err
+	}
+	b, err := os.ReadFile(arg)
+	return string(b), arg, err
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "fhasm:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,131 @@
+// Command fhsim runs a single benchmark on a single scheme and prints
+// detailed pipeline, cache, detector, and energy statistics — the
+// low-level inspection tool behind the experiment harness.
+//
+// Usage:
+//
+//	fhsim -bench mcf -scheme faulthound -commits 50000
+//	fhsim -bench apache -scheme pbfs-biased -threads 2
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"faulthound/internal/detect"
+	"faulthound/internal/energy"
+	"faulthound/internal/harness"
+	"faulthound/internal/pipeline"
+	"faulthound/internal/workload"
+)
+
+func main() {
+	var (
+		bench   = flag.String("bench", "bzip2", "benchmark name (see faulthound -experiment table1)")
+		scheme  = flag.String("scheme", "faulthound", "scheme: baseline, pbfs, pbfs-biased, faulthound-backend, faulthound, srt-iso, srt, fh-be-*")
+		threads = flag.Int("threads", 2, "SMT contexts")
+		commits = flag.Uint64("commits", 30000, "per-thread committed instructions to simulate")
+		warmup  = flag.Uint64("warmup", 3000, "warmup cycles before measurement")
+		trace   = flag.String("trace", "", "comma-separated trace stages to print (fetch,dispatch,issue,complete,commit,squash,replay,rollback,singleton,exception)")
+		traceN  = flag.Uint64("trace-cycles", 200, "cycles to trace before running silently")
+	)
+	flag.Parse()
+
+	bm, err := workload.Get(*bench)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fhsim:", err)
+		os.Exit(1)
+	}
+	if !harness.ValidScheme(harness.Scheme(*scheme)) {
+		fmt.Fprintf(os.Stderr, "fhsim: unknown scheme %q (known: %v)\n", *scheme, harness.KnownSchemes())
+		os.Exit(2)
+	}
+	opts := harness.DefaultOptions()
+	opts.Threads = *threads
+	opts.MeasureCommits = *commits
+	opts.WarmupCycles = *warmup
+
+	if *trace != "" {
+		if err := runTraced(opts, bm, harness.Scheme(*scheme), *trace, *traceN); err != nil {
+			fmt.Fprintln(os.Stderr, "fhsim:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	run, err := opts.TimingRun(bm, harness.Scheme(*scheme))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fhsim:", err)
+		os.Exit(1)
+	}
+	c := run.Core
+	cycles, committed := run.Cycles, run.Committed
+
+	ps := c.Stats()
+	ms := c.MemStats()
+	fmt.Printf("benchmark        %s (%s)\n", bm.Name, bm.Suite)
+	fmt.Printf("scheme           %s\n", *scheme)
+	fmt.Printf("threads          %d\n", *threads)
+	fmt.Printf("cycles           %d (measured window)\n", cycles)
+	fmt.Printf("committed        %d (all threads)\n", committed)
+	fmt.Printf("IPC              %.3f\n", float64(committed)/float64(cycles))
+	fmt.Printf("branch mispred   %.2f%%\n", c.BranchMispredictRate()*100)
+	fmt.Printf("loads/stores     %d / %d\n", ps.Loads, ps.Stores)
+	fmt.Printf("L1D miss rate    %.2f%%\n", 100*float64(ms.L1DMisses)/float64(max64(ms.L1DAccesses, 1)))
+	fmt.Printf("L2 miss rate     %.2f%%\n", 100*float64(ms.L2Misses)/float64(max64(ms.L2Accesses, 1)))
+	fmt.Printf("replay triggers  %d (uops replayed %d)\n", ps.ReplayTriggers, ps.ReplayedUops)
+	fmt.Printf("rollbacks        %d (uops squashed %d)\n", ps.Rollbacks, ps.RollbackSquashedUops)
+	fmt.Printf("singletons       %d (faults declared %d)\n", ps.Singletons, ps.FaultsDeclared)
+	fmt.Printf("shadow ops       %d\n", ps.ShadowOps)
+
+	var ds detect.Stats
+	if d := c.Detector(); d != nil {
+		ds = d.Stats()
+		fmt.Printf("detector checks  %d, triggers %d, suppressed %d\n", ds.Checks, ds.Triggers, ds.Suppressed)
+		fmt.Printf("detector actions replay=%d rollback=%d singleton=%d\n", ds.Replays, ds.Rollbacks, ds.Singletons)
+	}
+	b := energy.Default().Compute(ps, ms, ds)
+	fmt.Printf("energy total     %.0f units\n", b.Total())
+	fmt.Printf("  fetch=%.0f rename=%.0f issue=%.0f exec=%.0f regfile=%.0f\n",
+		b.Fetch, b.Rename, b.Issue, b.Exec, b.RegFile)
+	fmt.Printf("  lsq=%.0f caches=%.0f commit=%.0f static=%.0f shadow=%.0f detector=%.0f\n",
+		b.LSQ, b.Caches, b.Commit, b.Static, b.Shadow, b.Detector)
+}
+
+// runTraced runs the first traceN cycles with a stage-filtered trace on
+// stdout.
+func runTraced(opts harness.Options, bm workload.Benchmark, scheme harness.Scheme, stages string, traceN uint64) error {
+	c, err := opts.BuildCore(bm, scheme, opts.Threads)
+	if err != nil {
+		return err
+	}
+	names := map[string]pipeline.TraceStage{
+		"fetch": pipeline.TraceFetch, "dispatch": pipeline.TraceDispatch,
+		"issue": pipeline.TraceIssue, "complete": pipeline.TraceComplete,
+		"commit": pipeline.TraceCommit, "squash": pipeline.TraceSquash,
+		"replay": pipeline.TraceReplay, "rollback": pipeline.TraceRollback,
+		"singleton": pipeline.TraceSingleton, "exception": pipeline.TraceException,
+	}
+	var want []pipeline.TraceStage
+	for _, s := range strings.Split(stages, ",") {
+		st, ok := names[strings.TrimSpace(s)]
+		if !ok {
+			return fmt.Errorf("unknown trace stage %q", s)
+		}
+		want = append(want, st)
+	}
+	c.SetTracer(c.NewWriterTracer(os.Stdout, want...))
+	for i := uint64(0); i < traceN && !c.AllHalted(); i++ {
+		c.Step()
+	}
+	return nil
+}
+
+func max64(a, b uint64) uint64 {
+	if a > b {
+		return a
+	}
+	return b
+}

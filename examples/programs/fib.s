@@ -1,0 +1,25 @@
+; Iterative Fibonacci: r1 = fib(20), with each value also stored to a
+; results table — enough load/store traffic for the detectors to watch.
+;
+;   go run ./cmd/fhasm -scheme faulthound examples/programs/fib.s
+
+.data 4096
+
+    movi r2, 0x10000000   ; table base
+    movi r3, 0            ; fib(0)
+    movi r4, 1            ; fib(1)
+    movi r5, 2            ; i
+    movi r6, 21           ; bound
+    st   [r2], r3
+    st   [r2+8], r4
+loop:
+    add  r1, r3, r4       ; fib(i)
+    slli r7, r5, 3
+    add  r8, r2, r7
+    st   [r8], r1         ; table[i] = fib(i)
+    ld   r9, [r8]         ; read it back
+    add  r3, r4, r0
+    add  r4, r9, r0
+    addi r5, r5, 1
+    blt  r5, r6, loop
+    halt

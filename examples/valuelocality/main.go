@@ -1,0 +1,93 @@
+// Valuelocality reproduces the Figure-6-style characterization on one
+// workload: the per-bit change rate of load addresses, store addresses,
+// and store values relative to each instruction's previous value — the
+// empirical foundation of FaultHound (most bits rarely change, so a
+// change in an "unchanging" bit hints at a fault).
+//
+//	go run ./examples/valuelocality [benchmark]
+package main
+
+import (
+	"fmt"
+	"os"
+	"strings"
+
+	"faulthound/internal/detect"
+	"faulthound/internal/pipeline"
+	"faulthound/internal/prog"
+	"faulthound/internal/workload"
+)
+
+func main() {
+	bench := "bzip2"
+	if len(os.Args) > 1 {
+		bench = os.Args[1]
+	}
+	bm, err := workload.Get(bench)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	c, err := pipeline.New(pipeline.DefaultConfig(1),
+		[]*prog.Program{bm.Build(prog.DefaultDataBase, 1)}, nil)
+	if err != nil {
+		panic(err)
+	}
+
+	type key struct {
+		kind detect.Kind
+		pc   uint64
+	}
+	prev := make(map[key]uint64)
+	var changes [3][64]uint64
+	var counts [3]uint64
+	c.SetProbe(func(ev detect.Event) {
+		k := key{ev.Kind, ev.PC}
+		if old, ok := prev[k]; ok {
+			diff := old ^ ev.Value
+			for b := 0; b < 64; b++ {
+				if diff>>uint(b)&1 == 1 {
+					changes[ev.Kind][b]++
+				}
+			}
+			counts[ev.Kind]++
+		}
+		prev[k] = ev.Value
+	})
+	c.RunUntilCommits(0, 60000, 50_000_000)
+
+	fmt.Printf("value locality of %s (%s): %% of dynamic instances whose bit differs from\n", bm.Name, bm.Suite)
+	fmt.Println("the same instruction's previous value (Figure 6 of the paper)")
+	fmt.Println()
+	fmt.Println("bit  load-addr  store-addr  store-val   (bar = change rate, log-ish)")
+	for b := 0; b < 40; b++ {
+		la := rate(changes[detect.LoadAddr][b], counts[detect.LoadAddr])
+		sa := rate(changes[detect.StoreAddr][b], counts[detect.StoreAddr])
+		sv := rate(changes[detect.StoreValue][b], counts[detect.StoreValue])
+		fmt.Printf("%3d  %8.3f%%  %9.3f%%  %8.3f%%  %s\n", b, la, sa, sv, bar(la+sa+sv))
+	}
+	var totalBits, totalVals uint64
+	for k := 0; k < 3; k++ {
+		for b := 0; b < 64; b++ {
+			totalBits += changes[k][b]
+		}
+		totalVals += counts[k]
+	}
+	fmt.Printf("\nmean changed bits per 64-bit value: %.2f (paper: ~3)\n",
+		float64(totalBits)/float64(totalVals))
+}
+
+func rate(n, d uint64) float64 {
+	if d == 0 {
+		return 0
+	}
+	return 100 * float64(n) / float64(d)
+}
+
+func bar(pct float64) string {
+	n := int(pct / 5)
+	if n > 40 {
+		n = 40
+	}
+	return strings.Repeat("#", n)
+}

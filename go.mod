@@ -1,0 +1,3 @@
+module faulthound
+
+go 1.22

@@ -1,0 +1,157 @@
+package energy
+
+import (
+	"math"
+	"testing"
+
+	"faulthound/internal/detect"
+	"faulthound/internal/isa"
+	"faulthound/internal/mem"
+	"faulthound/internal/pipeline"
+	"faulthound/internal/prog"
+)
+
+func TestRAMReadEnergyCalibration(t *testing.T) {
+	// 32 KB is calibrated to the L1 access energy (20 units): the
+	// paper's observation that a 2K-entry PBFS table costs about an L1
+	// access per lookup.
+	if got := RAMReadEnergy(32 << 10); math.Abs(got-20) > 1e-9 {
+		t.Fatalf("RAMReadEnergy(32KB) = %v, want 20", got)
+	}
+	// Sqrt scaling: 4x capacity costs 2x energy.
+	if got := RAMReadEnergy(128 << 10); math.Abs(got-40) > 1e-9 {
+		t.Fatalf("RAMReadEnergy(128KB) = %v, want 40", got)
+	}
+	if RAMReadEnergy(0) != 0 {
+		t.Fatal("zero capacity should cost nothing")
+	}
+}
+
+func TestTCAMSearchSmall(t *testing.T) {
+	// FaultHound's 32x64 TCAM must be far cheaper per access than the
+	// PBFS table — that is the clustering energy argument.
+	tcam := TCAMSearchEnergy(32, 64)
+	table := RAMReadEnergy(2048 * 16)
+	if tcam >= table/3 {
+		t.Fatalf("TCAM (%v) should be much cheaper than the 2K table (%v)", tcam, table)
+	}
+	// Energy grows with geometry.
+	if TCAMSearchEnergy(64, 64) <= tcam {
+		t.Fatal("bigger TCAM should cost more")
+	}
+}
+
+func TestComputeComponents(t *testing.T) {
+	m := Default()
+	var ps pipeline.Stats
+	ps.Fetched = 100
+	ps.Dispatched = 90
+	ps.Issued = 80
+	ps.IssuedByClass[isa.ClassIntALU] = 50
+	ps.IssuedByClass[isa.ClassIntMul] = 10
+	ps.IssuedByClass[isa.ClassFP] = 5
+	ps.IssuedByClass[isa.ClassLoad] = 10
+	ps.IssuedByClass[isa.ClassStore] = 5
+	ps.RegReads = 150
+	ps.RegWrites = 70
+	ps.Committed = 85
+	ps.Loads = 10
+	ps.Stores = 5
+	ps.Cycles = 60
+	var ms mem.HierarchyStats
+	ms.L1IAccesses = 30
+	ms.L1DAccesses = 15
+	ms.L2Accesses = 4
+	ms.L2Misses = 1
+	var ds detect.Stats
+	ds.TCAMSearches = 20
+	ds.TCAMUpdates = 20
+	ds.Triggers = 2
+
+	b := m.Compute(ps, ms, ds)
+	if b.Fetch != 1600 {
+		t.Fatalf("fetch = %v", b.Fetch)
+	}
+	if b.Exec != 10*65+30*10+25*5 {
+		t.Fatalf("exec = %v", b.Exec)
+	}
+	if b.Detector <= 0 {
+		t.Fatal("detector energy missing")
+	}
+	if b.Total() <= b.Fetch {
+		t.Fatal("total should include all components")
+	}
+	// Sum check.
+	sum := b.Fetch + b.Rename + b.Issue + b.Exec + b.RegFile + b.LSQ +
+		b.Caches + b.Commit + b.Static + b.Shadow + b.Detector
+	if math.Abs(sum-b.Total()) > 1e-9 {
+		t.Fatal("Total does not equal the sum of components")
+	}
+}
+
+func TestShadowEnergyCounted(t *testing.T) {
+	m := Default()
+	var ps pipeline.Stats
+	ps.ShadowOps = 1000
+	b := m.Compute(ps, mem.HierarchyStats{}, detect.Stats{})
+	if b.Shadow != m.ShadowOp*1000 {
+		t.Fatalf("shadow = %v", b.Shadow)
+	}
+}
+
+func TestOverhead(t *testing.T) {
+	if got := Overhead(125, 100); math.Abs(got-0.25) > 1e-9 {
+		t.Fatalf("Overhead = %v", got)
+	}
+	if Overhead(1, 0) != 0 {
+		t.Fatal("zero baseline should yield 0")
+	}
+}
+
+// Integration: a real pipeline run yields a sane, positive breakdown,
+// and shadow redundancy strictly increases total energy.
+func TestEnergyOnRealRun(t *testing.T) {
+	p := buildLoop(t)
+	run := func(shadow float64) float64 {
+		cfg := pipeline.DefaultConfig(1)
+		cfg.ShadowRedundancy = shadow
+		c, err := pipeline.New(cfg, []*prog.Program{p}, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c.Run(1_000_000)
+		b := Default().Compute(c.Stats(), c.MemStats(), detect.Stats{})
+		if b.Total() <= 0 || b.Fetch <= 0 || b.Caches <= 0 || b.Static <= 0 {
+			t.Fatalf("degenerate breakdown: %+v", b)
+		}
+		return b.Total()
+	}
+	base := run(0)
+	srt := run(1.0)
+	if srt <= base {
+		t.Fatalf("full redundancy should cost more energy: %v <= %v", srt, base)
+	}
+	// The paper's SRT energy overhead is large (tens of percent).
+	if Overhead(srt, base) < 0.10 {
+		t.Fatalf("SRT energy overhead implausibly small: %v", Overhead(srt, base))
+	}
+}
+
+func buildLoop(t *testing.T) *prog.Program {
+	t.Helper()
+	b := prog.NewBuilder("eloop", 1024)
+	b.MovU64(2, b.DataBase())
+	b.MovI(3, 0)
+	b.MovI(4, 2000)
+	b.Label("loop")
+	b.OpI(isa.ANDI, 5, 3, 63)
+	b.OpI(isa.SLLI, 5, 5, 3)
+	b.Op3(isa.ADD, 5, 2, 5)
+	b.Ld(6, 5, 0)
+	b.OpI(isa.ADDI, 6, 6, 1)
+	b.St(5, 0, 6)
+	b.OpI(isa.ADDI, 3, 3, 1)
+	b.Br(isa.BLT, 3, 4, "loop")
+	b.Halt()
+	return b.MustBuild()
+}

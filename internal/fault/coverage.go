@@ -1,0 +1,139 @@
+package fault
+
+// Bin categorizes what happened to an SDC fault under a detection
+// scheme — the Figure-11 breakdown.
+type Bin uint8
+
+// Figure-11 categories.
+const (
+	// Covered: the scheme corrected the fault (state matched golden) or
+	// detected it (declared a fault).
+	Covered Bin = iota
+	// SecondLevelMasked: a trigger occurred but the second-level filter
+	// suppressed it — the deliberate coverage cost of reducing false
+	// positives (Section 3.2).
+	SecondLevelMasked
+	// CompletedReg: a register-file fault triggered a replay, but the
+	// corrupted producer had left the delay buffer (completed or
+	// committed register) so replay could not correct it.
+	CompletedReg
+	// UncoveredRename: a rename-table fault the squash mechanism did
+	// not catch (late reads of faulty tags corrupt state after commit).
+	UncoveredRename
+	// NoTrigger: the fault stayed inside every filter's neighborhood
+	// ("changing" bit positions), so no trigger ever fired.
+	NoTrigger
+	// Other: remaining uncovered faults.
+	Other
+
+	numBins
+)
+
+// String names the bin.
+func (b Bin) String() string {
+	switch b {
+	case Covered:
+		return "covered"
+	case SecondLevelMasked:
+		return "2nd-level-masked"
+	case CompletedReg:
+		return "completed-reg"
+	case UncoveredRename:
+		return "uncovered-rename"
+	case NoTrigger:
+		return "no-trigger"
+	case Other:
+		return "other"
+	}
+	return "?"
+}
+
+// BinNames lists every bin in display order.
+func BinNames() []Bin {
+	return []Bin{Covered, SecondLevelMasked, CompletedReg, UncoveredRename, NoTrigger, Other}
+}
+
+// CoverageReport pairs a baseline (no-detector) campaign with a
+// detector campaign, injection by injection.
+type CoverageReport struct {
+	// SDCBase counts faults that are SDC without any protection — the
+	// coverage denominator.
+	SDCBase int
+	// CoveredCount counts SDC-base faults the scheme corrected or
+	// detected.
+	CoveredCount int
+	// FalseNoisy counts SDC-base faults that became exceptions under
+	// the scheme (counted as covered: the exception is a detection).
+	FalseNoisy int
+	// Bins is the Figure-11 breakdown over SDC-base faults.
+	Bins [numBins]int
+}
+
+// Coverage returns covered / SDC-base in [0, 1].
+func (r CoverageReport) Coverage() float64 {
+	if r.SDCBase == 0 {
+		return 0
+	}
+	return float64(r.CoveredCount) / float64(r.SDCBase)
+}
+
+// BinFraction returns the fraction of SDC-base faults in bin b.
+func (r CoverageReport) BinFraction(b Bin) float64 {
+	if r.SDCBase == 0 {
+		return 0
+	}
+	return float64(r.Bins[b]) / float64(r.SDCBase)
+}
+
+// PairCoverage builds the coverage report from a baseline campaign (no
+// detector) and a detector campaign run with the same Config (hence the
+// same injection descriptor stream).
+func PairCoverage(base, det *Campaign) CoverageReport {
+	var rep CoverageReport
+	n := len(base.Results)
+	if len(det.Results) < n {
+		n = len(det.Results)
+	}
+	for i := 0; i < n; i++ {
+		b, d := base.Results[i], det.Results[i]
+		if b.Outcome != SDC {
+			continue // coverage is measured over would-be-SDC faults
+		}
+		rep.SDCBase++
+		// A fault is covered when the detector run ends with golden
+		// state (corrected), a declared fault (detected), or an
+		// exception/hang (surfaced). Like the paper's tandem
+		// methodology, this is a state comparison: recovery via the
+		// scheme's own recovery machinery is credited regardless of
+		// which trigger invoked it.
+		covered := d.Outcome == Masked || d.Detected
+		if d.Outcome == Noisy {
+			covered = true
+			rep.FalseNoisy++
+		}
+		if covered {
+			rep.CoveredCount++
+			rep.Bins[Covered]++
+			continue
+		}
+		rep.Bins[classifyUncovered(d)]++
+	}
+	return rep
+}
+
+// classifyUncovered assigns an uncovered SDC fault to its Figure-11
+// category from the detector-run evidence.
+func classifyUncovered(d Result) Bin {
+	switch {
+	case d.Injection.Structure == RenameTable:
+		return UncoveredRename
+	case d.Triggers == 0:
+		return NoTrigger
+	case d.Suppressed > 0 && d.Replays == 0 && d.Rollbacks == 0 && d.Singletons == 0:
+		return SecondLevelMasked
+	case d.Injection.Structure == RegFile && (d.Replays > 0 || d.Singletons > 0):
+		return CompletedReg
+	default:
+		return Other
+	}
+}

@@ -1,0 +1,129 @@
+package fault
+
+import "testing"
+
+// synth builds a paired base/detector campaign from outcome tuples.
+func synth(rows []struct {
+	base Result
+	det  Result
+}) (*Campaign, *Campaign) {
+	b := &Campaign{}
+	d := &Campaign{}
+	for _, r := range rows {
+		b.Results = append(b.Results, r.base)
+		d.Results = append(d.Results, r.det)
+	}
+	return b, d
+}
+
+func TestPairCoverageCountsOnlyBaseSDC(t *testing.T) {
+	b, d := synth([]struct {
+		base Result
+		det  Result
+	}{
+		{Result{Outcome: Masked}, Result{Outcome: SDC}}, // not SDC-base: ignored
+		{Result{Outcome: Noisy}, Result{Outcome: SDC}},  // ignored
+		{Result{Outcome: SDC}, Result{Outcome: Masked}}, // covered (corrected)
+		{Result{Outcome: SDC}, Result{Outcome: SDC}},    // uncovered
+	})
+	rep := PairCoverage(b, d)
+	if rep.SDCBase != 2 {
+		t.Fatalf("SDCBase = %d, want 2", rep.SDCBase)
+	}
+	if rep.CoveredCount != 1 || rep.Coverage() != 0.5 {
+		t.Fatalf("covered = %d, coverage = %v", rep.CoveredCount, rep.Coverage())
+	}
+}
+
+func TestPairCoverageDetectionCounts(t *testing.T) {
+	b, d := synth([]struct {
+		base Result
+		det  Result
+	}{
+		// State still corrupt, but the singleton declared the fault:
+		// detection counts as coverage.
+		{Result{Outcome: SDC}, Result{Outcome: SDC, Detected: true}},
+	})
+	rep := PairCoverage(b, d)
+	if rep.CoveredCount != 1 {
+		t.Fatal("declared fault must count as covered")
+	}
+}
+
+func TestPairCoverageNoisyUnderScheme(t *testing.T) {
+	b, d := synth([]struct {
+		base Result
+		det  Result
+	}{
+		// The scheme's recovery surfaced the fault as an exception.
+		{Result{Outcome: SDC}, Result{Outcome: Noisy}},
+	})
+	rep := PairCoverage(b, d)
+	if rep.CoveredCount != 1 || rep.FalseNoisy != 1 {
+		t.Fatalf("covered=%d falseNoisy=%d", rep.CoveredCount, rep.FalseNoisy)
+	}
+}
+
+func TestClassifyUncoveredBins(t *testing.T) {
+	cases := []struct {
+		det  Result
+		want Bin
+	}{
+		{Result{Injection: Injection{Structure: RenameTable}}, UncoveredRename},
+		{Result{Injection: Injection{Structure: RegFile}}, NoTrigger}, // Triggers == 0
+		{Result{Injection: Injection{Structure: RegFile}, Triggers: 3, Suppressed: 3}, SecondLevelMasked},
+		{Result{Injection: Injection{Structure: RegFile}, Triggers: 2, Replays: 2}, CompletedReg},
+		{Result{Injection: Injection{Structure: LSQ}, Triggers: 1, Rollbacks: 1}, Other},
+	}
+	for i, c := range cases {
+		if got := classifyUncovered(c.det); got != c.want {
+			t.Errorf("case %d: bin = %v, want %v", i, got, c.want)
+		}
+	}
+}
+
+func TestBinFractionAndConservation(t *testing.T) {
+	b, d := synth([]struct {
+		base Result
+		det  Result
+	}{
+		{Result{Outcome: SDC}, Result{Outcome: Masked, Triggers: 1}},
+		{Result{Outcome: SDC}, Result{Outcome: SDC, Injection: Injection{Structure: RenameTable}}},
+		{Result{Outcome: SDC}, Result{Outcome: SDC}},
+	})
+	rep := PairCoverage(b, d)
+	var sum float64
+	total := 0
+	for _, bin := range BinNames() {
+		sum += rep.BinFraction(bin)
+		total += rep.Bins[bin]
+	}
+	if total != rep.SDCBase {
+		t.Fatalf("bins total %d, SDC base %d", total, rep.SDCBase)
+	}
+	if sum < 0.999 || sum > 1.001 {
+		t.Fatalf("bin fractions sum to %v", sum)
+	}
+}
+
+func TestPairCoverageEmpty(t *testing.T) {
+	rep := PairCoverage(&Campaign{}, &Campaign{})
+	if rep.SDCBase != 0 || rep.Coverage() != 0 || rep.BinFraction(Covered) != 0 {
+		t.Fatal("empty pairing should be all zeros")
+	}
+}
+
+func TestPairCoverageLengthMismatch(t *testing.T) {
+	b, _ := synth([]struct {
+		base Result
+		det  Result
+	}{
+		{Result{Outcome: SDC}, Result{}},
+		{Result{Outcome: SDC}, Result{}},
+	})
+	d := &Campaign{Results: []Result{{Outcome: Masked, Triggers: 1}}}
+	rep := PairCoverage(b, d)
+	if rep.SDCBase != 1 {
+		t.Fatalf("pairing should truncate to the shorter campaign, got %d", rep.SDCBase)
+	}
+}

@@ -1,0 +1,63 @@
+package fault_test
+
+import (
+	"fmt"
+
+	"faulthound/internal/core"
+	"faulthound/internal/fault"
+	"faulthound/internal/pipeline"
+	"faulthound/internal/prog"
+	"faulthound/internal/workload"
+)
+
+// Example runs a miniature tandem campaign: classify injected faults on
+// an unprotected core, then measure how many of the would-be-SDC faults
+// FaultHound covers.
+func Example() {
+	bm, _ := workload.Get("bzip2")
+	program := bm.Build(prog.DefaultDataBase, 1)
+
+	mk := func(protected bool) func() *pipeline.Core {
+		return func() *pipeline.Core {
+			var det *core.FaultHound
+			if protected {
+				det = core.New(core.DefaultConfig())
+			}
+			var c *pipeline.Core
+			var err error
+			if protected {
+				c, err = pipeline.New(pipeline.DefaultConfig(1), []*prog.Program{program}, det)
+			} else {
+				c, err = pipeline.New(pipeline.DefaultConfig(1), []*prog.Program{program}, nil)
+			}
+			if err != nil {
+				panic(err)
+			}
+			return c
+		}
+	}
+
+	cfg := fault.DefaultConfig()
+	cfg.Injections = 200
+
+	base, err := fault.Run(mk(false), cfg)
+	if err != nil {
+		panic(err)
+	}
+	det, err := fault.Run(mk(true), cfg)
+	if err != nil {
+		panic(err)
+	}
+
+	masked, noisy, sdc := base.Classification()
+	rep := fault.PairCoverage(base, det)
+	fmt.Println("outcomes partition the campaign:", masked+noisy+sdc == cfg.Injections)
+	fmt.Println("most faults are masked:", masked > cfg.Injections/2)
+	fmt.Println("coverage denominator is the SDC count:", rep.SDCBase == sdc)
+	fmt.Println("coverage in range:", rep.Coverage() >= 0 && rep.Coverage() <= 1)
+	// Output:
+	// outcomes partition the campaign: true
+	// most faults are masked: true
+	// coverage denominator is the SDC count: true
+	// coverage in range: true
+}

@@ -1,0 +1,397 @@
+// Package fault implements the paper's fault-injection methodology
+// (Section 4): tandem golden/faulty simulation with single-bit flips
+// into the physical register file (emulating back-end control and
+// datapath faults), the load-store queue, and the rename table, in
+// McPAT-derived area proportions (front-end 20%, back-end 80% of which
+// LSQ 8%). A fault is classified after a run window of committed
+// instructions by comparing architectural state against the golden run:
+// a differing exception stream is "noisy", identical state is "masked",
+// and the rest is silent data corruption (SDC) — the faults the
+// detection schemes are measured on.
+package fault
+
+import (
+	"fmt"
+
+	"faulthound/internal/detect"
+	"faulthound/internal/isa"
+	"faulthound/internal/pipeline"
+	"faulthound/internal/stats"
+)
+
+// Structure identifies the injected structure.
+type Structure uint8
+
+// Injection structures (Section 4).
+const (
+	RegFile Structure = iota
+	RenameTable
+	LSQ
+)
+
+// String names the structure.
+func (s Structure) String() string {
+	switch s {
+	case RegFile:
+		return "regfile"
+	case RenameTable:
+		return "rename"
+	case LSQ:
+		return "lsq"
+	}
+	return "?"
+}
+
+// Outcome is the architectural consequence of one injected fault.
+type Outcome uint8
+
+// Fault outcomes (Figure 7 categories).
+const (
+	// Masked: state after the run window equals the golden run's.
+	Masked Outcome = iota
+	// Noisy: the fault raised a translation exception (or hung the
+	// pipeline, detectable by a watchdog) — detected "for free".
+	Noisy
+	// SDC: silent data corruption — state differs with no exception.
+	SDC
+)
+
+// String names the outcome.
+func (o Outcome) String() string {
+	switch o {
+	case Masked:
+		return "masked"
+	case Noisy:
+		return "noisy"
+	case SDC:
+		return "sdc"
+	}
+	return "?"
+}
+
+// Config parameterizes a campaign. The paper injects 15,000 faults per
+// run; the default here is scaled down for tractable reproduction and
+// can be raised.
+type Config struct {
+	// Injections is the number of single-bit faults.
+	Injections int
+	// WarmupCycles runs the golden core before the injection region
+	// (cache and filter warmup, Table 1's warmup role).
+	WarmupCycles uint64
+	// SpreadCycles is the injection window: each fault lands at a
+	// uniformly random cycle within this many cycles after warmup (the
+	// paper uses a 500-cycle period).
+	SpreadCycles uint64
+	// WindowInstr is the run window after injection before state
+	// comparison (the paper uses 1000 instructions).
+	WindowInstr uint64
+	// FrontEndPct and LSQPct set the injection proportions; the
+	// remainder goes to the register file. Paper: 20% front end, 8%
+	// LSQ (of the total), 72% register file.
+	FrontEndPct float64
+	LSQPct      float64
+	// InFlightBias is the fraction of register-file-class injections
+	// directed at in-flight destination registers. The paper injects
+	// into the register file to "also emulate faults in the back-end
+	// control and datapath" — faults in FU outputs and bypass latches
+	// land on young, in-flight values, which is what this bias models.
+	InFlightBias float64
+	// DetectorWarmupInstr fast-forwards the detector's filters over the
+	// architectural value stream before the timing warmup (standing in
+	// for the paper's 50M-instruction runs, which saturate the filter
+	// state machines).
+	DetectorWarmupInstr uint64
+	// MaxCyclesPerRun bounds each faulty run (hang watchdog).
+	MaxCyclesPerRun uint64
+	// Seed drives every random choice; identical seeds give identical
+	// injection descriptor streams across schemes, pairing campaigns.
+	Seed uint64
+}
+
+// DefaultConfig returns the paper's parameters with a scaled-down
+// injection count.
+func DefaultConfig() Config {
+	return Config{
+		Injections:          400,
+		WarmupCycles:        100000,
+		SpreadCycles:        500,
+		WindowInstr:         1000,
+		FrontEndPct:         0.20,
+		LSQPct:              0.08,
+		InFlightBias:        0.4,
+		DetectorWarmupInstr: 1_000_000,
+		MaxCyclesPerRun:     60000,
+		Seed:                0xfa17,
+	}
+}
+
+// Injection is one pre-drawn fault descriptor. Drawing all descriptors
+// from the seed up front (independent of simulator state) keeps
+// campaigns with different detectors paired injection-by-injection.
+type Injection struct {
+	Structure   Structure
+	CycleOffset uint64
+	Bit         uint
+	// InFlight directs a register-file fault at an in-flight
+	// destination register (datapath emulation) instead of an arbitrary
+	// allocated register.
+	InFlight bool
+	// SiteSeed selects the concrete site (which register, LSQ entry,
+	// or RAT entry) among the candidates alive at injection time.
+	SiteSeed uint64
+}
+
+// DrawInjections derives the descriptor list from cfg.
+func DrawInjections(cfg Config) []Injection {
+	rng := stats.NewRNG(cfg.Seed)
+	out := make([]Injection, cfg.Injections)
+	for i := range out {
+		inj := Injection{
+			CycleOffset: rng.Uint64n(cfg.SpreadCycles),
+			Bit:         uint(rng.Intn(64)),
+			SiteSeed:    rng.Uint64(),
+		}
+		p := rng.Float64()
+		switch {
+		case p < cfg.FrontEndPct:
+			inj.Structure = RenameTable
+		case p < cfg.FrontEndPct+cfg.LSQPct:
+			inj.Structure = LSQ
+		default:
+			inj.Structure = RegFile
+			inj.InFlight = rng.Bool(cfg.InFlightBias)
+		}
+		out[i] = inj
+	}
+	return out
+}
+
+// Result records one injected fault's consequence.
+type Result struct {
+	Injection Injection
+	Outcome   Outcome
+	// Hung marks a watchdog timeout (folded into Noisy).
+	Hung bool
+	// Detected is true when the detector declared a fault (the
+	// singleton comparison of Section 3.5) during the window.
+	Detected bool
+	// Detector activity over the window in EXCESS of the golden run's
+	// background (false-positive) activity over the same commit range —
+	// the activity attributable to the fault, for the Figure-11
+	// breakdown. Clamped at zero.
+	Triggers, Suppressed, Replays, Rollbacks, Singletons uint64
+}
+
+// sub returns a-b clamped at zero.
+func sub(a, b uint64) uint64 {
+	if a < b {
+		return 0
+	}
+	return a - b
+}
+
+// Campaign is the outcome of one injection campaign.
+type Campaign struct {
+	Config  Config
+	Results []Result
+}
+
+// Classification returns the Figure-7 fractions.
+func (c *Campaign) Classification() (masked, noisy, sdc int) {
+	for _, r := range c.Results {
+		switch r.Outcome {
+		case Masked:
+			masked++
+		case Noisy:
+			noisy++
+		case SDC:
+			sdc++
+		}
+	}
+	return
+}
+
+// Run executes a campaign: mk must build a fresh, deterministic core
+// (program + detector); the same mk with the same cfg yields identical
+// results.
+func Run(mk func() *pipeline.Core, cfg Config) (*Campaign, error) {
+	injs := DrawInjections(cfg)
+
+	golden := mk()
+	golden.WarmDetector(cfg.DetectorWarmupInstr)
+	golden.Run(cfg.WarmupCycles)
+	if golden.AllHalted() {
+		return nil, fmt.Errorf("fault: golden run halted during warmup")
+	}
+	if exc, msg := golden.Excepted(0); exc {
+		return nil, fmt.Errorf("fault: golden run excepted during warmup: %s", msg)
+	}
+
+	// Record, at every commit count the faulty runs can target, the
+	// golden architectural hash and the golden detector counters (the
+	// false-positive background against which fault-attributable
+	// activity is measured).
+	gold := golden.Clone()
+	hashes := make(map[uint64]uint64)
+	background := make(map[uint64]detect.Stats)
+	gold.SetCommitHook(func(tid int, count uint64) {
+		if tid == 0 {
+			hashes[count] = gold.ArchHash(0)
+			if d := gold.Detector(); d != nil {
+				background[count] = d.Stats()
+			}
+		}
+	})
+	// Anchor the background at the clone point so injections at offset
+	// zero (injCount == warmup commit count) subtract correctly.
+	hashes[golden.Committed(0)] = golden.ArchHash(0)
+	if d := golden.Detector(); d != nil {
+		background[golden.Committed(0)] = d.Stats()
+	}
+	for i := uint64(0); i < cfg.SpreadCycles; i++ {
+		gold.Step()
+	}
+	maxInjCount := gold.Committed(0)
+	target := maxInjCount + cfg.WindowInstr + 64
+	for gold.Committed(0) < target && !gold.AllHalted() {
+		gold.Step()
+	}
+	if exc, msg := gold.Excepted(0); exc {
+		return nil, fmt.Errorf("fault: golden run excepted in window: %s", msg)
+	}
+
+	camp := &Campaign{Config: cfg, Results: make([]Result, 0, len(injs))}
+	for _, inj := range injs {
+		camp.Results = append(camp.Results, runOne(golden, inj, cfg, hashes, background))
+	}
+	return camp, nil
+}
+
+// runOne clones the warmed golden core, advances to the injection
+// cycle, flips the bit, runs the window, and classifies.
+func runOne(golden *pipeline.Core, inj Injection, cfg Config, goldenHash map[uint64]uint64, background map[uint64]detect.Stats) Result {
+	f := golden.Clone()
+	for i := uint64(0); i < inj.CycleOffset; i++ {
+		f.Step()
+	}
+	applyInjection(f, inj)
+
+	var ds0 detect.Stats
+	if d := f.Detector(); d != nil {
+		ds0 = d.Stats()
+	}
+	ps0 := f.Stats()
+
+	injCount := f.Committed(0)
+	target := injCount + cfg.WindowInstr
+	done := false
+	var hash uint64
+	// The hash must be captured inside the commit hook — at the exact
+	// retirement boundary — to line up with the golden trace, which is
+	// recorded the same way (later commits in the same cycle would skew
+	// a post-cycle hash).
+	f.SetCommitHook(func(tid int, count uint64) {
+		if tid == 0 && count == target {
+			done = true
+			hash = f.ArchHash(0)
+		}
+	})
+
+	res := Result{Injection: inj}
+	start := f.Cycle()
+	for !done {
+		if f.Cycle()-start >= cfg.MaxCyclesPerRun || f.AllHalted() {
+			break
+		}
+		f.Step()
+	}
+
+	if d := f.Detector(); d != nil {
+		ds := d.Stats()
+		// Subtract the golden run's background activity over the same
+		// commit range so the counters reflect fault-attributable work.
+		var bg detect.Stats
+		if b1, ok := background[target]; ok {
+			b0 := background[injCount]
+			bg = detect.Stats{
+				Triggers:   b1.Triggers - b0.Triggers,
+				Suppressed: b1.Suppressed - b0.Suppressed,
+				Replays:    b1.Replays - b0.Replays,
+				Rollbacks:  b1.Rollbacks - b0.Rollbacks,
+				Singletons: b1.Singletons - b0.Singletons,
+			}
+		}
+		res.Triggers = sub(ds.Triggers-ds0.Triggers, bg.Triggers)
+		res.Suppressed = sub(ds.Suppressed-ds0.Suppressed, bg.Suppressed)
+		res.Replays = sub(ds.Replays-ds0.Replays, bg.Replays)
+		res.Rollbacks = sub(ds.Rollbacks-ds0.Rollbacks, bg.Rollbacks)
+		res.Singletons = sub(ds.Singletons-ds0.Singletons, bg.Singletons)
+	}
+	res.Detected = f.Stats().FaultsDeclared > ps0.FaultsDeclared
+
+	if exc, _ := f.Excepted(0); exc {
+		res.Outcome = Noisy
+		return res
+	}
+	if !done {
+		res.Outcome = Noisy
+		res.Hung = true
+		return res
+	}
+	want, ok := goldenHash[target]
+	if ok && hash == want {
+		res.Outcome = Masked
+	} else {
+		res.Outcome = SDC
+	}
+	return res
+}
+
+// noopInjections suppresses the actual flip (tandem-determinism test
+// hook).
+var noopInjections = false
+
+// applyInjection flips the descriptor's bit in the live structure.
+// When the preferred structure has no live site (an empty LSQ), the
+// fault falls back to the register file, keeping the campaign size
+// fixed.
+func applyInjection(c *pipeline.Core, inj Injection) {
+	if noopInjections {
+		return
+	}
+	rng := stats.NewRNG(inj.SiteSeed)
+	switch inj.Structure {
+	case RenameTable:
+		// Architectural registers r1..r47 (never the zero register).
+		r := isa.Reg(1 + rng.Intn(isa.NumArchRegs-1))
+		c.FlipRATBit(0, r, inj.Bit)
+		return
+	case LSQ:
+		sites := c.LSQSites()
+		if len(sites) > 0 {
+			site := sites[rng.Intn(len(sites))]
+			field := pipeline.LSQAddr
+			if site.IsStore && rng.Bool(0.5) {
+				field = pipeline.LSQData
+			}
+			c.FlipLSQBit(site, field, inj.Bit)
+			return
+		}
+		// fall through to the register file
+	}
+	// The register-file population is the whole physical file (the
+	// paper's Section-4 model): flips in free registers are overwritten
+	// at the next allocation and classify as masked. The InFlight share
+	// emulates back-end datapath faults by targeting live in-flight
+	// destination values instead.
+	regs := c.AllRegs()
+	if inj.InFlight {
+		if inflight := c.InFlightDestRegs(); len(inflight) > 0 {
+			regs = inflight
+		}
+	}
+	if len(regs) == 0 {
+		return
+	}
+	c.FlipRegisterBit(regs[rng.Intn(len(regs))], inj.Bit)
+}

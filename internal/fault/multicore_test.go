@@ -1,0 +1,89 @@
+package fault
+
+import (
+	"testing"
+
+	"faulthound/internal/core"
+	"faulthound/internal/detect"
+	"faulthound/internal/pipeline"
+	"faulthound/internal/prog"
+	"faulthound/internal/system"
+	"faulthound/internal/workload"
+)
+
+// mkSystem builds a 2-core machine running the shared-memory parallel
+// Ocean, with or without FaultHound per core.
+func mkSystem(t *testing.T, protected bool) func() *system.System {
+	t.Helper()
+	return func() *system.System {
+		programs := workload.OceanMP(prog.DefaultDataBase, 9, 4)
+		var mk func(int) detect.Detector
+		if protected {
+			mk = func(int) detect.Detector { return core.New(core.DefaultConfig()) }
+		}
+		s, err := system.New(system.Config{Cores: 2, Core: pipeline.DefaultConfig(2)}, programs, mk)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+}
+
+func mpConfig() Config {
+	cfg := DefaultConfig()
+	cfg.Injections = 60
+	cfg.WarmupCycles = 8000
+	cfg.DetectorWarmupInstr = 50_000
+	cfg.MaxCyclesPerRun = 30000
+	return cfg
+}
+
+func TestSystemCampaignNoopDeterminism(t *testing.T) {
+	old := noopInjections
+	noopInjections = true
+	defer func() { noopInjections = old }()
+	camp, err := RunSystem(mkSystem(t, false), mpConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, n, s := camp.Classification()
+	if s != 0 {
+		t.Fatalf("multicore tandem nondeterminism: %d/%d/%d masked/noisy/sdc", m, n, s)
+	}
+}
+
+func TestSystemCampaignClassifies(t *testing.T) {
+	camp, err := RunSystem(mkSystem(t, false), mpConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, n, s := camp.Classification()
+	if m+n+s != mpConfig().Injections {
+		t.Fatalf("partition broken: %d/%d/%d", m, n, s)
+	}
+	if m == 0 {
+		t.Fatal("no masked faults at all")
+	}
+	t.Logf("multicore campaign: %d masked, %d noisy, %d SDC", m, n, s)
+}
+
+func TestSystemCampaignPairsWithDetector(t *testing.T) {
+	cfg := mpConfig()
+	cfg.Injections = 120
+	base, err := RunSystem(mkSystem(t, false), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	det, err := RunSystem(mkSystem(t, true), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := PairCoverage(base, det)
+	if rep.SDCBase == 0 {
+		t.Skip("no SDC faults in this small multicore campaign")
+	}
+	if rep.Coverage() < 0 || rep.Coverage() > 1 {
+		t.Fatalf("coverage out of range: %v", rep.Coverage())
+	}
+	t.Logf("multicore coverage: %.0f%% of %d SDC faults", rep.Coverage()*100, rep.SDCBase)
+}

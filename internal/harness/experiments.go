@@ -1,0 +1,523 @@
+package harness
+
+import (
+	"fmt"
+
+	"faulthound/internal/detect"
+	"faulthound/internal/energy"
+	"faulthound/internal/fault"
+	"faulthound/internal/workload"
+)
+
+// Fig6 reproduces Figure 6: the percentage of values differing from the
+// same instruction's previous value, per bit position, for load
+// addresses, store addresses, and store values, over all benchmarks
+// combined.
+func Fig6(o Options) (*Table, error) {
+	bms, err := o.benchmarks()
+	if err != nil {
+		return nil, err
+	}
+	type key struct {
+		kind detect.Kind
+		pc   uint64
+	}
+	var changes [3][64]uint64
+	var counts [3]uint64
+
+	for _, bm := range bms {
+		o.progress("fig6: %s", bm.Name)
+		c, err := o.BuildCore(bm, Baseline, 1)
+		if err != nil {
+			return nil, err
+		}
+		prev := make(map[key]uint64)
+		c.SetProbe(func(ev detect.Event) {
+			k := key{ev.Kind, ev.PC}
+			if old, ok := prev[k]; ok {
+				diff := old ^ ev.Value
+				for b := 0; b < 64; b++ {
+					if diff>>uint(b)&1 == 1 {
+						changes[ev.Kind][b]++
+					}
+				}
+				counts[ev.Kind]++
+			}
+			prev[k] = ev.Value
+		})
+		c.Run(o.WarmupCycles)
+		c.RunUntilCommits(0, c.Committed(0)+o.MeasureCommits, o.MaxCycles)
+	}
+
+	t := &Table{
+		ID:      "fig6",
+		Title:   "Percent change per bit position (all benchmarks combined, log-scale in the paper)",
+		Columns: []string{"bit", "load-addr %", "store-addr %", "store-value %"},
+	}
+	rate := func(k detect.Kind, b int) float64 {
+		if counts[k] == 0 {
+			return 0
+		}
+		return float64(changes[k][b]) / float64(counts[k]) * 100
+	}
+	for b := 0; b < 64; b++ {
+		t.AddRow(fmt.Sprintf("%d", b),
+			fmt.Sprintf("%.4f", rate(detect.LoadAddr, b)),
+			fmt.Sprintf("%.4f", rate(detect.StoreAddr, b)),
+			fmt.Sprintf("%.4f", rate(detect.StoreValue, b)))
+	}
+	// Mean changed bits per write (paper: ~3 of 64).
+	var meanBits [3]float64
+	for k := 0; k < 3; k++ {
+		var s uint64
+		for b := 0; b < 64; b++ {
+			s += changes[k][b]
+		}
+		if counts[k] > 0 {
+			meanBits[k] = float64(s) / float64(counts[k])
+		}
+	}
+	t.Notes = append(t.Notes, fmt.Sprintf(
+		"mean changed bits per value: load-addr %.2f, store-addr %.2f, store-value %.2f (paper: ~3/64 overall)",
+		meanBits[0], meanBits[1], meanBits[2]))
+	return t, nil
+}
+
+// Fig7 reproduces Figure 7: masked / noisy / SDC fractions of injected
+// faults per benchmark, with suite means and the overall mean.
+func Fig7(o Options) (*Table, error) {
+	bms, err := o.benchmarks()
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		ID:      "fig7",
+		Title:   "Fault characterization: fraction of injected faults",
+		Columns: []string{"benchmark", "masked", "noisy", "sdc"},
+	}
+	suiteAgg := map[string][]([3]float64){}
+	var all [][3]float64
+	order := []string{}
+	for _, bm := range bms {
+		o.progress("fig7: %s", bm.Name)
+		camp, err := fault.Run(o.MakeCore(bm, Baseline), o.Fault)
+		if err != nil {
+			return nil, err
+		}
+		m, n, s := camp.Classification()
+		tot := float64(m + n + s)
+		fr := [3]float64{float64(m) / tot, float64(n) / tot, float64(s) / tot}
+		t.AddRow(bm.Name, pct(fr[0]), pct(fr[1]), pct(fr[2]))
+		if _, ok := suiteAgg[bm.Suite]; !ok {
+			order = append(order, bm.Suite)
+		}
+		suiteAgg[bm.Suite] = append(suiteAgg[bm.Suite], fr)
+		all = append(all, fr)
+	}
+	mean3 := func(xs [][3]float64) [3]float64 {
+		var m [3]float64
+		for _, x := range xs {
+			for i := range m {
+				m[i] += x[i]
+			}
+		}
+		for i := range m {
+			m[i] /= float64(len(xs))
+		}
+		return m
+	}
+	for _, s := range order {
+		m := mean3(suiteAgg[s])
+		t.AddRow("mean("+s+")", pct(m[0]), pct(m[1]), pct(m[2]))
+	}
+	m := mean3(all)
+	t.AddRow("mean(all)", pct(m[0]), pct(m[1]), pct(m[2]))
+	t.Notes = append(t.Notes, "paper: ~85% masked, ~5% noisy, remainder SDC")
+	return t, nil
+}
+
+// fig8Schemes are the detection schemes of Figure 8.
+var fig8Schemes = []Scheme{PBFS, PBFSBiased, FHBackend, FaultHound}
+
+// Fig8a reproduces Figure 8(a): SDC coverage per benchmark for PBFS,
+// PBFS-biased, FaultHound-backend, and FaultHound.
+func Fig8a(o Options) (*Table, error) {
+	return coverageTable(o, "fig8a",
+		"SDC coverage (fraction of would-be-SDC faults corrected or detected)",
+		fig8Schemes)
+}
+
+// coverageTable runs paired campaigns for the given schemes.
+func coverageTable(o Options, id, title string, schemes []Scheme) (*Table, error) {
+	bms, err := o.benchmarks()
+	if err != nil {
+		return nil, err
+	}
+	cols := []string{"benchmark"}
+	for _, s := range schemes {
+		cols = append(cols, string(s))
+	}
+	t := &Table{ID: id, Title: title, Columns: cols}
+	reps := o.Replicates
+	if reps < 1 {
+		reps = 1
+	}
+	sums := make([]float64, len(schemes))
+	n := 0
+	for _, bm := range bms {
+		covs := make([]float64, len(schemes))
+		for r := 0; r < reps; r++ {
+			fcfg := o.Fault
+			fcfg.Seed += uint64(r) * 7919
+			o.progress("%s: %s (baseline campaign, rep %d)", id, bm.Name, r)
+			base, err := fault.Run(o.MakeCore(bm, Baseline), fcfg)
+			if err != nil {
+				return nil, err
+			}
+			for i, s := range schemes {
+				o.progress("%s: %s/%s (rep %d)", id, bm.Name, s, r)
+				det, err := fault.Run(o.MakeCore(bm, s), fcfg)
+				if err != nil {
+					return nil, err
+				}
+				covs[i] += fault.PairCoverage(base, det).Coverage()
+			}
+		}
+		row := []string{bm.Name}
+		for i := range schemes {
+			c := covs[i] / float64(reps)
+			row = append(row, pct(c))
+			sums[i] += c
+		}
+		n++
+		t.AddRow(row...)
+	}
+	if reps > 1 {
+		t.Notes = append(t.Notes, fmt.Sprintf("each cell averages %d campaigns with distinct seeds", reps))
+	}
+	mean := []string{"mean(all)"}
+	for _, s := range sums {
+		mean = append(mean, pct(s/float64(n)))
+	}
+	t.AddRow(mean...)
+	t.Notes = append(t.Notes, "paper means: PBFS ~30%, PBFS-biased ~75-80%, FaultHound ~75%")
+	return t, nil
+}
+
+// Fig8b reproduces Figure 8(b): false-positive rates per benchmark (as
+// a fraction of committed instructions) in fault-free runs.
+func Fig8b(o Options) (*Table, error) {
+	return fpTable(o, "fig8b", "False-positive rate (fraction of instructions triggering recovery, fault-free run)", fig8Schemes)
+}
+
+func fpTable(o Options, id, title string, schemes []Scheme) (*Table, error) {
+	bms, err := o.benchmarks()
+	if err != nil {
+		return nil, err
+	}
+	cols := []string{"benchmark"}
+	for _, s := range schemes {
+		cols = append(cols, string(s))
+	}
+	t := &Table{ID: id, Title: title, Columns: cols}
+	sums := make([]float64, len(schemes))
+	n := 0
+	for _, bm := range bms {
+		row := []string{bm.Name}
+		for i, s := range schemes {
+			o.progress("%s: %s/%s", id, bm.Name, s)
+			run, err := o.TimingRun(bm, s)
+			if err != nil {
+				return nil, err
+			}
+			r := run.FPRate()
+			row = append(row, pct(r))
+			sums[i] += r
+		}
+		n++
+		t.AddRow(row...)
+	}
+	mean := []string{"mean(all)"}
+	for _, s := range sums {
+		mean = append(mean, pct(s/float64(n)))
+	}
+	t.AddRow(mean...)
+	t.Notes = append(t.Notes, "paper means: PBFS ~0%, PBFS-biased ~8%, FaultHound ~3%")
+	return t, nil
+}
+
+// fig9Schemes are the performance-comparison schemes of Figure 9.
+var fig9Schemes = []Scheme{PBFS, PBFSBiased, FHBackend, FaultHound, SRTIso}
+
+// Fig9 reproduces Figure 9: performance degradation over the
+// no-fault-tolerance baseline (log-scale in the paper).
+func Fig9(o Options) (*Table, error) {
+	bms, err := o.benchmarks()
+	if err != nil {
+		return nil, err
+	}
+	cols := []string{"benchmark"}
+	for _, s := range fig9Schemes {
+		cols = append(cols, string(s))
+	}
+	t := &Table{ID: "fig9", Title: "Performance degradation vs baseline", Columns: cols}
+	sums := make([]float64, len(fig9Schemes))
+	n := 0
+	for _, bm := range bms {
+		o.progress("fig9: %s", bm.Name)
+		base, err := o.TimingRun(bm, Baseline)
+		if err != nil {
+			return nil, err
+		}
+		row := []string{bm.Name}
+		for i, s := range fig9Schemes {
+			run, err := o.TimingRun(bm, s)
+			if err != nil {
+				return nil, err
+			}
+			d := float64(run.Cycles)/float64(base.Cycles) - 1
+			row = append(row, pct(d))
+			sums[i] += d
+		}
+		n++
+		t.AddRow(row...)
+	}
+	mean := []string{"mean(all)"}
+	for _, s := range sums {
+		mean = append(mean, pct(s/float64(n)))
+	}
+	t.AddRow(mean...)
+	t.Notes = append(t.Notes,
+		"paper: PBFS ~1%, PBFS-biased ~97% (full rollbacks), FaultHound ~10%, SRT-iso slightly above FaultHound")
+	return t, nil
+}
+
+// fig10Schemes are the energy-comparison schemes of Figure 10.
+var fig10Schemes = []Scheme{FHBackend, FaultHound, SRTIso}
+
+// Fig10 reproduces Figure 10: energy overhead over the baseline.
+func Fig10(o Options) (*Table, error) {
+	bms, err := o.benchmarks()
+	if err != nil {
+		return nil, err
+	}
+	model := energy.Default()
+	cols := []string{"benchmark"}
+	for _, s := range fig10Schemes {
+		cols = append(cols, string(s))
+	}
+	t := &Table{ID: "fig10", Title: "Energy overhead vs baseline", Columns: cols}
+	sums := make([]float64, len(fig10Schemes))
+	n := 0
+	for _, bm := range bms {
+		o.progress("fig10: %s", bm.Name)
+		base, err := o.TimingRun(bm, Baseline)
+		if err != nil {
+			return nil, err
+		}
+		baseE := model.Compute(base.Core.Stats(), base.Core.MemStats(), detect.Stats{}).Total()
+		row := []string{bm.Name}
+		for i, s := range fig10Schemes {
+			run, err := o.TimingRun(bm, s)
+			if err != nil {
+				return nil, err
+			}
+			e := model.Compute(run.Core.Stats(), run.Core.MemStats(), run.DetectorDelta).Total()
+			ov := energy.Overhead(e, baseE)
+			row = append(row, pct(ov))
+			sums[i] += ov
+		}
+		n++
+		t.AddRow(row...)
+	}
+	mean := []string{"mean(all)"}
+	for _, s := range sums {
+		mean = append(mean, pct(s/float64(n)))
+	}
+	t.AddRow(mean...)
+	t.Notes = append(t.Notes,
+		"paper: FaultHound-backend ~10%, FaultHound ~25%, SRT-iso high (extra copies cannot be hidden)")
+	return t, nil
+}
+
+// Fig11 reproduces Figure 11: the breakdown of would-be-SDC faults
+// under full FaultHound.
+func Fig11(o Options) (*Table, error) {
+	bms, err := o.benchmarks()
+	if err != nil {
+		return nil, err
+	}
+	bins := fault.BinNames()
+	cols := []string{"benchmark"}
+	for _, b := range bins {
+		cols = append(cols, b.String())
+	}
+	t := &Table{ID: "fig11", Title: "SDC fault breakdown under FaultHound", Columns: cols}
+	sums := make([]float64, len(bins))
+	n := 0
+	for _, bm := range bms {
+		o.progress("fig11: %s", bm.Name)
+		base, err := fault.Run(o.MakeCore(bm, Baseline), o.Fault)
+		if err != nil {
+			return nil, err
+		}
+		det, err := fault.Run(o.MakeCore(bm, FaultHound), o.Fault)
+		if err != nil {
+			return nil, err
+		}
+		rep := fault.PairCoverage(base, det)
+		row := []string{bm.Name}
+		for i, b := range bins {
+			f := rep.BinFraction(b)
+			row = append(row, pct(f))
+			sums[i] += f
+		}
+		n++
+		t.AddRow(row...)
+	}
+	mean := []string{"mean(all)"}
+	for _, s := range sums {
+		mean = append(mean, pct(s/float64(n)))
+	}
+	t.AddRow(mean...)
+	t.Notes = append(t.Notes,
+		"paper: non-triggering faults ~10% of SDC; completed/committed-register faults a modest fraction; rename late-read faults uncovered")
+	return t, nil
+}
+
+// Fig12 reproduces Figure 12: the isolation of FaultHound's back-end
+// mechanisms — false-positive rates (left), replay vs full rollback
+// performance (middle), and LSQ-coverage impact (right), overall means.
+func Fig12(o Options) ([]*Table, error) {
+	bms, err := o.benchmarks()
+	if err != nil {
+		return nil, err
+	}
+
+	// Left: FP rates for FH-BE-nocluster-no2level -> FH-BE-no2level -> FH-BE.
+	left := &Table{
+		ID:      "fig12-left",
+		Title:   "Impact of clustering and 2nd-level filter on false-positive rate (mean over benchmarks)",
+		Columns: []string{"config", "fp-rate"},
+	}
+	for _, s := range []Scheme{FHBENoClust, FHBENo2Level, FHBackend} {
+		var sum float64
+		for _, bm := range bms {
+			o.progress("fig12-left: %s/%s", bm.Name, s)
+			run, err := o.TimingRun(bm, s)
+			if err != nil {
+				return nil, err
+			}
+			sum += run.FPRate()
+		}
+		left.AddRow(string(s), pct(sum/float64(len(bms))))
+	}
+	left.Notes = append(left.Notes, "paper: each mechanism significantly lowers the rate")
+
+	// Middle: performance of full rollback vs replay (both backend-only).
+	middle := &Table{
+		ID:      "fig12-middle",
+		Title:   "Impact of predecessor replay on performance degradation (mean over benchmarks)",
+		Columns: []string{"config", "perf-degradation"},
+	}
+	for _, s := range []Scheme{FHBEFullRB, FHBackend} {
+		var sum float64
+		for _, bm := range bms {
+			o.progress("fig12-middle: %s/%s", bm.Name, s)
+			base, err := o.TimingRun(bm, Baseline)
+			if err != nil {
+				return nil, err
+			}
+			run, err := o.TimingRun(bm, s)
+			if err != nil {
+				return nil, err
+			}
+			sum += float64(run.Cycles)/float64(base.Cycles) - 1
+		}
+		middle.AddRow(string(s), pct(sum/float64(len(bms))))
+	}
+	middle.Notes = append(middle.Notes,
+		"paper: ~100-200 instructions per rollback vs 6-8 per replay; replay dramatically cheaper")
+
+	// Right: SDC coverage with and without the LSQ mechanism.
+	right := &Table{
+		ID:      "fig12-right",
+		Title:   "Impact of covering the LSQ on SDC coverage (mean over benchmarks)",
+		Columns: []string{"config", "coverage"},
+	}
+	for _, s := range []Scheme{FHBENoLSQ, FHBackend} {
+		var sum float64
+		for _, bm := range bms {
+			o.progress("fig12-right: %s/%s", bm.Name, s)
+			base, err := fault.Run(o.MakeCore(bm, Baseline), o.Fault)
+			if err != nil {
+				return nil, err
+			}
+			det, err := fault.Run(o.MakeCore(bm, s), o.Fault)
+			if err != nil {
+				return nil, err
+			}
+			sum += fault.PairCoverage(base, det).Coverage()
+		}
+		right.AddRow(string(s), pct(sum/float64(len(bms))))
+	}
+	right.Notes = append(right.Notes, "paper: LSQ coverage makes a significant difference")
+
+	return []*Table{left, middle, right}, nil
+}
+
+// Table1 renders the benchmark table.
+func Table1() *Table {
+	t := &Table{
+		ID:      "table1",
+		Title:   "Benchmarks (synthetic kernels substituting the paper's workloads; see DESIGN.md)",
+		Columns: []string{"name", "suite", "segment", "paper run/input"},
+	}
+	for _, bm := range workload.All() {
+		t.AddRow(bm.Name, bm.Suite, fmt.Sprintf("%d KB", bm.SegBytes>>10), bm.Paper)
+	}
+	return t
+}
+
+// Table2 renders the hardware-parameter table.
+func Table2() *Table {
+	cfg := DefaultOptions()
+	pc := cfg.Threads
+	t := &Table{
+		ID:      "table2",
+		Title:   "Hardware parameters (paper Table 2)",
+		Columns: []string{"parameter", "value"},
+	}
+	t.AddRow("cores (simulated)", fmt.Sprintf("1 x %d-way SMT (paper: 8 cores)", pc))
+	t.AddRow("fetch/decode/issue/commit", "4 wide")
+	t.AddRow("ALU, Mul, FPU", "4, 2, 2")
+	t.AddRow("issue queue", "40")
+	t.AddRow("reorder buffer", "250")
+	t.AddRow("INT, FP phys registers", "160, 64")
+	t.AddRow("LSQ", "64")
+	t.AddRow("delay buffer", "7 instructions")
+	t.AddRow("FaultHound filters", "2 x 32-entry 64-bit TCAMs; 8-state/bit 2nd-level filter; 8-state squash machine per entry")
+	t.AddRow("L1 I, L1 D", "32KB 2-way, 3 cycles")
+	t.AddRow("ITLB, DTLB", "64 entries")
+	t.AddRow("L2", "2MB 4-way, 20 cycles")
+	return t
+}
+
+// All runs every experiment and returns the tables in paper order.
+func All(o Options) ([]*Table, error) {
+	var out []*Table
+	out = append(out, Table1(), Table2())
+	steps := []func(Options) (*Table, error){Fig6, Fig7, Fig8a, Fig8b, Fig9, Fig10, Fig11}
+	for _, f := range steps {
+		t, err := f(o)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, t)
+	}
+	f12, err := Fig12(o)
+	if err != nil {
+		return nil, err
+	}
+	return append(out, f12...), nil
+}

@@ -1,0 +1,242 @@
+// Package harness runs the paper's experiments: it builds cores for
+// every (benchmark, scheme) pair and regenerates each table and figure
+// of the evaluation section (DESIGN.md, experiment index). All runs are
+// deterministic in Options.Seed.
+package harness
+
+import (
+	"fmt"
+
+	"faulthound/internal/core"
+	"faulthound/internal/detect"
+	"faulthound/internal/fault"
+	"faulthound/internal/pbfs"
+	"faulthound/internal/pipeline"
+	"faulthound/internal/srt"
+	"faulthound/internal/workload"
+)
+
+// Scheme identifies one fault-tolerance configuration under test.
+type Scheme string
+
+// Schemes of the evaluation.
+const (
+	Baseline     Scheme = "baseline"
+	PBFS         Scheme = "pbfs"
+	PBFSBiased   Scheme = "pbfs-biased"
+	FHBackend    Scheme = "faulthound-backend"
+	FaultHound   Scheme = "faulthound"
+	SRTIso       Scheme = "srt-iso"
+	SRTFull      Scheme = "srt"
+	FHBE         Scheme = "fh-be" // alias of FHBackend in Figure 12 naming
+	FHBENoLSQ    Scheme = "fh-be-nolsq"
+	FHBENo2Level Scheme = "fh-be-no2level"
+	FHBENoClust  Scheme = "fh-be-nocluster-no2level"
+	FHBEFullRB   Scheme = "fh-be-full-rollback"
+)
+
+// Options parameterize an experiment run.
+type Options struct {
+	// Threads is the SMT context count for timing/energy runs (the
+	// paper runs two copies per core).
+	Threads int
+	// MeasureCommits is the per-thread committed-instruction budget of
+	// a timing run.
+	MeasureCommits uint64
+	// WarmupCycles precede measurement in timing runs.
+	WarmupCycles uint64
+	// MaxCycles bounds any single run.
+	MaxCycles uint64
+	// Fault configures injection campaigns (always single-threaded; see
+	// DESIGN.md).
+	Fault fault.Config
+	// DetectorWarmupInstr fast-forwards detector filters over the
+	// architectural value stream before timing measurement (steady
+	// state, standing in for the paper's long simulations).
+	DetectorWarmupInstr uint64
+	// SRTCoverage scales SRT-iso (the paper matches FaultHound's
+	// coverage; 0.75 is the headline number).
+	SRTCoverage float64
+	// Seed drives workload data initialization.
+	Seed uint64
+	// Benchmarks restricts the run (nil = all of Table 1).
+	Benchmarks []string
+	// Replicates repeats each fault campaign with incremented seeds and
+	// averages (coverage experiments only); 0 or 1 means a single run.
+	Replicates int
+	// Verbose enables progress lines on stderr.
+	Verbose bool
+}
+
+// DefaultOptions returns the full-scale configuration.
+func DefaultOptions() Options {
+	return Options{
+		Threads:             2,
+		MeasureCommits:      20000,
+		WarmupCycles:        3000,
+		MaxCycles:           20_000_000,
+		DetectorWarmupInstr: 1_000_000,
+		Fault:               fault.DefaultConfig(),
+		SRTCoverage:         0.75,
+		Seed:                1,
+	}
+}
+
+// QuickOptions returns a scaled-down configuration for tests and smoke
+// runs.
+func QuickOptions() Options {
+	o := DefaultOptions()
+	o.Threads = 1
+	o.MeasureCommits = 4000
+	o.WarmupCycles = 1000
+	o.Fault.Injections = 60
+	o.Fault.WarmupCycles = 1500
+	o.Fault.MaxCyclesPerRun = 20000
+	o.DetectorWarmupInstr = 100_000
+	o.Fault.DetectorWarmupInstr = 100_000
+	return o
+}
+
+// benchmarks resolves the benchmark list.
+func (o Options) benchmarks() ([]workload.Benchmark, error) {
+	if len(o.Benchmarks) == 0 {
+		return workload.All(), nil
+	}
+	var out []workload.Benchmark
+	for _, n := range o.Benchmarks {
+		b, err := workload.Get(n)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, b)
+	}
+	return out, nil
+}
+
+// KnownSchemes lists every scheme name the harness accepts.
+func KnownSchemes() []Scheme {
+	return []Scheme{Baseline, PBFS, PBFSBiased, FHBackend, FaultHound,
+		SRTIso, SRTFull, FHBE, FHBENoLSQ, FHBENo2Level, FHBENoClust, FHBEFullRB}
+}
+
+// ValidScheme reports whether s names a known scheme.
+func ValidScheme(s Scheme) bool {
+	for _, k := range KnownSchemes() {
+		if s == k {
+			return true
+		}
+	}
+	return false
+}
+
+// detectorFor builds the detector for a scheme (nil for baseline and
+// the SRT models, which are pipeline configurations instead).
+func detectorFor(s Scheme) detect.Detector {
+	switch s {
+	case PBFS:
+		return pbfs.New(pbfs.Default())
+	case PBFSBiased:
+		return pbfs.New(pbfs.Biased())
+	case FHBackend, FHBE:
+		return core.New(core.BackendConfig())
+	case FaultHound:
+		return core.New(core.DefaultConfig())
+	case FHBENoLSQ:
+		return core.New(core.NoLSQConfig())
+	case FHBENo2Level:
+		return core.New(core.No2LevelConfig())
+	case FHBENoClust:
+		return core.New(core.NoClusterNo2LevelConfig())
+	case FHBEFullRB:
+		return core.New(core.FullRollbackConfig())
+	default:
+		return nil
+	}
+}
+
+// BuildCore constructs a core for (benchmark, scheme) with the given
+// thread count.
+func (o Options) BuildCore(bm workload.Benchmark, s Scheme, threads int) (*pipeline.Core, error) {
+	cfg := pipeline.DefaultConfig(threads)
+	switch s {
+	case SRTIso:
+		srt.Iso(o.SRTCoverage).Configure(&cfg)
+	case SRTFull:
+		srt.Full().Configure(&cfg)
+	}
+	programs := workload.Programs(bm, threads, o.Seed)
+	return pipeline.New(cfg, programs, detectorFor(s))
+}
+
+// MakeCore returns a deterministic constructor for fault campaigns
+// (single-threaded; see DESIGN.md).
+func (o Options) MakeCore(bm workload.Benchmark, s Scheme) func() *pipeline.Core {
+	return func() *pipeline.Core {
+		c, err := o.BuildCore(bm, s, 1)
+		if err != nil {
+			panic(err)
+		}
+		return c
+	}
+}
+
+// Run is the outcome of one timing measurement: the finished core plus
+// the cycle, commit, and detector-action deltas over the measured
+// window (excluding warmup).
+type Run struct {
+	Core          *pipeline.Core
+	Cycles        uint64
+	Committed     uint64
+	DetectorDelta detect.Stats
+}
+
+// FPRate returns the false-positive action rate of the measured window:
+// detector-initiated replays, rollbacks, and singleton re-executions
+// per committed instruction.
+func (r Run) FPRate() float64 {
+	if r.Committed == 0 {
+		return 0
+	}
+	d := r.DetectorDelta
+	return float64(d.Replays+d.Rollbacks+d.Singletons) / float64(r.Committed)
+}
+
+// TimingRun measures one (benchmark, scheme) pair: detector fast-
+// forward, pipeline warmup, then run to the per-thread commit budget.
+func (o Options) TimingRun(bm workload.Benchmark, s Scheme) (Run, error) {
+	c, err := o.BuildCore(bm, s, o.Threads)
+	if err != nil {
+		return Run{}, err
+	}
+	c.WarmDetector(o.DetectorWarmupInstr)
+	c.Run(o.WarmupCycles)
+	startCycles := c.Cycle()
+	startCommits := c.CommittedTotal()
+	ds0 := c.DetectorStats()
+	target := c.Committed(0) + o.MeasureCommits
+	if !c.RunUntilCommits(0, target, o.MaxCycles) {
+		return Run{}, fmt.Errorf("harness: %s/%s did not reach %d commits (at %d)",
+			bm.Name, s, target, c.Committed(0))
+	}
+	ds := c.DetectorStats()
+	return Run{
+		Core:      c,
+		Cycles:    c.Cycle() - startCycles,
+		Committed: c.CommittedTotal() - startCommits,
+		DetectorDelta: detect.Stats{
+			Checks:     ds.Checks - ds0.Checks,
+			Triggers:   ds.Triggers - ds0.Triggers,
+			Suppressed: ds.Suppressed - ds0.Suppressed,
+			Replays:    ds.Replays - ds0.Replays,
+			Rollbacks:  ds.Rollbacks - ds0.Rollbacks,
+			Singletons: ds.Singletons - ds0.Singletons,
+		},
+	}, nil
+}
+
+// progress emits a progress line when verbose.
+func (o Options) progress(format string, args ...interface{}) {
+	if o.Verbose {
+		fmt.Printf("# "+format+"\n", args...)
+	}
+}

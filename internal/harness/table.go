@@ -1,0 +1,123 @@
+package harness
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+)
+
+// Table is one figure or table of the paper, as rows of formatted
+// cells. Render produces the text form; CSV a machine-readable one.
+type Table struct {
+	ID      string // e.g. "fig8a"
+	Title   string
+	Columns []string
+	Rows    [][]string
+	// Notes carry per-table commentary (paper-vs-measured remarks).
+	Notes []string
+}
+
+// AddRow appends a row of cells.
+func (t *Table) AddRow(cells ...string) {
+	t.Rows = append(t.Rows, cells)
+}
+
+// AddRowf appends a row where the first cell is a label and the rest
+// are formatted floats.
+func (t *Table) AddRowf(label string, format string, vals ...float64) {
+	row := []string{label}
+	for _, v := range vals {
+		row = append(row, fmt.Sprintf(format, v))
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// Render returns the aligned text form.
+func (t *Table) Render() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "== %s: %s ==\n", t.ID, t.Title)
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, r := range t.Rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			w := 0
+			if i < len(widths) {
+				w = widths[i]
+			}
+			fmt.Fprintf(&sb, "%-*s", w, c)
+		}
+		sb.WriteByte('\n')
+	}
+	line(t.Columns)
+	sep := make([]string, len(t.Columns))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, r := range t.Rows {
+		line(r)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&sb, "note: %s\n", n)
+	}
+	return sb.String()
+}
+
+// CSV returns the comma-separated form (cells containing commas are
+// quoted).
+func (t *Table) CSV() string {
+	var sb strings.Builder
+	esc := func(c string) string {
+		if strings.ContainsAny(c, ",\"\n") {
+			return `"` + strings.ReplaceAll(c, `"`, `""`) + `"`
+		}
+		return c
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				sb.WriteByte(',')
+			}
+			sb.WriteString(esc(c))
+		}
+		sb.WriteByte('\n')
+	}
+	writeRow(t.Columns)
+	for _, r := range t.Rows {
+		writeRow(r)
+	}
+	return sb.String()
+}
+
+// pct formats a fraction as a percentage string.
+func pct(f float64) string { return fmt.Sprintf("%.2f%%", f*100) }
+
+// JSON returns the table as a JSON object with id, title, columns,
+// rows, and notes — the machine-readable form of the experiment output.
+func (t *Table) JSON() string {
+	obj := struct {
+		ID      string     `json:"id"`
+		Title   string     `json:"title"`
+		Columns []string   `json:"columns"`
+		Rows    [][]string `json:"rows"`
+		Notes   []string   `json:"notes,omitempty"`
+	}{t.ID, t.Title, t.Columns, t.Rows, t.Notes}
+	b, err := json.MarshalIndent(obj, "", "  ")
+	if err != nil {
+		// The table contains only strings; marshaling cannot fail.
+		panic(err)
+	}
+	return string(b)
+}

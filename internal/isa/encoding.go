@@ -1,0 +1,61 @@
+package isa
+
+import "fmt"
+
+// Instruction word layout (64 bits):
+//
+//	[63:56] opcode
+//	[55:50] rd
+//	[49:44] rs1
+//	[43:38] rs2
+//	[37:32] reserved (must be zero)
+//	[31:0]  imm (two's complement)
+const (
+	opShift  = 56
+	rdShift  = 50
+	rs1Shift = 44
+	rs2Shift = 38
+	regMask  = 0x3f
+)
+
+// Encode packs the instruction into its 64-bit word.
+func Encode(in Inst) uint64 {
+	return uint64(in.Op)<<opShift |
+		uint64(in.Rd&regMask)<<rdShift |
+		uint64(in.Rs1&regMask)<<rs1Shift |
+		uint64(in.Rs2&regMask)<<rs2Shift |
+		uint64(uint32(in.Imm))
+}
+
+// Decode unpacks a 64-bit instruction word. It returns an error for an
+// undefined opcode, an out-of-range register, or nonzero reserved bits.
+func Decode(w uint64) (Inst, error) {
+	in := Inst{
+		Op:  Op(w >> opShift),
+		Rd:  Reg(w >> rdShift & regMask),
+		Rs1: Reg(w >> rs1Shift & regMask),
+		Rs2: Reg(w >> rs2Shift & regMask),
+		Imm: int32(uint32(w)),
+	}
+	if !in.Op.Valid() {
+		return Inst{}, fmt.Errorf("isa: undefined opcode %d", uint8(in.Op))
+	}
+	if w>>32&regMask != 0 {
+		return Inst{}, fmt.Errorf("isa: nonzero reserved bits in %#x", w)
+	}
+	for _, r := range []Reg{in.Rd, in.Rs1, in.Rs2} {
+		if !r.Valid() {
+			return Inst{}, fmt.Errorf("isa: register %d out of range in %#x", r, w)
+		}
+	}
+	return in, nil
+}
+
+// MustDecode is Decode for known-good words; it panics on error.
+func MustDecode(w uint64) Inst {
+	in, err := Decode(w)
+	if err != nil {
+		panic(err)
+	}
+	return in
+}

@@ -1,0 +1,144 @@
+package isa
+
+import "math"
+
+// Outcome is the architectural effect of executing one instruction,
+// given its source operand values. Memory instructions report an
+// effective address; the pipeline performs the actual access.
+type Outcome struct {
+	// Value is the result written to Rd (if HasDest), or the value to
+	// be stored for ST.
+	Value uint64
+	// EffAddr is the effective address for LD/ST.
+	EffAddr uint64
+	// Taken reports whether a control transfer redirects the PC.
+	// Unconditional jumps are always taken.
+	Taken bool
+	// Target is the next instruction index when Taken.
+	Target uint64
+	// Halt reports thread termination.
+	Halt bool
+}
+
+// Exec computes the architectural outcome of in at instruction index pc
+// with source operand values s1 (Rs1) and s2 (Rs2). Operand values for
+// registers the instruction does not read are ignored. Exec is a pure
+// function: all state effects (register write, memory access, PC
+// update) are applied by the caller.
+func Exec(in Inst, pc uint64, s1, s2 uint64) Outcome {
+	imm := uint64(int64(in.Imm)) // sign-extended
+	switch in.Op {
+	case NOP:
+		return Outcome{}
+	case ADD:
+		return Outcome{Value: s1 + s2}
+	case SUB:
+		return Outcome{Value: s1 - s2}
+	case AND:
+		return Outcome{Value: s1 & s2}
+	case OR:
+		return Outcome{Value: s1 | s2}
+	case XOR:
+		return Outcome{Value: s1 ^ s2}
+	case SLL:
+		return Outcome{Value: s1 << (s2 & 63)}
+	case SRL:
+		return Outcome{Value: s1 >> (s2 & 63)}
+	case SRA:
+		return Outcome{Value: uint64(int64(s1) >> (s2 & 63))}
+	case CMPLT:
+		return Outcome{Value: b2u(int64(s1) < int64(s2))}
+	case CMPLTU:
+		return Outcome{Value: b2u(s1 < s2)}
+	case CMPEQ:
+		return Outcome{Value: b2u(s1 == s2)}
+	case ADDI:
+		return Outcome{Value: s1 + imm}
+	case ANDI:
+		return Outcome{Value: s1 & imm}
+	case ORI:
+		return Outcome{Value: s1 | imm}
+	case XORI:
+		return Outcome{Value: s1 ^ imm}
+	case SLLI:
+		return Outcome{Value: s1 << (imm & 63)}
+	case SRLI:
+		return Outcome{Value: s1 >> (imm & 63)}
+	case SRAI:
+		return Outcome{Value: uint64(int64(s1) >> (imm & 63))}
+	case MOVI:
+		return Outcome{Value: imm}
+	case MUL:
+		return Outcome{Value: s1 * s2}
+	case DIV:
+		if s2 == 0 {
+			return Outcome{Value: ^uint64(0)}
+		}
+		return Outcome{Value: uint64(int64(s1) / int64(s2))}
+	case REM:
+		if s2 == 0 {
+			return Outcome{Value: s1}
+		}
+		return Outcome{Value: uint64(int64(s1) % int64(s2))}
+	case FADD:
+		return Outcome{Value: fop(s1, s2, func(a, b float64) float64 { return a + b })}
+	case FSUB:
+		return Outcome{Value: fop(s1, s2, func(a, b float64) float64 { return a - b })}
+	case FMUL:
+		return Outcome{Value: fop(s1, s2, func(a, b float64) float64 { return a * b })}
+	case FDIV:
+		return Outcome{Value: fop(s1, s2, func(a, b float64) float64 { return a / b })}
+	case FMIN:
+		return Outcome{Value: fop(s1, s2, math.Min)}
+	case FMAX:
+		return Outcome{Value: fop(s1, s2, math.Max)}
+	case I2F:
+		return Outcome{Value: math.Float64bits(float64(int64(s1)))}
+	case F2I:
+		f := math.Float64frombits(s1)
+		if math.IsNaN(f) {
+			return Outcome{Value: 0}
+		}
+		return Outcome{Value: uint64(int64(f))}
+	case LD:
+		return Outcome{EffAddr: s1 + imm}
+	case ST:
+		return Outcome{EffAddr: s1 + imm, Value: s2}
+	case AMOADD, SWAP:
+		// The read-modify-write itself is applied by the pipeline or
+		// interpreter at the memory; Value carries the operand.
+		return Outcome{EffAddr: s1 + imm, Value: s2}
+	case BEQ:
+		return branch(s1 == s2, imm)
+	case BNE:
+		return branch(s1 != s2, imm)
+	case BLT:
+		return branch(int64(s1) < int64(s2), imm)
+	case BGE:
+		return branch(int64(s1) >= int64(s2), imm)
+	case JMP:
+		return Outcome{Taken: true, Target: imm}
+	case JAL:
+		return Outcome{Value: pc + 1, Taken: true, Target: imm}
+	case JALR:
+		return Outcome{Value: pc + 1, Taken: true, Target: s1}
+	case HALT:
+		return Outcome{Halt: true}
+	}
+	return Outcome{}
+}
+
+func b2u(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+func fop(a, b uint64, f func(float64, float64) float64) uint64 {
+	return math.Float64bits(f(math.Float64frombits(a), math.Float64frombits(b)))
+}
+
+func branch(taken bool, target uint64) Outcome {
+	return Outcome{Taken: taken, Target: target}
+}

@@ -1,0 +1,330 @@
+// Package isa defines the 64-bit RISC instruction set executed by the
+// pipeline simulator. It plays the role GEMS/Opal's SPARC ISA plays in
+// the paper: a simple RISC ISA (the paper notes decode is under 3% of
+// pipeline area for such ISAs, which is why FaultHound does not cover
+// decode).
+//
+// The ISA has 32 integer registers (R0 hardwired to zero) and 16
+// floating-point registers, addressed through a single 6-bit register
+// namespace (0-31 integer, 32-47 FP). Instructions are fixed 64-bit
+// words; see Encode/Decode. All memory accesses are 8-byte.
+package isa
+
+import "fmt"
+
+// Reg identifies an architectural register in the unified namespace.
+type Reg uint8
+
+// Register namespace layout.
+const (
+	NumIntRegs  = 32
+	NumFPRegs   = 16
+	NumArchRegs = NumIntRegs + NumFPRegs
+
+	// RZero is hardwired to zero: writes are discarded, reads yield 0.
+	RZero Reg = 0
+	// RLink is the conventional link register for JAL/JALR.
+	RLink Reg = 31
+	// F0 is the first floating-point register.
+	F0 Reg = NumIntRegs
+)
+
+// IsFP reports whether r names a floating-point register.
+func (r Reg) IsFP() bool { return r >= F0 && r < NumArchRegs }
+
+// Valid reports whether r is within the architectural namespace.
+func (r Reg) Valid() bool { return r < NumArchRegs }
+
+// String renders the register in assembly form (r0..r31, f0..f15).
+func (r Reg) String() string {
+	if r.IsFP() {
+		return fmt.Sprintf("f%d", r-F0)
+	}
+	return fmt.Sprintf("r%d", r)
+}
+
+// F returns the FP register with index i (0..15).
+func F(i int) Reg { return F0 + Reg(i) }
+
+// Op is an operation code.
+type Op uint8
+
+// Operation codes. The zero value is NOP so that zeroed instruction
+// memory decodes harmlessly.
+const (
+	NOP Op = iota
+
+	// Integer ALU, register-register.
+	ADD
+	SUB
+	AND
+	OR
+	XOR
+	SLL
+	SRL
+	SRA
+	CMPLT  // rd = (int64(rs1) < int64(rs2)) ? 1 : 0
+	CMPLTU // rd = (rs1 < rs2) ? 1 : 0
+	CMPEQ  // rd = (rs1 == rs2) ? 1 : 0
+
+	// Integer ALU, register-immediate.
+	ADDI
+	ANDI
+	ORI
+	XORI
+	SLLI
+	SRLI
+	SRAI
+	MOVI // rd = sign-extended imm
+
+	// Integer multiply/divide (separate functional units).
+	MUL
+	DIV // rd = rs1 / rs2 (signed); division by zero yields all-ones
+	REM // rd = rs1 % rs2 (signed); modulo by zero yields rs1
+
+	// Floating point (operands are float64 bit patterns).
+	FADD
+	FSUB
+	FMUL
+	FDIV
+	FMIN
+	FMAX
+	I2F // rd(fp) = float64(int64(rs1))
+	F2I // rd(int) = int64(float64 bits of rs1)
+
+	// Memory (8-byte). LD: rd = mem[rs1+imm]. ST: mem[rs1+imm] = rs2.
+	LD
+	ST
+
+	// Atomics (8-byte, sequentially consistent; executed at ROB head),
+	// modeled on SPARC's atomic primitives.
+	// AMOADD: rd = mem[rs1+imm]; mem[rs1+imm] = rd + rs2.
+	// SWAP:   rd = mem[rs1+imm]; mem[rs1+imm] = rs2.
+	AMOADD
+	SWAP
+
+	// Control flow. Branch targets and jump targets are absolute
+	// instruction indices carried in imm.
+	BEQ // if rs1 == rs2 goto imm
+	BNE
+	BLT  // signed
+	BGE  // signed
+	JMP  // goto imm
+	JAL  // rd = pc+1; goto imm (call)
+	JALR // rd = pc+1; goto rs1 (indirect; return when rs1 = link)
+
+	// HALT retires the thread.
+	HALT
+
+	numOps
+)
+
+var opNames = [...]string{
+	NOP: "nop", ADD: "add", SUB: "sub", AND: "and", OR: "or", XOR: "xor",
+	SLL: "sll", SRL: "srl", SRA: "sra", CMPLT: "cmplt", CMPLTU: "cmpltu",
+	CMPEQ: "cmpeq", ADDI: "addi", ANDI: "andi", ORI: "ori", XORI: "xori",
+	SLLI: "slli", SRLI: "srli", SRAI: "srai", MOVI: "movi", MUL: "mul",
+	DIV: "div", REM: "rem", FADD: "fadd", FSUB: "fsub", FMUL: "fmul",
+	FDIV: "fdiv", FMIN: "fmin", FMAX: "fmax", I2F: "i2f", F2I: "f2i",
+	LD: "ld", ST: "st", AMOADD: "amoadd", SWAP: "swap",
+	BEQ: "beq", BNE: "bne", BLT: "blt", BGE: "bge",
+	JMP: "jmp", JAL: "jal", JALR: "jalr", HALT: "halt",
+}
+
+// String returns the mnemonic.
+func (o Op) String() string {
+	if int(o) < len(opNames) && opNames[o] != "" {
+		return opNames[o]
+	}
+	return fmt.Sprintf("op(%d)", uint8(o))
+}
+
+// Valid reports whether o is a defined operation.
+func (o Op) Valid() bool { return o < numOps }
+
+// Class groups operations by the functional unit and pipeline handling
+// they require.
+type Class uint8
+
+// Functional classes.
+const (
+	ClassNop Class = iota
+	ClassIntALU
+	ClassIntMul // MUL, DIV, REM
+	ClassFP
+	ClassLoad
+	ClassStore
+	ClassBranch // conditional branches and jumps
+	ClassHalt
+	// ClassAtomic covers read-modify-write memory operations, executed
+	// non-speculatively at the head of the reorder buffer.
+	ClassAtomic
+)
+
+// String names the class.
+func (c Class) String() string {
+	switch c {
+	case ClassNop:
+		return "nop"
+	case ClassIntALU:
+		return "alu"
+	case ClassIntMul:
+		return "mul"
+	case ClassFP:
+		return "fp"
+	case ClassLoad:
+		return "load"
+	case ClassStore:
+		return "store"
+	case ClassBranch:
+		return "branch"
+	case ClassHalt:
+		return "halt"
+	case ClassAtomic:
+		return "atomic"
+	}
+	return "?"
+}
+
+// ClassOf returns the functional class of op.
+func ClassOf(op Op) Class {
+	switch op {
+	case NOP:
+		return ClassNop
+	case MUL, DIV, REM:
+		return ClassIntMul
+	case FADD, FSUB, FMUL, FDIV, FMIN, FMAX, I2F, F2I:
+		return ClassFP
+	case LD:
+		return ClassLoad
+	case ST:
+		return ClassStore
+	case AMOADD, SWAP:
+		return ClassAtomic
+	case BEQ, BNE, BLT, BGE, JMP, JAL, JALR:
+		return ClassBranch
+	case HALT:
+		return ClassHalt
+	default:
+		return ClassIntALU
+	}
+}
+
+// Latency returns the execute latency in cycles for op (Table 2-class
+// machine: ALU 1, MUL 3, DIV 12, FP 4, FDIV 12; loads add cache
+// latency on top of the 1-cycle address generation).
+func Latency(op Op) int {
+	switch ClassOf(op) {
+	case ClassIntMul:
+		if op == MUL {
+			return 3
+		}
+		return 12 // DIV, REM
+	case ClassFP:
+		if op == FDIV {
+			return 12
+		}
+		return 4
+	case ClassLoad, ClassStore, ClassAtomic:
+		return 1 // address generation; memory latency added by the cache model
+	default:
+		return 1
+	}
+}
+
+// Inst is one decoded instruction.
+type Inst struct {
+	Op  Op
+	Rd  Reg
+	Rs1 Reg
+	Rs2 Reg
+	Imm int32
+}
+
+// HasDest reports whether the instruction writes a destination register.
+// Writes to RZero are architecturally discarded but still allocate a
+// destination in the pipeline, so this reflects the format, not RZero.
+func (in Inst) HasDest() bool {
+	switch in.Op {
+	case NOP, ST, BEQ, BNE, BLT, BGE, JMP, HALT:
+		return false
+	}
+	return true
+}
+
+// SrcRegs returns the architectural source registers read by the
+// instruction (0, 1, or 2 of them).
+func (in Inst) SrcRegs() []Reg {
+	switch in.Op {
+	case NOP, MOVI, JMP, JAL, HALT:
+		return nil
+	case ADDI, ANDI, ORI, XORI, SLLI, SRLI, SRAI, LD, I2F, F2I, JALR:
+		return []Reg{in.Rs1}
+	default:
+		return []Reg{in.Rs1, in.Rs2}
+	}
+}
+
+// NumSrcs returns the number of architectural sources.
+func (in Inst) NumSrcs() int {
+	switch in.Op {
+	case NOP, MOVI, JMP, JAL, HALT:
+		return 0
+	case ADDI, ANDI, ORI, XORI, SLLI, SRLI, SRAI, LD, I2F, F2I, JALR:
+		return 1
+	default:
+		return 2
+	}
+}
+
+// IsBranch reports whether the instruction is any control transfer.
+func (in Inst) IsBranch() bool { return ClassOf(in.Op) == ClassBranch }
+
+// IsCondBranch reports whether the instruction is a conditional branch.
+func (in Inst) IsCondBranch() bool {
+	switch in.Op {
+	case BEQ, BNE, BLT, BGE:
+		return true
+	}
+	return false
+}
+
+// IsMem reports whether the instruction accesses data memory.
+func (in Inst) IsMem() bool {
+	return in.Op == LD || in.Op == ST
+}
+
+// IsAtomic reports whether the instruction is a read-modify-write.
+func (in Inst) IsAtomic() bool {
+	return in.Op == AMOADD || in.Op == SWAP
+}
+
+// String renders the instruction in assembly form.
+func (in Inst) String() string {
+	switch in.Op {
+	case NOP, HALT:
+		return in.Op.String()
+	case MOVI:
+		return fmt.Sprintf("%s %s, %d", in.Op, in.Rd, in.Imm)
+	case ADDI, ANDI, ORI, XORI, SLLI, SRLI, SRAI:
+		return fmt.Sprintf("%s %s, %s, %d", in.Op, in.Rd, in.Rs1, in.Imm)
+	case LD:
+		return fmt.Sprintf("ld %s, [%s%+d]", in.Rd, in.Rs1, in.Imm)
+	case ST:
+		return fmt.Sprintf("st [%s%+d], %s", in.Rs1, in.Imm, in.Rs2)
+	case AMOADD, SWAP:
+		return fmt.Sprintf("%s %s, [%s%+d], %s", in.Op, in.Rd, in.Rs1, in.Imm, in.Rs2)
+	case BEQ, BNE, BLT, BGE:
+		return fmt.Sprintf("%s %s, %s, @%d", in.Op, in.Rs1, in.Rs2, in.Imm)
+	case JMP:
+		return fmt.Sprintf("jmp @%d", in.Imm)
+	case JAL:
+		return fmt.Sprintf("jal %s, @%d", in.Rd, in.Imm)
+	case JALR:
+		return fmt.Sprintf("jalr %s, %s", in.Rd, in.Rs1)
+	case I2F, F2I:
+		return fmt.Sprintf("%s %s, %s", in.Op, in.Rd, in.Rs1)
+	default:
+		return fmt.Sprintf("%s %s, %s, %s", in.Op, in.Rd, in.Rs1, in.Rs2)
+	}
+}

@@ -1,0 +1,320 @@
+package isa
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestRegNamespace(t *testing.T) {
+	if RZero != 0 {
+		t.Fatal("RZero must be register 0")
+	}
+	if F(0) != F0 || !F(0).IsFP() {
+		t.Fatal("F(0) should be the first FP register")
+	}
+	if Reg(5).IsFP() {
+		t.Fatal("r5 is not FP")
+	}
+	if !F(15).Valid() || Reg(NumArchRegs).Valid() {
+		t.Fatal("validity bounds wrong")
+	}
+	if Reg(3).String() != "r3" || F(2).String() != "f2" {
+		t.Fatalf("register naming: %s %s", Reg(3), F(2))
+	}
+}
+
+func TestClassOf(t *testing.T) {
+	cases := map[Op]Class{
+		NOP: ClassNop, ADD: ClassIntALU, ADDI: ClassIntALU, MOVI: ClassIntALU,
+		MUL: ClassIntMul, DIV: ClassIntMul, REM: ClassIntMul,
+		FADD: ClassFP, FDIV: ClassFP, I2F: ClassFP, F2I: ClassFP,
+		LD: ClassLoad, ST: ClassStore,
+		BEQ: ClassBranch, JMP: ClassBranch, JAL: ClassBranch, JALR: ClassBranch,
+		HALT: ClassHalt,
+	}
+	for op, want := range cases {
+		if got := ClassOf(op); got != want {
+			t.Errorf("ClassOf(%s) = %s, want %s", op, got, want)
+		}
+	}
+}
+
+func TestLatencies(t *testing.T) {
+	if Latency(ADD) != 1 || Latency(MUL) != 3 || Latency(DIV) != 12 {
+		t.Fatal("integer latencies wrong")
+	}
+	if Latency(FADD) != 4 || Latency(FDIV) != 12 {
+		t.Fatal("FP latencies wrong")
+	}
+	if Latency(LD) != 1 || Latency(ST) != 1 {
+		t.Fatal("memory AGU latency wrong")
+	}
+}
+
+func TestSrcRegsAndDest(t *testing.T) {
+	cases := []struct {
+		in    Inst
+		nsrc  int
+		hasRd bool
+	}{
+		{Inst{Op: ADD, Rd: 1, Rs1: 2, Rs2: 3}, 2, true},
+		{Inst{Op: ADDI, Rd: 1, Rs1: 2, Imm: 5}, 1, true},
+		{Inst{Op: MOVI, Rd: 1, Imm: 5}, 0, true},
+		{Inst{Op: LD, Rd: 1, Rs1: 2}, 1, true},
+		{Inst{Op: ST, Rs1: 2, Rs2: 3}, 2, false},
+		{Inst{Op: BEQ, Rs1: 1, Rs2: 2}, 2, false},
+		{Inst{Op: JMP}, 0, false},
+		{Inst{Op: JAL, Rd: RLink}, 0, true},
+		{Inst{Op: JALR, Rd: RZero, Rs1: RLink}, 1, true},
+		{Inst{Op: NOP}, 0, false},
+		{Inst{Op: HALT}, 0, false},
+	}
+	for _, c := range cases {
+		if got := c.in.NumSrcs(); got != c.nsrc {
+			t.Errorf("%s: NumSrcs = %d, want %d", c.in, got, c.nsrc)
+		}
+		if got := len(c.in.SrcRegs()); got != c.nsrc {
+			t.Errorf("%s: len(SrcRegs) = %d, want %d", c.in, got, c.nsrc)
+		}
+		if got := c.in.HasDest(); got != c.hasRd {
+			t.Errorf("%s: HasDest = %v, want %v", c.in, got, c.hasRd)
+		}
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	ins := []Inst{
+		{Op: ADD, Rd: 1, Rs1: 2, Rs2: 3},
+		{Op: MOVI, Rd: 7, Imm: -12345},
+		{Op: LD, Rd: 4, Rs1: 5, Imm: 1024},
+		{Op: ST, Rs1: 5, Rs2: 6, Imm: -8},
+		{Op: BEQ, Rs1: 1, Rs2: 2, Imm: 42},
+		{Op: FADD, Rd: F(1), Rs1: F(2), Rs2: F(3)},
+		{Op: HALT},
+	}
+	for _, in := range ins {
+		got, err := Decode(Encode(in))
+		if err != nil {
+			t.Fatalf("%s: %v", in, err)
+		}
+		if got != in {
+			t.Errorf("round trip: got %+v, want %+v", got, in)
+		}
+	}
+}
+
+func TestDecodeRejectsBadWords(t *testing.T) {
+	bad := []uint64{
+		uint64(numOps) << opShift,                                    // undefined opcode
+		Encode(Inst{Op: ADD}) | 1<<33,                                // reserved bits set
+		Encode(Inst{Op: ADD, Rd: Reg(0x30)}) | uint64(0x30)<<rdShift, // reg 48 out of range
+	}
+	for _, w := range bad {
+		if _, err := Decode(w); err == nil {
+			t.Errorf("Decode(%#x) should fail", w)
+		}
+	}
+}
+
+func TestMustDecodePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	MustDecode(uint64(numOps) << opShift)
+}
+
+// Property: Encode/Decode round-trip for every syntactically valid
+// instruction.
+func TestEncodeDecodeProperty(t *testing.T) {
+	f := func(op8, rd, rs1, rs2 uint8, imm int32) bool {
+		in := Inst{
+			Op:  Op(op8 % uint8(numOps)),
+			Rd:  Reg(rd % NumArchRegs),
+			Rs1: Reg(rs1 % NumArchRegs),
+			Rs2: Reg(rs2 % NumArchRegs),
+			Imm: imm,
+		}
+		got, err := Decode(Encode(in))
+		return err == nil && got == in
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func neg(v int64) uint64 { return uint64(-v) }
+
+func TestExecIntALU(t *testing.T) {
+	cases := []struct {
+		op     Op
+		s1, s2 uint64
+		imm    int32
+		want   uint64
+	}{
+		{ADD, 3, 4, 0, 7},
+		{SUB, 3, 4, 0, ^uint64(0)},
+		{AND, 0b1100, 0b1010, 0, 0b1000},
+		{OR, 0b1100, 0b1010, 0, 0b1110},
+		{XOR, 0b1100, 0b1010, 0, 0b0110},
+		{SLL, 1, 8, 0, 256},
+		{SRL, 256, 8, 0, 1},
+		{SRA, neg(256), 4, 0, neg(16)},
+		{CMPLT, neg(1), 0, 0, 1},
+		{CMPLTU, neg(1), 0, 0, 0},
+		{CMPEQ, 5, 5, 0, 1},
+		{ADDI, 10, 0, -3, 7},
+		{MOVI, 0, 0, -1, ^uint64(0)},
+		{SLLI, 1, 0, 12, 4096},
+		{MUL, 7, 6, 0, 42},
+		{DIV, neg(42), 6, 0, neg(7)},
+		{REM, 43, 6, 0, 1},
+	}
+	for _, c := range cases {
+		in := Inst{Op: c.op, Rd: 1, Rs1: 2, Rs2: 3, Imm: c.imm}
+		got := Exec(in, 0, c.s1, c.s2)
+		if got.Value != c.want {
+			t.Errorf("%s(%d,%d,imm=%d) = %d, want %d", c.op, c.s1, c.s2, c.imm, got.Value, c.want)
+		}
+	}
+}
+
+func TestExecDivideByZero(t *testing.T) {
+	if got := Exec(Inst{Op: DIV}, 0, 5, 0); got.Value != ^uint64(0) {
+		t.Fatalf("DIV by zero = %d", got.Value)
+	}
+	if got := Exec(Inst{Op: REM}, 0, 5, 0); got.Value != 5 {
+		t.Fatalf("REM by zero = %d", got.Value)
+	}
+}
+
+func TestExecFP(t *testing.T) {
+	b := math.Float64bits
+	cases := []struct {
+		op     Op
+		s1, s2 float64
+		want   float64
+	}{
+		{FADD, 1.5, 2.5, 4.0},
+		{FSUB, 1.5, 2.5, -1.0},
+		{FMUL, 3, 4, 12},
+		{FDIV, 1, 4, 0.25},
+		{FMIN, 2, -3, -3},
+		{FMAX, 2, -3, 2},
+	}
+	for _, c := range cases {
+		got := Exec(Inst{Op: c.op}, 0, b(c.s1), b(c.s2))
+		if math.Float64frombits(got.Value) != c.want {
+			t.Errorf("%s(%v,%v) = %v, want %v", c.op, c.s1, c.s2, math.Float64frombits(got.Value), c.want)
+		}
+	}
+}
+
+func TestExecConversions(t *testing.T) {
+	got := Exec(Inst{Op: I2F}, 0, neg(7), 0)
+	if math.Float64frombits(got.Value) != -7.0 {
+		t.Fatalf("I2F(-7) = %v", math.Float64frombits(got.Value))
+	}
+	got = Exec(Inst{Op: F2I}, 0, math.Float64bits(-7.9), 0)
+	if int64(got.Value) != -7 {
+		t.Fatalf("F2I(-7.9) = %d", int64(got.Value))
+	}
+	got = Exec(Inst{Op: F2I}, 0, math.Float64bits(math.NaN()), 0)
+	if got.Value != 0 {
+		t.Fatalf("F2I(NaN) = %d, want 0", got.Value)
+	}
+}
+
+func TestExecMemory(t *testing.T) {
+	got := Exec(Inst{Op: LD, Rd: 1, Rs1: 2, Imm: -16}, 0, 1000, 0)
+	if got.EffAddr != 984 {
+		t.Fatalf("LD effaddr = %d", got.EffAddr)
+	}
+	got = Exec(Inst{Op: ST, Rs1: 2, Rs2: 3, Imm: 8}, 0, 1000, 77)
+	if got.EffAddr != 1008 || got.Value != 77 {
+		t.Fatalf("ST effaddr=%d value=%d", got.EffAddr, got.Value)
+	}
+}
+
+func TestExecBranches(t *testing.T) {
+	cases := []struct {
+		op     Op
+		s1, s2 uint64
+		taken  bool
+	}{
+		{BEQ, 5, 5, true},
+		{BEQ, 5, 6, false},
+		{BNE, 5, 6, true},
+		{BLT, neg(1), 0, true},
+		{BLT, 0, neg(1), false},
+		{BGE, 3, 3, true},
+	}
+	for _, c := range cases {
+		got := Exec(Inst{Op: c.op, Imm: 99}, 10, c.s1, c.s2)
+		if got.Taken != c.taken {
+			t.Errorf("%s(%d,%d).Taken = %v, want %v", c.op, c.s1, c.s2, got.Taken, c.taken)
+		}
+		if c.taken && got.Target != 99 {
+			t.Errorf("%s target = %d, want 99", c.op, got.Target)
+		}
+	}
+}
+
+func TestExecJumps(t *testing.T) {
+	got := Exec(Inst{Op: JMP, Imm: 20}, 5, 0, 0)
+	if !got.Taken || got.Target != 20 {
+		t.Fatalf("JMP: %+v", got)
+	}
+	got = Exec(Inst{Op: JAL, Rd: RLink, Imm: 20}, 5, 0, 0)
+	if !got.Taken || got.Target != 20 || got.Value != 6 {
+		t.Fatalf("JAL: %+v", got)
+	}
+	got = Exec(Inst{Op: JALR, Rd: RZero, Rs1: RLink}, 5, 42, 0)
+	if !got.Taken || got.Target != 42 || got.Value != 6 {
+		t.Fatalf("JALR: %+v", got)
+	}
+}
+
+func TestExecHalt(t *testing.T) {
+	if got := Exec(Inst{Op: HALT}, 0, 0, 0); !got.Halt {
+		t.Fatal("HALT should report Halt")
+	}
+}
+
+// Property: Exec never reports Taken for non-branch classes and never
+// reports Halt except for HALT.
+func TestExecClassConsistencyProperty(t *testing.T) {
+	f := func(op8 uint8, s1, s2 uint64, imm int32) bool {
+		op := Op(op8 % uint8(numOps))
+		in := Inst{Op: op, Rd: 1, Rs1: 2, Rs2: 3, Imm: imm}
+		out := Exec(in, 100, s1, s2)
+		if out.Taken && ClassOf(op) != ClassBranch {
+			return false
+		}
+		if out.Halt != (op == HALT) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInstStrings(t *testing.T) {
+	cases := map[string]Inst{
+		"add r1, r2, r3":  {Op: ADD, Rd: 1, Rs1: 2, Rs2: 3},
+		"movi r7, -5":     {Op: MOVI, Rd: 7, Imm: -5},
+		"ld r4, [r5+16]":  {Op: LD, Rd: 4, Rs1: 5, Imm: 16},
+		"st [r5-8], r6":   {Op: ST, Rs1: 5, Rs2: 6, Imm: -8},
+		"beq r1, r2, @42": {Op: BEQ, Rs1: 1, Rs2: 2, Imm: 42},
+		"halt":            {Op: HALT},
+	}
+	for want, in := range cases {
+		if got := in.String(); got != want {
+			t.Errorf("String() = %q, want %q", got, want)
+		}
+	}
+}

@@ -1,0 +1,164 @@
+package mem
+
+// Cache is a set-associative, LRU, timing-only cache model: it tracks
+// tags to classify hits and misses but holds no data (architectural data
+// lives in Memory). Writes allocate, modeling a write-back,
+// write-allocate cache.
+type Cache struct {
+	name     string
+	sets     int
+	ways     int
+	lineBits uint
+	// tags[set*ways+way]; valid[..]; lru holds per-set ascending age
+	// order (lru[set*ways] is the LRU way index).
+	tags  []uint64
+	valid []bool
+	age   []uint64 // per-line last-access stamp
+	stamp uint64
+
+	Hits   uint64
+	Misses uint64
+}
+
+// NewCache creates a cache of sizeBytes with the given associativity and
+// line size (both powers of two).
+func NewCache(name string, sizeBytes, ways, lineBytes int) *Cache {
+	if sizeBytes <= 0 || ways <= 0 || lineBytes <= 0 {
+		panic("mem: non-positive cache geometry")
+	}
+	if sizeBytes%(ways*lineBytes) != 0 {
+		panic("mem: cache size not divisible by ways*line")
+	}
+	sets := sizeBytes / (ways * lineBytes)
+	if sets&(sets-1) != 0 || lineBytes&(lineBytes-1) != 0 {
+		panic("mem: sets and line size must be powers of two")
+	}
+	lb := uint(0)
+	for 1<<lb < lineBytes {
+		lb++
+	}
+	return &Cache{
+		name:     name,
+		sets:     sets,
+		ways:     ways,
+		lineBits: lb,
+		tags:     make([]uint64, sets*ways),
+		valid:    make([]bool, sets*ways),
+		age:      make([]uint64, sets*ways),
+	}
+}
+
+// Access looks up addr, updating LRU state, and reports whether it hit.
+// On a miss the line is allocated, evicting the LRU way.
+func (c *Cache) Access(addr uint64) bool {
+	line := addr >> c.lineBits
+	set := int(line % uint64(c.sets))
+	tag := line / uint64(c.sets)
+	c.stamp++
+	base := set * c.ways
+	victim, victimAge := base, c.age[base]
+	for w := 0; w < c.ways; w++ {
+		i := base + w
+		if c.valid[i] && c.tags[i] == tag {
+			c.age[i] = c.stamp
+			c.Hits++
+			return true
+		}
+		if !c.valid[i] {
+			victim, victimAge = i, 0
+		} else if c.age[i] < victimAge {
+			victim, victimAge = i, c.age[i]
+		}
+	}
+	c.Misses++
+	c.tags[victim] = tag
+	c.valid[victim] = true
+	c.age[victim] = c.stamp
+	return false
+}
+
+// Accesses returns the total access count.
+func (c *Cache) Accesses() uint64 { return c.Hits + c.Misses }
+
+// MissRate returns misses / accesses, or 0 with no accesses.
+func (c *Cache) MissRate() float64 {
+	n := c.Accesses()
+	if n == 0 {
+		return 0
+	}
+	return float64(c.Misses) / float64(n)
+}
+
+// Clone returns an independent copy of the cache state.
+func (c *Cache) Clone() *Cache {
+	d := *c
+	d.tags = append([]uint64(nil), c.tags...)
+	d.valid = append([]bool(nil), c.valid...)
+	d.age = append([]uint64(nil), c.age...)
+	return &d
+}
+
+// TLB is a small fully-associative LRU translation buffer, timing-only.
+type TLB struct {
+	entries  int
+	pageBits uint
+	pages    []uint64
+	valid    []bool
+	age      []uint64
+	stamp    uint64
+
+	Hits   uint64
+	Misses uint64
+}
+
+// NewTLB creates a TLB with the given entry count and page size.
+func NewTLB(entries, pageBytes int) *TLB {
+	if entries <= 0 || pageBytes <= 0 || pageBytes&(pageBytes-1) != 0 {
+		panic("mem: bad TLB geometry")
+	}
+	pb := uint(0)
+	for 1<<pb < pageBytes {
+		pb++
+	}
+	return &TLB{
+		entries:  entries,
+		pageBits: pb,
+		pages:    make([]uint64, entries),
+		valid:    make([]bool, entries),
+		age:      make([]uint64, entries),
+	}
+}
+
+// Access looks up the page of addr and reports whether it hit; misses
+// fill the LRU entry.
+func (t *TLB) Access(addr uint64) bool {
+	page := addr >> t.pageBits
+	t.stamp++
+	victim, victimAge := 0, t.age[0]
+	for i := 0; i < t.entries; i++ {
+		if t.valid[i] && t.pages[i] == page {
+			t.age[i] = t.stamp
+			t.Hits++
+			return true
+		}
+		if !t.valid[i] {
+			victim, victimAge = i, 0
+		} else if t.age[i] < victimAge {
+			victim, victimAge = i, t.age[i]
+		}
+	}
+	t.Misses++
+	t.pages[victim] = page
+	t.valid[victim] = true
+	t.age[victim] = t.stamp
+	return false
+}
+
+// Clone returns an independent copy of the TLB state.
+func (t *TLB) Clone() *TLB {
+	d := *t
+	d.pages = append([]uint64(nil), t.pages...)
+	d.valid = append([]bool(nil), t.valid...)
+	d.age = append([]uint64(nil), t.age...)
+	return &d
+}

@@ -1,0 +1,245 @@
+package mem
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestMemoryReadWrite(t *testing.T) {
+	m := NewMemory(0x1000, 0x100, map[uint64]uint64{0x1008: 7})
+	v, err := m.Read(0x1008)
+	if err != nil || v != 7 {
+		t.Fatalf("Read = %d, %v", v, err)
+	}
+	if err := m.Write(0x1010, 9); err != nil {
+		t.Fatal(err)
+	}
+	v, _ = m.Read(0x1010)
+	if v != 9 {
+		t.Fatalf("Read after Write = %d", v)
+	}
+	// Never-written word reads as zero.
+	v, err = m.Read(0x1018)
+	if err != nil || v != 0 {
+		t.Fatalf("unwritten word = %d, %v", v, err)
+	}
+}
+
+func TestMemoryBounds(t *testing.T) {
+	m := NewMemory(0x1000, 0x100, nil)
+	cases := []uint64{0x0ff8, 0x1100, 0x10fc, 0x1001}
+	for _, a := range cases {
+		if _, err := m.Read(a); err == nil {
+			t.Errorf("Read(%#x) should fail", a)
+		}
+		if err := m.Write(a, 1); err == nil {
+			t.Errorf("Write(%#x) should fail", a)
+		}
+	}
+	// Last mapped word is fine.
+	if err := m.Write(0x10f8, 1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMemoryCloneIndependence(t *testing.T) {
+	m := NewMemory(0x1000, 0x100, nil)
+	m.Write(0x1000, 1)
+	c := m.Clone()
+	c.Write(0x1000, 2)
+	v, _ := m.Read(0x1000)
+	if v != 1 {
+		t.Fatal("clone write leaked into original")
+	}
+	if !m.Mapped(0x1000) || !c.Mapped(0x1000) {
+		t.Fatal("mapping lost in clone")
+	}
+}
+
+func TestMemoryEqualAndHash(t *testing.T) {
+	a := NewMemory(0x1000, 0x100, nil)
+	b := NewMemory(0x1000, 0x100, nil)
+	a.Write(0x1000, 5)
+	b.Write(0x1000, 5)
+	if !a.Equal(b) || a.Hash() != b.Hash() {
+		t.Fatal("equal memories should match")
+	}
+	b.Write(0x1008, 1)
+	if a.Equal(b) || a.Hash() == b.Hash() {
+		t.Fatal("differing memories should not match")
+	}
+	// Writing an explicit zero equals never writing.
+	b.Write(0x1008, 0)
+	if !a.Equal(b) || a.Hash() != b.Hash() {
+		t.Fatal("explicit zero should equal unwritten")
+	}
+}
+
+func TestCacheHitsAndMisses(t *testing.T) {
+	c := NewCache("t", 1024, 2, 64) // 8 sets, 2 ways
+	if c.Access(0) {
+		t.Fatal("cold access should miss")
+	}
+	if !c.Access(0) || !c.Access(8) {
+		t.Fatal("same line should hit")
+	}
+	if c.Access(64) {
+		t.Fatal("next line should miss")
+	}
+	if c.Hits != 2 || c.Misses != 2 {
+		t.Fatalf("hits=%d misses=%d", c.Hits, c.Misses)
+	}
+	if c.MissRate() != 0.5 {
+		t.Fatalf("miss rate = %v", c.MissRate())
+	}
+}
+
+func TestCacheLRUEviction(t *testing.T) {
+	c := NewCache("t", 1024, 2, 64) // 8 sets: set = line % 8
+	// Three lines mapping to set 0: lines 0, 8, 16 -> addresses 0, 512, 1024.
+	c.Access(0)
+	c.Access(512)
+	c.Access(0)    // make line 0 MRU
+	c.Access(1024) // evicts line at 512 (LRU)
+	if !c.Access(0) {
+		t.Fatal("line 0 should still be resident")
+	}
+	if c.Access(512) {
+		t.Fatal("line 512 should have been evicted")
+	}
+}
+
+func TestCacheGeometryPanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { NewCache("t", 0, 2, 64) },
+		func() { NewCache("t", 1000, 2, 64) }, // not divisible
+		func() { NewCache("t", 96*2, 2, 96) }, // non-power-of-two line
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestTLBBasics(t *testing.T) {
+	tl := NewTLB(2, 4096)
+	if tl.Access(0) {
+		t.Fatal("cold TLB access should miss")
+	}
+	if !tl.Access(100) {
+		t.Fatal("same page should hit")
+	}
+	tl.Access(4096)     // page 1
+	tl.Access(2 * 4096) // page 2, evicts page 0 (LRU)
+	if !tl.Access(4096) {
+		t.Fatal("page 1 should still be resident")
+	}
+	if tl.Access(0) {
+		t.Fatal("page 0 should have been evicted")
+	}
+}
+
+func TestHierarchyLatencies(t *testing.T) {
+	cfg := DefaultHierarchyConfig()
+	h := NewHierarchy(cfg)
+	// Cold access: TLB miss + L1 miss + L2 miss + memory.
+	lat, hit := h.AccessD(0x10000, false)
+	want := cfg.L1DLatency + cfg.TLBMissCycles + cfg.L2Latency + cfg.MemLatency
+	if hit || lat != want {
+		t.Fatalf("cold access: lat=%d hit=%v, want lat=%d", lat, hit, want)
+	}
+	// Warm access: L1 hit.
+	lat, hit = h.AccessD(0x10000, false)
+	if !hit || lat != cfg.L1DLatency {
+		t.Fatalf("warm access: lat=%d hit=%v", lat, hit)
+	}
+}
+
+func TestHierarchyL2Hit(t *testing.T) {
+	cfg := DefaultHierarchyConfig()
+	h := NewHierarchy(cfg)
+	h.AccessD(0x10000, false)
+	// Evict from the 32KB 2-way L1 by touching two more lines in the
+	// same L1 set (sets=256, so stride 256*64 = 16KB).
+	h.AccessD(0x10000+16384, false)
+	h.AccessD(0x10000+2*16384, false)
+	// 0x10000 now misses L1 but hits the 2MB L2.
+	lat, hit := h.AccessD(0x10000, false)
+	if hit {
+		t.Fatal("expected L1 miss")
+	}
+	if lat != cfg.L1DLatency+cfg.L2Latency {
+		t.Fatalf("L2 hit latency = %d, want %d", lat, cfg.L1DLatency+cfg.L2Latency)
+	}
+}
+
+func TestHierarchyInstructionPath(t *testing.T) {
+	cfg := DefaultHierarchyConfig()
+	h := NewHierarchy(cfg)
+	cold := h.AccessI(0)
+	warm := h.AccessI(0)
+	if warm >= cold {
+		t.Fatalf("warm fetch (%d) should be faster than cold (%d)", warm, cold)
+	}
+	if warm != cfg.L1ILatency {
+		t.Fatalf("warm fetch latency = %d", warm)
+	}
+	s := h.Stats()
+	if s.L1IAccesses != 2 || s.L1IMisses != 1 {
+		t.Fatalf("stats: %+v", s)
+	}
+}
+
+func TestHierarchyCloneIndependence(t *testing.T) {
+	h := NewHierarchy(DefaultHierarchyConfig())
+	h.AccessD(0x10000, false)
+	c := h.Clone()
+	// Accessing through the clone must not warm the original.
+	c.AccessD(0x20000, false)
+	if h.Stats().L1DAccesses != 1 {
+		t.Fatal("clone access leaked into original stats")
+	}
+	// The clone retains the original's warm line.
+	if _, hit := c.AccessD(0x10000, false); !hit {
+		t.Fatal("clone should retain warmed lines")
+	}
+}
+
+// Property: cache conserves accesses = hits + misses, and repeated
+// access to the same address always hits after the first.
+func TestCacheRepeatHitProperty(t *testing.T) {
+	f := func(addrs []uint32) bool {
+		c := NewCache("t", 4096, 4, 64)
+		for _, a := range addrs {
+			c.Access(uint64(a))
+			if !c.Access(uint64(a)) { // immediate re-access must hit
+				return false
+			}
+		}
+		return c.Accesses() == uint64(2*len(addrs))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: memory round-trips arbitrary values at mapped addresses.
+func TestMemoryRoundTripProperty(t *testing.T) {
+	f := func(off16 uint16, v uint64) bool {
+		m := NewMemory(0x10000, 1<<20, nil)
+		addr := 0x10000 + uint64(off16)*8
+		if err := m.Write(addr, v); err != nil {
+			return false
+		}
+		got, err := m.Read(addr)
+		return err == nil && got == v
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

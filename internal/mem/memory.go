@@ -1,0 +1,107 @@
+// Package mem provides the architectural memory image and the timing
+// model of the on-chip memory hierarchy (L1 I/D, unified L2, ITLB/DTLB)
+// with the Table-2 geometry of the paper. The caches model timing and
+// access counts only; architectural data lives in Memory.
+package mem
+
+import "fmt"
+
+// Memory is the flat architectural data memory: a single mapped segment
+// of 64-bit words. Accesses outside the segment or unaligned accesses
+// return a translation error, which the pipeline turns into the paper's
+// "noisy" exception category.
+type Memory struct {
+	base  uint64
+	size  uint64
+	words map[uint64]uint64
+	// hash is maintained incrementally on every write: the sum of
+	// mix(addr, value) over all nonzero words (commutative, so updates
+	// are O(1)).
+	hash uint64
+}
+
+// NewMemory creates a memory with one mapped segment [base, base+size)
+// initialized from image (which must lie inside the segment).
+func NewMemory(base, size uint64, image map[uint64]uint64) *Memory {
+	m := &Memory{base: base, size: size, words: make(map[uint64]uint64, len(image))}
+	for a, v := range image {
+		m.words[a] = v
+		m.hash += mix(a, v)
+	}
+	return m
+}
+
+// mix hashes one (addr, value) pair; mix(a, 0) is defined as 0 so that
+// never-written and explicitly-zeroed words hash identically.
+func mix(a, v uint64) uint64 {
+	if v == 0 {
+		return 0
+	}
+	x := a*0x9e3779b97f4a7c15 ^ v
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	return x
+}
+
+// Base returns the segment base address.
+func (m *Memory) Base() uint64 { return m.base }
+
+// Size returns the segment size in bytes.
+func (m *Memory) Size() uint64 { return m.size }
+
+// Mapped reports whether an 8-byte access at addr is legal.
+func (m *Memory) Mapped(addr uint64) bool {
+	return addr%8 == 0 && addr >= m.base && addr+8 <= m.base+m.size
+}
+
+// Read returns the word at addr.
+func (m *Memory) Read(addr uint64) (uint64, error) {
+	if !m.Mapped(addr) {
+		return 0, fmt.Errorf("mem: translation exception reading %#x", addr)
+	}
+	return m.words[addr], nil
+}
+
+// Write stores v at addr.
+func (m *Memory) Write(addr, v uint64) error {
+	if !m.Mapped(addr) {
+		return fmt.Errorf("mem: translation exception writing %#x", addr)
+	}
+	m.hash += mix(addr, v) - mix(addr, m.words[addr])
+	m.words[addr] = v
+	return nil
+}
+
+// Clone returns an independent deep copy (used by the tandem fault
+// injection runner to snapshot state).
+func (m *Memory) Clone() *Memory {
+	w := make(map[uint64]uint64, len(m.words))
+	for a, v := range m.words {
+		w[a] = v
+	}
+	return &Memory{base: m.base, size: m.size, words: w, hash: m.hash}
+}
+
+// Hash returns a 64-bit fingerprint of the memory contents for tandem
+// state comparison. It is maintained incrementally, so this is O(1).
+func (m *Memory) Hash() uint64 { return m.hash }
+
+// Equal reports whether two memories have identical contents (treating
+// never-written words as zero).
+func (m *Memory) Equal(o *Memory) bool {
+	if m.base != o.base || m.size != o.size {
+		return false
+	}
+	for a, v := range m.words {
+		if o.words[a] != v {
+			return false
+		}
+	}
+	for a, v := range o.words {
+		if m.words[a] != v {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,89 @@
+package pipeline
+
+import "faulthound/internal/mem"
+
+// Clone returns an independent deep copy of the core, preserving uop
+// identity across all internal queues. The tandem fault-injection
+// runner clones a warmed-up core once per injection instead of
+// replaying the warmup.
+func (c *Core) Clone() *Core {
+	return c.CloneWithMemory(c.memory.Clone())
+}
+
+// CloneWithMemory is Clone with the data memory supplied by the caller
+// — the multicore construction, where the system clones the shared
+// memory once and every core clone references it.
+func (c *Core) CloneWithMemory(shared *mem.Memory) *Core {
+	seen := make(map[*uop]*uop)
+	cp := func(u *uop) *uop {
+		if u == nil {
+			return nil
+		}
+		if d, ok := seen[u]; ok {
+			return d
+		}
+		d := new(uop)
+		*d = *u
+		if u.ratCkpt != nil {
+			d.ratCkpt = append([]physID(nil), u.ratCkpt...)
+		}
+		seen[u] = d
+		return d
+	}
+	cpSlice := func(us []*uop) []*uop {
+		if us == nil {
+			return nil
+		}
+		out := make([]*uop, len(us))
+		for i, u := range us {
+			out[i] = cp(u)
+		}
+		return out
+	}
+
+	d := &Core{
+		cfg:           c.cfg,
+		cycle:         c.cycle,
+		seq:           c.seq,
+		rf:            c.rf.clone(),
+		iq:            cpSlice(c.iq),
+		iqUsed:        c.iqUsed,
+		inFlight:      cpSlice(c.inFlight),
+		delayBuf:      cpSlice(c.delayBuf),
+		mshrFree:      append([]uint64(nil), c.mshrFree...),
+		memory:        shared,
+		hier:          c.hier.Clone(),
+		replayPending: c.replayPending,
+		commitStall:   c.commitStall,
+		shadowAcc:     c.shadowAcc,
+		shadowPending: c.shadowPending,
+		stats:         c.stats,
+	}
+	if c.detector != nil {
+		d.detector = c.detector.Clone()
+	}
+	for _, t := range c.threads {
+		d.threads = append(d.threads, &threadState{
+			id:                t.id,
+			prog:              t.prog, // immutable after build
+			pc:                t.pc,
+			rat:               append([]physID(nil), t.rat...),
+			aRAT:              append([]physID(nil), t.aRAT...),
+			aPC:               t.aPC,
+			pred:              t.pred.Clone(),
+			halted:            t.halted,
+			fetchStopped:      t.fetchStopped,
+			excepted:          t.excepted,
+			exceptMsg:         t.exceptMsg,
+			fetchQ:            cpSlice(t.fetchQ),
+			rob:               cpSlice(t.rob),
+			lsq:               cpSlice(t.lsq),
+			committed:         t.committed,
+			writtenRegs:       t.writtenRegs,
+			archHistory:       t.archHistory,
+			exemptUntil:       t.exemptUntil,
+			fetchBlockedUntil: t.fetchBlockedUntil,
+		})
+	}
+	return d
+}

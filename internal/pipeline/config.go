@@ -1,0 +1,141 @@
+// Package pipeline implements the cycle-level out-of-order core the
+// paper's evaluation runs on (GEMS/Opal in the paper; built from
+// scratch here). It models the Table-2 configuration: a 4-wide
+// fetch/decode/issue/commit SMT core with a 40-entry issue queue,
+// 250-entry ROB, 64-entry LSQ, 160+64 physical registers, private
+// L1s/L2, gshare branch prediction — plus the FaultHound additions: the
+// 7-entry delay buffer with delayed issue-queue exit, predecessor
+// replay, full-rollback squash, and the commit-time singleton
+// re-execute for LSQ coverage.
+package pipeline
+
+import (
+	"faulthound/internal/branch"
+	"faulthound/internal/mem"
+)
+
+// Config is the core configuration (Table 2 of the paper).
+type Config struct {
+	// Threads is the number of SMT contexts (2 in the paper's runs).
+	Threads int
+
+	FetchWidth  int
+	DecodeWidth int
+	IssueWidth  int
+	CommitWidth int
+
+	// FrontEndDepth is the fetch-to-dispatch latency in cycles; it sets
+	// the refill part of the rollback penalty.
+	FrontEndDepth int
+
+	IQSize        int // shared issue queue entries (40)
+	ROBPerThread  int // reorder-buffer entries per thread (250 total / threads)
+	LSQPerThread  int // load-store queue entries per thread (64 total / threads)
+	IntPhysRegs   int // physical integer registers (160)
+	FPPhysRegs    int // physical FP registers (64)
+	NumALU        int // 4
+	NumMul        int // 2
+	NumFPU        int // 2
+	NumMemPorts   int // data-cache ports
+	DelayBuffer   int // completed-instruction delay buffer (7); 0 disables
+	FetchQueueMax int // fetched-but-not-dispatched buffer
+
+	// SingletonStall is the commit-stall in cycles charged per
+	// singleton re-execute (the paper: "a cycle or two").
+	SingletonStall int
+
+	// MSHRs bounds outstanding L1 misses per core: a missing load
+	// queues behind the oldest outstanding miss when all MSHRs are
+	// busy. Without this bound, rollback re-execution behaves like
+	// perfect-accuracy runahead prefetching and can beat the baseline.
+	MSHRs int
+
+	// RollbackPenalty is the fetch-redirect bubble after a full
+	// pipeline rollback (rename repair, front-end restart).
+	RollbackPenalty int
+
+	// RollbackDeemedFinal treats rollback re-executions as final
+	// (checked learn-only, never re-triggering), per Section 2.1 of the
+	// paper. It is required for forward progress: the biased state
+	// machines re-arm during a deterministic re-execution, so without
+	// it a value pattern with stable runs re-triggers the same rollback
+	// forever. The cost is a check-blind window after each rollback.
+	RollbackDeemedFinal bool
+
+	// CommitDelay is the minimum complete-to-retire latency in cycles.
+	// The paper's machine has complete-to-commit times of "several tens
+	// of cycles" (Section 3.5), which both the delay buffer's replay
+	// coverage and the LSQ fault window rely on; this models that
+	// retirement lag without restricting commit bandwidth.
+	CommitDelay int
+
+	// ShadowRedundancy, when positive, models SRT-iso: each committed
+	// instruction spawns, with this probability, an idealized redundant
+	// copy that consumes issue/FU/commit bandwidth and IQ space but has
+	// perfect branch prediction and no cache misses. Used only by the
+	// SRT comparison runs.
+	ShadowRedundancy float64
+
+	Hierarchy mem.HierarchyConfig
+	Branch    branch.Config
+}
+
+// DefaultConfig returns the paper's Table-2 core with the given SMT
+// thread count.
+func DefaultConfig(threads int) Config {
+	if threads < 1 {
+		threads = 1
+	}
+	return Config{
+		Threads:             threads,
+		FetchWidth:          4,
+		DecodeWidth:         4,
+		IssueWidth:          4,
+		CommitWidth:         4,
+		FrontEndDepth:       5,
+		IQSize:              40,
+		ROBPerThread:        250 / threads,
+		LSQPerThread:        64 / threads,
+		IntPhysRegs:         160,
+		FPPhysRegs:          64,
+		NumALU:              4,
+		NumMul:              2,
+		NumFPU:              2,
+		NumMemPorts:         2,
+		DelayBuffer:         7,
+		FetchQueueMax:       16,
+		SingletonStall:      2,
+		CommitDelay:         24,
+		MSHRs:               8,
+		RollbackPenalty:     16,
+		RollbackDeemedFinal: true,
+		Hierarchy:           mem.DefaultHierarchyConfig(),
+		Branch:              branch.DefaultConfig(),
+	}
+}
+
+// Validate rejects configurations the simulator cannot run, most
+// importantly physical register files too small for the architectural
+// mappings of every thread.
+func (c Config) Validate() error {
+	needInt := 1 + 31*c.Threads // shared zero register + per-thread r1..r31
+	if c.IntPhysRegs < needInt+8 {
+		return &ConfigError{"IntPhysRegs too small for thread count"}
+	}
+	needFP := 16 * c.Threads
+	if c.FPPhysRegs < needFP+4 {
+		return &ConfigError{"FPPhysRegs too small for thread count"}
+	}
+	if c.Threads < 1 || c.FetchWidth < 1 || c.IssueWidth < 1 || c.CommitWidth < 1 {
+		return &ConfigError{"widths and thread count must be positive"}
+	}
+	if c.IQSize < 4 || c.ROBPerThread < 4 || c.LSQPerThread < 2 {
+		return &ConfigError{"queues too small"}
+	}
+	return nil
+}
+
+// ConfigError reports an invalid configuration.
+type ConfigError struct{ msg string }
+
+func (e *ConfigError) Error() string { return "pipeline: " + e.msg }

@@ -1,0 +1,559 @@
+package pipeline
+
+import (
+	"fmt"
+
+	"faulthound/internal/branch"
+	"faulthound/internal/detect"
+	"faulthound/internal/isa"
+	"faulthound/internal/mem"
+	"faulthound/internal/prog"
+)
+
+// threadState is the per-SMT-context front-end and in-order state.
+type threadState struct {
+	id   int
+	prog *prog.Program
+
+	pc     uint64 // speculative fetch PC
+	rat    []physID
+	aRAT   []physID // architectural RAT, updated at commit
+	aPC    uint64   // PC of the next instruction to commit
+	pred   *branch.Predictor
+	halted bool
+	// fetchStopped pauses fetch past a HALT or the end of the code;
+	// squash-and-redirect clears it.
+	fetchStopped bool
+	// excepted latches a committed translation exception (the paper's
+	// "noisy" fault outcome); the thread stops making progress.
+	excepted  bool
+	exceptMsg string
+
+	fetchQ []*uop // fetched, waiting for dispatch
+	rob    []*uop // in-flight in program order (oldest first)
+	lsq    []*uop // loads/stores in program order (oldest first)
+
+	committed uint64
+	// writtenRegs is a bitmask of architectural registers the program
+	// has committed a write to; ArchHash covers only these (a flip in a
+	// never-written register is dead state, not program state).
+	writtenRegs uint64
+	// archHistory is the committed branch-history register; a full
+	// rollback restores the predictor's speculative history from it.
+	archHistory uint64
+	// fetchBlockedUntil implements the rollback redirect penalty.
+	fetchBlockedUntil uint64
+	// exemptUntil is an absolute committed-instruction position: the
+	// re-executions of instructions that will commit at or before it
+	// are deemed final (Section 2.1: "values re-computed by rollbacks
+	// are deemed final") — checked learn-only, never triggering.
+	// Covering the prefix up to the rollback's triggering instruction
+	// guarantees forward progress: the filters keep evolving, so
+	// without it, re-executed instructions re-trigger against drifted
+	// filter state and the same rollback repeats forever.
+	exemptUntil uint64
+}
+
+// Core is one simulated out-of-order SMT core.
+type Core struct {
+	cfg Config
+
+	cycle uint64
+	seq   uint64
+
+	threads []*threadState
+	rf      *regFile
+	iq      []*uop // nil entries are free
+	iqUsed  int
+
+	inFlight []*uop // issued, waiting for completeAt
+	delayBuf []*uop // completed instructions eligible for replay
+
+	// mshrFree holds the cycle each miss-status register frees up.
+	mshrFree []uint64
+
+	memory *mem.Memory
+	hier   *mem.Hierarchy
+
+	detector detect.Detector
+	probe    func(detect.Event)
+	tracer   Tracer
+	// commitHook is called after every retirement with the thread id
+	// and its new committed count (fault-injection state comparison).
+	commitHook func(tid int, count uint64)
+
+	replayPending int
+	commitStall   int
+
+	// SRT-iso shadow model.
+	shadowAcc     float64
+	shadowPending int
+
+	stats Stats
+}
+
+// New builds a core running the given programs, one per SMT context
+// (the paper runs two copies of the same program per core, each in its
+// own address space — pass per-thread programs with disjoint data
+// segments). The shared data memory spans the union of the programs'
+// segments. detector may be nil for the fault-intolerant baseline.
+func New(cfg Config, programs []*prog.Program, detector detect.Detector) (*Core, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if len(programs) != cfg.Threads {
+		return nil, fmt.Errorf("pipeline: %d programs for %d threads", len(programs), cfg.Threads)
+	}
+	base, end := programs[0].DataBase, programs[0].DataBase+programs[0].DataSize
+	image := make(map[uint64]uint64)
+	for _, p := range programs {
+		if p.DataBase < base {
+			base = p.DataBase
+		}
+		if e := p.DataBase + p.DataSize; e > end {
+			end = e
+		}
+		for a, v := range p.Data {
+			image[a] = v
+		}
+	}
+	return NewShared(cfg, programs, detector, mem.NewMemory(base, end-base, image))
+}
+
+// NewShared builds a core whose data memory is supplied by the caller —
+// the multicore construction, where several cores share one memory
+// image (package system). The programs' segments must lie inside the
+// shared memory. Caches remain private and timing-only, so no
+// coherence protocol is needed for correctness; cross-core sharing
+// costs only what the shared memory latency model charges.
+func NewShared(cfg Config, programs []*prog.Program, detector detect.Detector, shared *mem.Memory) (*Core, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if len(programs) != cfg.Threads {
+		return nil, fmt.Errorf("pipeline: %d programs for %d threads", len(programs), cfg.Threads)
+	}
+	c := &Core{
+		cfg:      cfg,
+		rf:       newRegFile(cfg.IntPhysRegs, cfg.FPPhysRegs),
+		iq:       make([]*uop, cfg.IQSize),
+		memory:   shared,
+		hier:     mem.NewHierarchy(cfg.Hierarchy),
+		detector: detector,
+	}
+
+	// Assign initial architectural mappings: physical register 0 is the
+	// shared zero register; each thread gets 31 integer and 16 FP
+	// physical registers for its initial state.
+	nextInt := physID(1)
+	nextFP := physID(cfg.IntPhysRegs)
+	for tid := 0; tid < cfg.Threads; tid++ {
+		t := &threadState{
+			id:   tid,
+			prog: programs[tid],
+			pc:   programs[tid].Entry,
+			aPC:  programs[tid].Entry,
+			rat:  make([]physID, isa.NumArchRegs),
+			aRAT: make([]physID, isa.NumArchRegs),
+			pred: branch.New(cfg.Branch),
+		}
+		t.rat[isa.RZero] = 0
+		for r := isa.Reg(1); r < isa.NumIntRegs; r++ {
+			t.rat[r] = nextInt
+			nextInt++
+		}
+		for r := isa.F0; r < isa.NumArchRegs; r++ {
+			t.rat[r] = nextFP
+			nextFP++
+		}
+		copy(t.aRAT, t.rat)
+		c.threads = append(c.threads, t)
+	}
+	// Remaining registers go to the free lists.
+	for p := nextInt; p < physID(cfg.IntPhysRegs); p++ {
+		c.rf.freeInt = append(c.rf.freeInt, p)
+	}
+	for p := nextFP; p < physID(cfg.IntPhysRegs+cfg.FPPhysRegs); p++ {
+		c.rf.freeFP = append(c.rf.freeFP, p)
+	}
+	return c, nil
+}
+
+// Config returns the core configuration.
+func (c *Core) Config() Config { return c.cfg }
+
+// Stats returns a snapshot of the pipeline counters.
+func (c *Core) Stats() Stats { return c.stats }
+
+// MemStats returns the cache/TLB counters.
+func (c *Core) MemStats() mem.HierarchyStats { return c.hier.Stats() }
+
+// Detector returns the attached detector (nil for the baseline).
+func (c *Core) Detector() detect.Detector { return c.detector }
+
+// DetectorStats returns the detector counters, or the zero value for a
+// detector-less baseline.
+func (c *Core) DetectorStats() detect.Stats {
+	if c.detector == nil {
+		return detect.Stats{}
+	}
+	return c.detector.Stats()
+}
+
+// Cycle returns the current cycle number.
+func (c *Core) Cycle() uint64 { return c.cycle }
+
+// Committed returns the committed-instruction count of thread tid.
+func (c *Core) Committed(tid int) uint64 { return c.threads[tid].committed }
+
+// CommittedTotal returns committed instructions across all threads.
+func (c *Core) CommittedTotal() uint64 {
+	var n uint64
+	for _, t := range c.threads {
+		n += t.committed
+	}
+	return n
+}
+
+// Halted reports whether thread tid has committed a HALT or taken an
+// exception.
+func (c *Core) Halted(tid int) bool {
+	t := c.threads[tid]
+	return t.halted || t.excepted
+}
+
+// AllHalted reports whether no thread can make further progress.
+func (c *Core) AllHalted() bool {
+	for _, t := range c.threads {
+		if !t.halted && !t.excepted {
+			return false
+		}
+	}
+	return true
+}
+
+// Excepted reports whether thread tid committed a translation
+// exception, and its message.
+func (c *Core) Excepted(tid int) (bool, string) {
+	t := c.threads[tid]
+	return t.excepted, t.exceptMsg
+}
+
+// BranchMispredictRate returns the mean mispredict rate across threads.
+func (c *Core) BranchMispredictRate() float64 {
+	var lookups, miss uint64
+	for _, t := range c.threads {
+		lookups += t.pred.Lookups
+		miss += t.pred.Mispredicts
+	}
+	if lookups == 0 {
+		return 0
+	}
+	return float64(miss) / float64(lookups)
+}
+
+// SetProbe installs a callback invoked for every load/store operand
+// check event at completion (before the detector sees it). The harness
+// uses it for the Figure-6 value-locality characterization.
+func (c *Core) SetProbe(fn func(detect.Event)) { c.probe = fn }
+
+// SetCommitHook installs a callback invoked after every retirement with
+// the thread id and its new committed-instruction count. The tandem
+// fault-injection runner uses it to capture architectural state at an
+// exact commit boundary.
+func (c *Core) SetCommitHook(fn func(tid int, count uint64)) { c.commitHook = fn }
+
+// WarmDetector trains the attached detector's filters over thread 0's
+// architectural load/store stream for n instructions using the
+// sequential interpreter — a fast-forward functional warmup standing in
+// for the paper's multi-million-instruction simulation warmup, which
+// saturates the filter state machines (PBFS's sticky counters in
+// particular) before measurement. Detector actions are ignored; only
+// the filters learn.
+func (c *Core) WarmDetector(n uint64) {
+	if c.detector == nil || n == 0 {
+		return
+	}
+	t := c.threads[0]
+	it := prog.NewInterp(t.prog)
+	for i := uint64(0); i < n; i++ {
+		pc := it.PC
+		in := t.prog.Code[pc]
+		if !it.Step() {
+			break
+		}
+		switch in.Op {
+		case isa.LD:
+			addr := it.Regs[in.Rs1] + uint64(int64(in.Imm))
+			c.detector.OnComplete(detect.Event{Kind: detect.LoadAddr, Value: addr, PC: pc})
+		case isa.ST:
+			addr := it.Regs[in.Rs1] + uint64(int64(in.Imm))
+			c.detector.OnComplete(detect.Event{Kind: detect.StoreAddr, Value: addr, PC: pc})
+			c.detector.OnComplete(detect.Event{Kind: detect.StoreValue, Value: it.Regs[in.Rs2], PC: pc})
+		}
+	}
+}
+
+// Step advances the simulation by one cycle.
+func (c *Core) Step() {
+	c.cycle++
+	c.stats.Cycles++
+	c.commit()
+	c.complete()
+	c.issue()
+	c.dispatch()
+	c.fetch()
+}
+
+// Run steps the core until every thread halts or maxCycles elapse; it
+// returns the number of cycles executed.
+func (c *Core) Run(maxCycles uint64) uint64 {
+	start := c.cycle
+	for c.cycle-start < maxCycles && !c.AllHalted() {
+		c.Step()
+	}
+	return c.cycle - start
+}
+
+// RunUntilCommits steps until thread tid has committed at least n
+// instructions in total, the thread halts, or maxCycles elapse. It
+// reports whether the commit target was reached.
+func (c *Core) RunUntilCommits(tid int, n uint64, maxCycles uint64) bool {
+	start := c.cycle
+	for c.threads[tid].committed < n {
+		if c.Halted(tid) || c.cycle-start >= maxCycles {
+			return c.threads[tid].committed >= n
+		}
+		c.Step()
+	}
+	return true
+}
+
+// nextSeq allocates a global age tag.
+func (c *Core) nextSeq() uint64 {
+	c.seq++
+	return c.seq
+}
+
+// --- Fetch ---
+
+// fetch brings up to FetchWidth instructions from one thread per cycle
+// (round-robin) into its fetch queue, following branch predictions.
+func (c *Core) fetch() {
+	n := len(c.threads)
+	for off := 0; off < n; off++ {
+		t := c.threads[(int(c.cycle)+off)%n]
+		if t.halted || t.excepted {
+			continue
+		}
+		if t.fetchBlockedUntil > c.cycle {
+			continue
+		}
+		if t.fetchStopped {
+			// A thread that ran off the end of its code without a HALT
+			// wedges once its pipeline drains; treat that as a halt.
+			if len(t.rob) == 0 && len(t.fetchQ) == 0 {
+				t.halted = true
+			}
+			continue
+		}
+		if len(t.fetchQ) >= c.cfg.FetchQueueMax {
+			continue
+		}
+		c.fetchThread(t)
+		return // one thread per cycle
+	}
+}
+
+func (c *Core) fetchThread(t *threadState) {
+	// One I-cache access per fetch cycle at the leading PC.
+	lat := c.hier.AccessI(t.pc * 8)
+	readyAt := c.cycle + uint64(lat) + uint64(c.cfg.FrontEndDepth)
+
+	for k := 0; k < c.cfg.FetchWidth; k++ {
+		if t.pc >= uint64(len(t.prog.Code)) {
+			t.fetchStopped = true
+			return
+		}
+		in := t.prog.Code[t.pc]
+		u := &uop{
+			seq:      c.nextSeq(),
+			thread:   t.id,
+			pc:       t.pc,
+			inst:     in,
+			dst:      physNone,
+			oldDst:   physNone,
+			lsqIndex: -1,
+			readyAt:  readyAt,
+		}
+		c.stats.Fetched++
+
+		nextPC := t.pc + 1
+		switch in.Op {
+		case isa.BEQ, isa.BNE, isa.BLT, isa.BGE:
+			u.pred = t.pred.PredictCond(t.pc)
+			if u.pred.Taken {
+				nextPC = u.pred.Target
+			}
+		case isa.JMP:
+			u.pred = branch.Prediction{Taken: true, Target: uint64(in.Imm)}
+			nextPC = uint64(in.Imm)
+		case isa.JAL:
+			u.isCall = true
+			t.pred.PredictJump(t.pc, true, false) // RAS push
+			u.pred = branch.Prediction{Taken: true, Target: uint64(in.Imm)}
+			nextPC = uint64(in.Imm)
+		case isa.JALR:
+			u.isRet = in.Rs1 == isa.RLink
+			u.pred = t.pred.PredictJump(t.pc, false, u.isRet)
+			if u.pred.Taken {
+				nextPC = u.pred.Target
+			}
+		case isa.HALT:
+			u.halt = true
+		}
+		u.predPC = nextPC
+		t.fetchQ = append(t.fetchQ, u)
+		t.pc = nextPC
+		c.trace(TraceFetch, u, "")
+
+		if u.halt {
+			t.fetchStopped = true
+			return
+		}
+		if u.inst.IsBranch() && u.predPC != u.pc+1 {
+			return // stop at a predicted-taken branch
+		}
+	}
+}
+
+// --- Dispatch/Rename ---
+
+// dispatch renames and inserts up to DecodeWidth instructions per cycle
+// into the ROB/IQ/LSQ, round-robin across threads.
+func (c *Core) dispatch() {
+	budget := c.cfg.DecodeWidth
+	n := len(c.threads)
+	for off := 0; off < n && budget > 0; off++ {
+		t := c.threads[(int(c.cycle)+off)%n]
+		for budget > 0 && len(t.fetchQ) > 0 {
+			u := t.fetchQ[0]
+			if u.readyAt > c.cycle {
+				break
+			}
+			if !c.dispatchOne(t, u) {
+				break // structural stall
+			}
+			t.fetchQ = t.fetchQ[1:]
+			budget--
+		}
+	}
+}
+
+// dispatchOne renames u and allocates its queue entries; it reports
+// whether dispatch succeeded (false = structural stall).
+func (c *Core) dispatchOne(t *threadState, u *uop) bool {
+	if len(t.rob) >= c.cfg.ROBPerThread {
+		c.stats.ROBFullStalls++
+		return false
+	}
+	needsIQ := u.inst.Op != isa.NOP && u.inst.Op != isa.HALT
+	if needsIQ && c.iqUsed >= len(c.iq) && !c.evictFromDelayBuffer() {
+		c.stats.IQFullStalls++
+		return false
+	}
+	if u.isMem() && len(t.lsq) >= c.cfg.LSQPerThread {
+		c.stats.LSQFullStalls++
+		return false
+	}
+
+	// Rename sources.
+	srcs := u.inst.SrcRegs()
+	u.nsrc = len(srcs)
+	for i, r := range srcs {
+		u.src[i] = t.rat[r]
+	}
+	// Allocate destination.
+	if u.inst.HasDest() && u.inst.Rd != isa.RZero {
+		p := c.rf.alloc(u.inst.Rd)
+		if p == physNone {
+			c.stats.RegFullStalls++
+			return false
+		}
+		u.dst = p
+		u.oldDst = t.rat[u.inst.Rd]
+		t.rat[u.inst.Rd] = p
+	}
+	// Checkpoint the RAT for branches resolved at execute, and for
+	// atomics (a detector rollback stops at an executed atomic and
+	// restores its checkpoint instead).
+	if u.inst.IsCondBranch() || u.inst.Op == isa.JALR || u.inst.IsAtomic() {
+		u.ratCkpt = append([]physID(nil), t.rat...)
+	}
+
+	u.state = stDispatched
+	t.rob = append(t.rob, u)
+	if u.isMem() {
+		u.lsqIndex = len(t.lsq)
+		t.lsq = append(t.lsq, u)
+	}
+	if needsIQ {
+		c.iqInsert(u)
+	} else {
+		// NOP/HALT complete immediately.
+		u.state = stCompleted
+	}
+	c.stats.Dispatched++
+	c.trace(TraceDispatch, u, "")
+	return true
+}
+
+// iqInsert places u into a free IQ slot.
+func (c *Core) iqInsert(u *uop) {
+	for i, e := range c.iq {
+		if e == nil {
+			c.iq[i] = u
+			u.inIQ = true
+			c.iqUsed++
+			return
+		}
+	}
+	panic("pipeline: iqInsert with no free slot")
+}
+
+// iqRemove frees u's IQ slot.
+func (c *Core) iqRemove(u *uop) {
+	if !u.inIQ {
+		return
+	}
+	for i, e := range c.iq {
+		if e == u {
+			c.iq[i] = nil
+			c.iqUsed--
+			u.inIQ = false
+			return
+		}
+	}
+	u.inIQ = false
+}
+
+// evictFromDelayBuffer frees an IQ slot occupied by a completed
+// instruction when a newly-arriving instruction needs the space: the
+// oldest delay-buffer entry is replaced (Section 3.3). The paper
+// conservatively squashes the whole buffer on a replacement because its
+// hardware cannot tell which younger entries depended on the replaced
+// one; this implementation's replay re-issues through ordinary wakeup
+// (a marked consumer whose producer is gone simply reads the register
+// file), so replacing only the head is safe and preserves far more
+// replay coverage.
+func (c *Core) evictFromDelayBuffer() bool {
+	if len(c.delayBuf) == 0 {
+		return false
+	}
+	old := c.delayBuf[0]
+	c.delayBuf = c.delayBuf[1:]
+	old.inDelayBuf = false
+	c.iqRemove(old)
+	c.stats.DelayBufFlushes++
+	return c.iqUsed < len(c.iq)
+}

@@ -1,0 +1,462 @@
+package pipeline
+
+import (
+	"sort"
+
+	"faulthound/internal/detect"
+	"faulthound/internal/isa"
+)
+
+// issue selects up to IssueWidth ready instructions (oldest first),
+// reads their operands, executes them functionally, and schedules their
+// completion. Leftover issue slots drain pending SRT-iso shadow ops.
+func (c *Core) issue() {
+	// Gather ready candidates from the IQ in age order.
+	var cand []*uop
+	for _, u := range c.iq {
+		if u == nil || u.state != stDispatched {
+			continue
+		}
+		if !c.srcsReady(u) {
+			continue
+		}
+		if u.isLoad() && !c.olderStoresDone(u) {
+			continue
+		}
+		// Atomics execute non-speculatively: only at the head of their
+		// thread's ROB (everything older has committed).
+		if u.inst.IsAtomic() {
+			rob := c.threads[u.thread].rob
+			if len(rob) == 0 || rob[0] != u {
+				continue
+			}
+		}
+		cand = append(cand, u)
+	}
+	sort.Slice(cand, func(i, j int) bool { return cand[i].seq < cand[j].seq })
+
+	budget := c.cfg.IssueWidth
+	// SRT-iso trailing copies contend for issue bandwidth as co-equal
+	// threads: when redundant work is pending, it claims up to half the
+	// issue width ahead of the leading threads.
+	alu, mul, fpu, memPorts := c.cfg.NumALU, c.cfg.NumMul, c.cfg.NumFPU, c.cfg.NumMemPorts
+	if c.shadowPending > 0 {
+		take := c.cfg.IssueWidth / 2
+		if take > c.shadowPending {
+			take = c.shadowPending
+		}
+		c.shadowPending -= take
+		c.stats.ShadowOps += uint64(take)
+		budget -= take
+		alu -= take // redundant copies occupy functional units too
+		if alu < 0 {
+			alu = 0
+		}
+	}
+	for _, u := range cand {
+		if budget == 0 {
+			break
+		}
+		switch u.fuClass() {
+		case isa.ClassIntALU, isa.ClassBranch, isa.ClassNop:
+			if alu == 0 {
+				continue
+			}
+			alu--
+		case isa.ClassIntMul:
+			if mul == 0 {
+				continue
+			}
+			mul--
+		case isa.ClassFP:
+			if fpu == 0 {
+				continue
+			}
+			fpu--
+		case isa.ClassLoad, isa.ClassStore, isa.ClassAtomic:
+			if memPorts == 0 || alu == 0 {
+				continue
+			}
+			memPorts--
+			alu-- // address generation
+		}
+		budget--
+		c.issueOne(u)
+	}
+
+	// Idle slots execute SRT-iso shadow copies (idealized redundant
+	// instructions: no registers, no cache misses, just bandwidth).
+	for budget > 0 && c.shadowPending > 0 {
+		budget--
+		c.shadowPending--
+		c.stats.ShadowOps++
+	}
+}
+
+// srcsReady reports whether all of u's source registers hold final or
+// bypassed values.
+func (c *Core) srcsReady(u *uop) bool {
+	for i := 0; i < u.nsrc; i++ {
+		if !c.rf.ready[u.src[i]] {
+			return false
+		}
+	}
+	return true
+}
+
+// olderStoresDone reports whether every older same-thread store has
+// computed its address and value, the conservative condition under
+// which a load may issue (no memory-order speculation).
+func (c *Core) olderStoresDone(u *uop) bool {
+	for _, s := range c.threads[u.thread].lsq {
+		if s.seq >= u.seq {
+			break
+		}
+		if (s.isStore() || s.inst.IsAtomic()) && s.state != stCompleted && s.state != stCommitted {
+			return false
+		}
+	}
+	return true
+}
+
+// issueOne reads operands, executes u functionally, and schedules its
+// completion.
+func (c *Core) issueOne(u *uop) {
+	u.state = stIssued
+	c.stats.Issued++
+	c.trace(TraceIssue, u, "")
+	c.stats.IssuedByClass[u.fuClass()]++
+	c.stats.RegReads += uint64(u.nsrc)
+
+	var s1, s2 uint64
+	// Map renamed sources back to the Exec operand positions: src[0] is
+	// always Rs1, src[1] (when present) is Rs2.
+	if u.nsrc > 0 {
+		s1 = c.rf.read(u.src[0])
+	}
+	if u.nsrc > 1 {
+		s2 = c.rf.read(u.src[1])
+	}
+	out := isa.Exec(u.inst, u.pc, s1, s2)
+	lat := uint64(isa.Latency(u.inst.Op))
+
+	switch {
+	case u.isLoad():
+		u.effAddr = out.EffAddr
+		if !c.memory.Mapped(u.effAddr) {
+			u.excepted = true
+			u.exceptMsg = "load translation exception"
+			u.completeAt = c.cycle + lat + 1
+			break
+		}
+		if v, ok := c.forward(u); ok {
+			u.result = v
+			u.completeAt = c.cycle + lat + uint64(c.cfg.Hierarchy.L1DLatency)
+		} else {
+			dlat, l1Hit := c.hier.AccessD(u.effAddr, false)
+			v, _ := c.memory.Read(u.effAddr)
+			u.result = v
+			start := c.cycle + lat
+			if !l1Hit {
+				start = c.allocMSHR(start, uint64(dlat))
+			}
+			u.completeAt = start + uint64(dlat)
+		}
+	case u.inst.IsAtomic():
+		u.effAddr = out.EffAddr
+		u.storeVal = out.Value
+		if !c.memory.Mapped(u.effAddr) {
+			u.excepted = true
+			u.exceptMsg = "atomic translation exception"
+			u.completeAt = c.cycle + lat + 1
+			break
+		}
+		// Everything older has committed (ROB-head issue), so the
+		// read-modify-write applies directly and atomically.
+		old, _ := c.memory.Read(u.effAddr)
+		nv := u.storeVal
+		if u.inst.Op == isa.AMOADD {
+			nv = old + u.storeVal
+		}
+		c.memory.Write(u.effAddr, nv)
+		u.result = old
+		u.rmwDone = true
+		dlat, _ := c.hier.AccessD(u.effAddr, true)
+		u.completeAt = c.cycle + lat + uint64(dlat)
+	case u.isStore():
+		u.effAddr = out.EffAddr
+		u.storeVal = out.Value
+		if !c.memory.Mapped(u.effAddr) {
+			u.excepted = true
+			u.exceptMsg = "store translation exception"
+		}
+		u.completeAt = c.cycle + lat + 1
+	case u.inst.IsBranch():
+		u.taken = out.Taken
+		u.target = out.Target
+		u.result = out.Value // link value for JAL/JALR
+		u.completeAt = c.cycle + lat
+	default:
+		u.result = out.Value
+		u.completeAt = c.cycle + lat
+	}
+	c.inFlight = append(c.inFlight, u)
+}
+
+// allocMSHR reserves a miss-status register for a miss wanting to
+// start at cycle `want`, returning the actual start cycle (delayed when
+// all MSHRs are busy).
+func (c *Core) allocMSHR(want, latency uint64) uint64 {
+	if c.cfg.MSHRs <= 0 {
+		return want
+	}
+	if c.mshrFree == nil {
+		c.mshrFree = make([]uint64, c.cfg.MSHRs)
+	}
+	best := 0
+	for i, f := range c.mshrFree {
+		if f < c.mshrFree[best] {
+			best = i
+		}
+	}
+	start := want
+	if c.mshrFree[best] > start {
+		start = c.mshrFree[best]
+	}
+	// The MSHR is occupied until the fill returns.
+	c.mshrFree[best] = start + latency
+	return start
+}
+
+// forward searches the thread's LSQ for the youngest older completed
+// store to the same address (store-to-load forwarding).
+func (c *Core) forward(u *uop) (uint64, bool) {
+	lsq := c.threads[u.thread].lsq
+	for i := len(lsq) - 1; i >= 0; i-- {
+		s := lsq[i]
+		if s.seq >= u.seq || !s.isStore() {
+			continue
+		}
+		if s.state == stCompleted && s.effAddr == u.effAddr {
+			return s.storeVal, true
+		}
+	}
+	return 0, false
+}
+
+// complete finishes execution for every uop whose latency expires this
+// cycle: write back, resolve branches, run the detector's completion
+// checks, and manage the delay buffer.
+func (c *Core) complete() {
+	if len(c.inFlight) == 0 {
+		return
+	}
+	var done []*uop
+	rest := c.inFlight[:0]
+	for _, u := range c.inFlight {
+		if u.state == stSquashed {
+			continue // dropped by a squash while executing
+		}
+		if u.completeAt <= c.cycle {
+			done = append(done, u)
+		} else {
+			rest = append(rest, u)
+		}
+	}
+	c.inFlight = rest
+	sort.Slice(done, func(i, j int) bool { return done[i].seq < done[j].seq })
+
+	for _, u := range done {
+		// An older instruction completing this same cycle may have
+		// squashed u (branch misprediction or detector rollback).
+		if u.state == stSquashed {
+			continue
+		}
+		c.completeOne(u)
+	}
+}
+
+func (c *Core) completeOne(u *uop) {
+	u.state = stCompleted
+	c.stats.Completed++
+	c.trace(TraceComplete, u, "")
+
+	if u.dst != physNone {
+		c.rf.write(u.dst, u.result)
+		c.stats.RegWrites++
+	}
+
+	// Replay bookkeeping must run before checks so the learn-only flag
+	// clears when the last replayed instruction finishes.
+	if u.replaying {
+		u.replaying = false
+		u.replayed = true
+		c.stats.ReplayedUops++
+		c.replayPending--
+		if c.replayPending == 0 && c.detector != nil {
+			c.detector.SetLearnOnly(false)
+		}
+	}
+
+	if u.inst.IsBranch() {
+		c.resolveBranch(u)
+		if u.state == stSquashed {
+			return // squashed itself? (cannot happen: squashAfter squashes younger only)
+		}
+	}
+
+	// Detector completion checks for loads and stores (Section 3.3).
+	// Replayed and rollback-re-executed values are deemed final: the
+	// filters keep learning from them but their triggers are ignored.
+	if u.isMem() && !u.excepted {
+		if u.replayed || c.isExempt(u) {
+			if c.detector != nil {
+				c.detector.SetLearnOnly(true)
+				c.checkComplete(u)
+				if c.replayPending == 0 {
+					c.detector.SetLearnOnly(false)
+				}
+			}
+		} else if act := c.checkComplete(u); act != detect.None {
+			switch act {
+			case detect.Replay:
+				c.trace(TraceReplay, u, "detector trigger")
+				c.triggerReplay(u)
+			case detect.Rollback:
+				c.trace(TraceRollback, u, "detector trigger")
+				c.fullSquash(u)
+				return // u itself was squashed by the rollback
+			}
+		}
+	}
+
+	if u.state != stCompleted {
+		return // went back to dispatched for replay, or squashed
+	}
+
+	// Delay buffer: completed instructions linger in the IQ for
+	// potential predecessor replay (delayed exit, Section 3.3).
+	// Atomics are excluded: their read-modify-write cannot be
+	// re-executed.
+	if u.inst.IsAtomic() {
+		c.iqRemove(u)
+		return
+	}
+	if c.cfg.DelayBuffer > 0 && u.inIQ {
+		c.delayBuf = append(c.delayBuf, u)
+		u.inDelayBuf = true
+		if len(c.delayBuf) > c.cfg.DelayBuffer {
+			old := c.delayBuf[0]
+			c.delayBuf = c.delayBuf[1:]
+			old.inDelayBuf = false
+			c.iqRemove(old)
+			c.stats.DelayBufEvictions++
+		}
+	} else {
+		c.iqRemove(u)
+	}
+}
+
+// resolveBranch trains the predictor and recovers from mispredictions.
+func (c *Core) resolveBranch(u *uop) {
+	t := c.threads[u.thread]
+	actualNext := u.pc + 1
+	if u.taken {
+		actualNext = u.target
+	}
+	cond := u.inst.IsCondBranch()
+	switch u.inst.Op {
+	case isa.BEQ, isa.BNE, isa.BLT, isa.BGE:
+		t.pred.Update(u.pc, u.pred, u.taken, u.target, true)
+	case isa.JALR:
+		t.pred.Update(u.pc, u.pred, true, u.target, false)
+	}
+	if actualNext != u.predPC {
+		c.stats.BranchMispredicts++
+		if cond {
+			t.pred.RecoverMispredict(u.pred, u.taken)
+		}
+		c.squashAfter(u)
+		t.pc = actualNext
+		u.predPC = actualNext // a replayed branch must not re-squash
+	}
+}
+
+// isExempt reports whether u's value is deemed final because it will
+// commit within the exempt prefix of a prior rollback. The position is
+// computed from the ROB so wrong-path fetches cannot skew it.
+func (c *Core) isExempt(u *uop) bool {
+	t := c.threads[u.thread]
+	if t.exemptUntil <= t.committed {
+		return false
+	}
+	for i, e := range t.rob {
+		if e == u {
+			return t.committed+uint64(i)+1 <= t.exemptUntil
+		}
+	}
+	return false
+}
+
+// checkComplete runs the probe and the detector's completion checks for
+// a memory uop and returns the strongest requested action.
+func (c *Core) checkComplete(u *uop) detect.Action {
+	act := detect.None
+	for _, ev := range c.memEvents(u) {
+		if c.probe != nil {
+			c.probe(ev)
+		}
+		if c.detector == nil {
+			continue
+		}
+		if a := c.detector.OnComplete(ev); a > act {
+			act = a
+		}
+	}
+	return act
+}
+
+// memEvents builds the checked-operand events for a load or store.
+func (c *Core) memEvents(u *uop) []detect.Event {
+	if u.isLoad() {
+		return []detect.Event{{Kind: detect.LoadAddr, Value: u.effAddr, PC: u.pc, Thread: u.thread}}
+	}
+	return []detect.Event{
+		{Kind: detect.StoreAddr, Value: u.effAddr, PC: u.pc, Thread: u.thread},
+		{Kind: detect.StoreValue, Value: u.storeVal, PC: u.pc, Thread: u.thread},
+	}
+}
+
+// triggerReplay starts a predecessor replay: every instruction in the
+// delay buffer plus the triggering instruction re-executes through the
+// back-end (Section 3.3). Triggers raised while a replay is in flight
+// are ignored.
+func (c *Core) triggerReplay(trigger *uop) {
+	if c.replayPending > 0 {
+		return
+	}
+	marked := append(append([]*uop(nil), c.delayBuf...), trigger)
+	c.delayBuf = c.delayBuf[:0]
+	started := 0
+	for _, m := range marked {
+		if m.state != stCompleted || !m.inIQ || m.inst.IsAtomic() {
+			m.inDelayBuf = false
+			continue
+		}
+		m.inDelayBuf = false
+		m.state = stDispatched
+		m.replaying = true
+		if m.dst != physNone {
+			c.rf.ready[m.dst] = false
+		}
+		c.replayPending++
+		started++
+	}
+	if started == 0 {
+		return
+	}
+	c.stats.ReplayTriggers++
+	if c.detector != nil {
+		c.detector.SetLearnOnly(true)
+	}
+}

@@ -1,0 +1,73 @@
+package pipeline
+
+import (
+	"testing"
+
+	"faulthound/internal/prog"
+)
+
+// Simulator-throughput benchmarks: how fast the model itself runs.
+// These guard against performance regressions in the simulation loop
+// (the experiment harness executes hundreds of millions of cycles).
+
+func BenchmarkSimCyclesPerSecond(b *testing.B) {
+	p := buildMemLoop(64)
+	c, err := New(DefaultConfig(1), []*prog.Program{p}, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Step()
+		if c.AllHalted() {
+			b.StopTimer()
+			c, _ = New(DefaultConfig(1), []*prog.Program{p}, nil)
+			b.StartTimer()
+		}
+	}
+}
+
+func BenchmarkSimSMT2(b *testing.B) {
+	p := buildMemLoop(64)
+	c, err := New(DefaultConfig(2), []*prog.Program{p, p}, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Step()
+		if c.AllHalted() {
+			b.StopTimer()
+			c, _ = New(DefaultConfig(2), []*prog.Program{p, p}, nil)
+			b.StartTimer()
+		}
+	}
+}
+
+func BenchmarkClone(b *testing.B) {
+	p := buildMemLoop(64)
+	c, err := New(DefaultConfig(1), []*prog.Program{p}, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	c.RunUntilCommits(0, 2000, 1_000_000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = c.Clone()
+	}
+}
+
+func BenchmarkArchHash(b *testing.B) {
+	p := buildMemLoop(64)
+	c, err := New(DefaultConfig(1), []*prog.Program{p}, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	c.RunUntilCommits(0, 2000, 1_000_000)
+	b.ResetTimer()
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink ^= c.ArchHash(0)
+	}
+	_ = sink
+}

@@ -1,0 +1,196 @@
+package pipeline
+
+import (
+	"math/bits"
+
+	"faulthound/internal/isa"
+)
+
+// ArchRegs returns the architectural register values of thread tid
+// through its architectural RAT.
+func (c *Core) ArchRegs(tid int) [isa.NumArchRegs]uint64 {
+	var out [isa.NumArchRegs]uint64
+	t := c.threads[tid]
+	for r := range out {
+		out[r] = c.rf.read(t.aRAT[r])
+	}
+	out[isa.RZero] = 0
+	return out
+}
+
+// LiveArchRegs is ArchRegs restricted to registers the program has
+// committed a write to; never-written registers read as zero. Tandem
+// state comparison uses this view so that a fault parked in dead
+// initial state does not count as program corruption.
+func (c *Core) LiveArchRegs(tid int) [isa.NumArchRegs]uint64 {
+	out := c.ArchRegs(tid)
+	t := c.threads[tid]
+	for r := range out {
+		if t.writtenRegs>>uint(r)&1 == 0 {
+			out[r] = 0
+		}
+	}
+	return out
+}
+
+// ArchHash folds thread tid's architectural registers and the shared
+// memory image into a fingerprint for tandem state comparison.
+func (c *Core) ArchHash(tid int) uint64 {
+	h := c.memory.Hash()
+	regs := c.LiveArchRegs(tid)
+	for i, v := range regs {
+		x := uint64(i+1)*0x9e3779b97f4a7c15 ^ v
+		x ^= x >> 33
+		x *= 0xff51afd7ed558ccd
+		x ^= x >> 33
+		h ^= x
+	}
+	return h
+}
+
+// --- Fault injection sites (Section 4 of the paper) ---
+
+// AllocatedRegs returns the physical registers currently holding live
+// state (not on a free list, excluding the zero register).
+func (c *Core) AllocatedRegs() []uint16 {
+	total := c.cfg.IntPhysRegs + c.cfg.FPPhysRegs
+	free := make([]bool, total)
+	for _, p := range c.rf.freeInt {
+		free[p] = true
+	}
+	for _, p := range c.rf.freeFP {
+		free[p] = true
+	}
+	out := make([]uint16, 0, total)
+	for p := 1; p < total; p++ {
+		if !free[p] {
+			out = append(out, uint16(p))
+		}
+	}
+	return out
+}
+
+// AllRegs returns every physical register id except the zero register —
+// the paper's register-file injection population (Section 4 injects
+// uniformly over the physical register file, where flips in free
+// registers are overwritten at the next allocation and masked).
+func (c *Core) AllRegs() []uint16 {
+	total := c.cfg.IntPhysRegs + c.cfg.FPPhysRegs
+	out := make([]uint16, 0, total-1)
+	for p := 1; p < total; p++ {
+		out = append(out, uint16(p))
+	}
+	return out
+}
+
+// FlipRegisterBit flips one bit of a physical register value. It
+// reports false for the zero register or an out-of-range id.
+func (c *Core) FlipRegisterBit(p uint16, bit uint) bool {
+	if p == 0 || int(p) >= len(c.rf.val) {
+		return false
+	}
+	c.rf.val[p] ^= 1 << (bit & 63)
+	return true
+}
+
+// InFlightDestRegs returns the destination physical registers of
+// instructions currently in flight (dispatched through completed, not
+// yet committed) — the population that emulates faults in the back-end
+// datapath (FU outputs, bypass latches), which land on young values.
+func (c *Core) InFlightDestRegs() []uint16 {
+	var out []uint16
+	for _, t := range c.threads {
+		for _, u := range t.rob {
+			if u.dst != physNone && u.state != stCommitted && u.state != stSquashed {
+				out = append(out, uint16(u.dst))
+			}
+		}
+	}
+	return out
+}
+
+// LSQField selects which LSQ-held datum a fault flips.
+type LSQField uint8
+
+// LSQ fault fields.
+const (
+	LSQAddr LSQField = iota
+	LSQData          // store value
+)
+
+// LSQSite describes an occupiable LSQ injection target.
+type LSQSite struct {
+	Thread  int
+	Index   int // position in the thread's LSQ
+	IsStore bool
+}
+
+// LSQSites returns the LSQ entries whose address (and, for stores,
+// value) have been computed but not yet committed — the population for
+// LSQ fault injection.
+func (c *Core) LSQSites() []LSQSite {
+	var out []LSQSite
+	for _, t := range c.threads {
+		for i, u := range t.lsq {
+			if u.state == stCompleted {
+				out = append(out, LSQSite{Thread: t.id, Index: i, IsStore: u.isStore()})
+			}
+		}
+	}
+	return out
+}
+
+// FlipLSQBit flips one bit of an LSQ entry's address or store value. It
+// reports whether the site was valid.
+func (c *Core) FlipLSQBit(site LSQSite, field LSQField, bit uint) bool {
+	t := c.threads[site.Thread]
+	if site.Index >= len(t.lsq) {
+		return false
+	}
+	u := t.lsq[site.Index]
+	if u.state != stCompleted {
+		return false
+	}
+	switch field {
+	case LSQAddr:
+		u.effAddr ^= 1 << (bit & 63)
+	case LSQData:
+		if !u.isStore() {
+			return false
+		}
+		u.storeVal ^= 1 << (bit & 63)
+	}
+	return true
+}
+
+// FlipRATBit flips one bit of thread tid's speculative rename-table
+// entry for architectural register r, wrapping within the register
+// class so the corrupted tag still names a physical register (as a real
+// rename tag would). It reports whether the flip was applied.
+func (c *Core) FlipRATBit(tid int, r isa.Reg, bit uint) bool {
+	if r == isa.RZero || !r.Valid() {
+		return false
+	}
+	t := c.threads[tid]
+	classBase, classSize := 0, c.cfg.IntPhysRegs
+	if r.IsFP() {
+		classBase, classSize = c.cfg.IntPhysRegs, c.cfg.FPPhysRegs
+	}
+	tagBits := uint(bits.Len(uint(classSize - 1)))
+	local := uint64(int(t.rat[r]) - classBase)
+	local ^= 1 << (bit % tagBits)
+	local %= uint64(classSize)
+	t.rat[r] = physID(classBase + int(local))
+	return true
+}
+
+// RATEntries returns the architectural registers of thread tid whose
+// speculative rename-table entries are valid injection targets (all
+// but the zero register).
+func (c *Core) RATEntries(tid int) []isa.Reg {
+	out := make([]isa.Reg, 0, isa.NumArchRegs-1)
+	for r := isa.Reg(1); r < isa.NumArchRegs; r++ {
+		out = append(out, r)
+	}
+	return out
+}

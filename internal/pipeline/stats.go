@@ -1,0 +1,68 @@
+package pipeline
+
+// Stats counts pipeline activity. The harness derives performance
+// (CPI/IPC) from Cycles and Committed; the energy model weights the
+// event counters.
+type Stats struct {
+	Cycles     uint64
+	Fetched    uint64
+	Dispatched uint64
+	Issued     uint64
+	Completed  uint64
+	Committed  uint64
+
+	Loads             uint64
+	Stores            uint64
+	Branches          uint64
+	BranchMispredicts uint64
+	Exceptions        uint64
+	Halts             uint64
+
+	// FaultHound mechanism activity.
+	ReplayTriggers       uint64 // predecessor replays started
+	ReplayedUops         uint64 // instructions re-executed by replay
+	Rollbacks            uint64 // full-pipeline squashes from the detector
+	RollbackSquashedUops uint64 // instructions squashed by those rollbacks
+	Singletons           uint64 // commit-time singleton re-executions
+	SingletonCorrected   uint64 // singletons whose recomputation differed
+	FaultsDeclared       uint64 // detection events (mismatch on singleton)
+	DelayBufEvictions    uint64 // normal delay-buffer FIFO exits
+	DelayBufFlushes      uint64 // IQ-pressure flushes (lost replay coverage)
+
+	// Branch recovery.
+	BranchSquashedUops uint64
+
+	// Structural stalls (cycles a dispatch was blocked).
+	IQFullStalls  uint64
+	ROBFullStalls uint64
+	LSQFullStalls uint64
+	RegFullStalls uint64
+
+	// SRT-iso shadow activity.
+	ShadowOps uint64
+
+	// Register file traffic for the energy model.
+	RegReads  uint64
+	RegWrites uint64
+
+	// IssuedByClass counts issued operations per functional class
+	// (indexed by isa.Class) for the energy model.
+	IssuedByClass [16]uint64
+}
+
+// IPC returns committed instructions (architectural, excluding shadow
+// ops) per cycle.
+func (s Stats) IPC() float64 {
+	if s.Cycles == 0 {
+		return 0
+	}
+	return float64(s.Committed) / float64(s.Cycles)
+}
+
+// CPI returns cycles per committed instruction.
+func (s Stats) CPI() float64 {
+	if s.Committed == 0 {
+		return 0
+	}
+	return float64(s.Cycles) / float64(s.Committed)
+}

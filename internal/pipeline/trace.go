@@ -1,0 +1,151 @@
+package pipeline
+
+import (
+	"fmt"
+	"io"
+)
+
+// TraceEvent is one pipeline event delivered to a Tracer.
+type TraceEvent struct {
+	Cycle  uint64
+	Thread int
+	Seq    uint64
+	PC     uint64
+	Stage  TraceStage
+	// Detail carries stage-specific context (squash reasons, trigger
+	// kinds, values).
+	Detail string
+}
+
+// TraceStage identifies the pipeline event type.
+type TraceStage uint8
+
+// Trace stages.
+const (
+	TraceFetch TraceStage = iota
+	TraceDispatch
+	TraceIssue
+	TraceComplete
+	TraceCommit
+	TraceSquash
+	TraceReplay
+	TraceRollback
+	TraceSingleton
+	TraceException
+)
+
+// String names the stage.
+func (s TraceStage) String() string {
+	switch s {
+	case TraceFetch:
+		return "fetch"
+	case TraceDispatch:
+		return "dispatch"
+	case TraceIssue:
+		return "issue"
+	case TraceComplete:
+		return "complete"
+	case TraceCommit:
+		return "commit"
+	case TraceSquash:
+		return "squash"
+	case TraceReplay:
+		return "replay"
+	case TraceRollback:
+		return "rollback"
+	case TraceSingleton:
+		return "singleton"
+	case TraceException:
+		return "exception"
+	}
+	return "?"
+}
+
+// Tracer receives pipeline events. Implementations must be fast; the
+// tracer is invoked inline in the simulation loop.
+type Tracer interface {
+	Trace(ev TraceEvent)
+}
+
+// SetTracer attaches a tracer (nil detaches). Tracing is off by
+// default and costs nothing when detached.
+func (c *Core) SetTracer(t Tracer) { c.tracer = t }
+
+// trace emits an event if a tracer is attached.
+func (c *Core) trace(stage TraceStage, u *uop, detail string) {
+	if c.tracer == nil {
+		return
+	}
+	ev := TraceEvent{Cycle: c.cycle, Stage: stage, Detail: detail}
+	if u != nil {
+		ev.Thread = u.thread
+		ev.Seq = u.seq
+		ev.PC = u.pc
+	}
+	c.tracer.Trace(ev)
+}
+
+// traceThread emits a thread-scoped event with no instruction.
+func (c *Core) traceThread(stage TraceStage, tid int, detail string) {
+	if c.tracer == nil {
+		return
+	}
+	c.tracer.Trace(TraceEvent{Cycle: c.cycle, Thread: tid, Stage: stage, Detail: detail})
+}
+
+// WriterTracer formats events one per line onto an io.Writer.
+type WriterTracer struct {
+	W io.Writer
+	// Stages filters the trace; nil means everything.
+	Stages map[TraceStage]bool
+	// program disassembly lookup, optional
+	Disasm func(thread int, pc uint64) string
+}
+
+// Trace implements Tracer.
+func (w *WriterTracer) Trace(ev TraceEvent) {
+	if w.Stages != nil && !w.Stages[ev.Stage] {
+		return
+	}
+	asm := ""
+	if w.Disasm != nil {
+		asm = "  " + w.Disasm(ev.Thread, ev.PC)
+	}
+	detail := ev.Detail
+	if detail != "" {
+		detail = "  [" + detail + "]"
+	}
+	fmt.Fprintf(w.W, "%8d t%d %-9s pc=%-5d seq=%-7d%s%s\n",
+		ev.Cycle, ev.Thread, ev.Stage, ev.PC, ev.Seq, asm, detail)
+}
+
+// NewWriterTracer builds a WriterTracer bound to c's programs for
+// disassembly.
+func (c *Core) NewWriterTracer(w io.Writer, stages ...TraceStage) *WriterTracer {
+	var filter map[TraceStage]bool
+	if len(stages) > 0 {
+		filter = make(map[TraceStage]bool, len(stages))
+		for _, s := range stages {
+			filter[s] = true
+		}
+	}
+	return &WriterTracer{
+		W:      w,
+		Stages: filter,
+		Disasm: func(thread int, pc uint64) string {
+			code := c.threads[thread].prog.Code
+			if pc < uint64(len(code)) {
+				return code[pc].String()
+			}
+			return "<out of range>"
+		},
+	}
+}
+
+// CountingTracer tallies events per stage (tests and quick stats).
+type CountingTracer struct {
+	Counts [10]uint64
+}
+
+// Trace implements Tracer.
+func (t *CountingTracer) Trace(ev TraceEvent) { t.Counts[ev.Stage]++ }

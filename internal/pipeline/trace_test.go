@@ -1,0 +1,99 @@
+package pipeline
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"faulthound/internal/prog"
+)
+
+func TestCountingTracerSeesLifecycle(t *testing.T) {
+	p := buildSum(50)
+	c, err := New(DefaultConfig(1), []*prog.Program{p}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ct CountingTracer
+	c.SetTracer(&ct)
+	c.Run(1_000_000)
+	if ct.Counts[TraceFetch] == 0 || ct.Counts[TraceDispatch] == 0 ||
+		ct.Counts[TraceIssue] == 0 || ct.Counts[TraceComplete] == 0 ||
+		ct.Counts[TraceCommit] == 0 {
+		t.Fatalf("lifecycle stages missing: %v", ct.Counts)
+	}
+	// Commits equal the committed-instruction count.
+	if ct.Counts[TraceCommit] != c.CommittedTotal() {
+		t.Fatalf("commit events %d != committed %d", ct.Counts[TraceCommit], c.CommittedTotal())
+	}
+	// Fetch >= dispatch >= commit (speculation discards work).
+	if ct.Counts[TraceFetch] < ct.Counts[TraceDispatch] ||
+		ct.Counts[TraceDispatch] < ct.Counts[TraceCommit] {
+		t.Fatalf("stage ordering violated: %v", ct.Counts)
+	}
+}
+
+func TestWriterTracerOutput(t *testing.T) {
+	p := buildSum(10)
+	c, err := New(DefaultConfig(1), []*prog.Program{p}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	c.SetTracer(c.NewWriterTracer(&buf, TraceCommit))
+	c.Run(100000)
+	out := buf.String()
+	if !strings.Contains(out, "commit") {
+		t.Fatal("no commit lines")
+	}
+	if strings.Contains(out, "fetch") {
+		t.Fatal("stage filter leaked fetch events")
+	}
+	// Disassembly appears.
+	if !strings.Contains(out, "movi") && !strings.Contains(out, "add") {
+		t.Fatalf("no disassembly in trace:\n%s", out)
+	}
+}
+
+func TestTracerSquashEvents(t *testing.T) {
+	// The memory loop's data-dependent behavior produces mispredict
+	// squashes.
+	p := buildMemLoop(64)
+	c, err := New(DefaultConfig(1), []*prog.Program{p}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ct CountingTracer
+	c.SetTracer(&ct)
+	c.Run(1_000_000)
+	if c.Stats().BranchMispredicts > 0 && ct.Counts[TraceSquash] == 0 {
+		t.Fatal("mispredicts occurred but no squash events traced")
+	}
+}
+
+func TestTracerDetachable(t *testing.T) {
+	p := buildSum(10)
+	c, err := New(DefaultConfig(1), []*prog.Program{p}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ct CountingTracer
+	c.SetTracer(&ct)
+	for i := 0; i < 50; i++ {
+		c.Step()
+	}
+	n := ct.Counts[TraceFetch]
+	c.SetTracer(nil)
+	c.Run(100000)
+	if ct.Counts[TraceFetch] != n {
+		t.Fatal("events delivered after detach")
+	}
+}
+
+func TestTraceStageNames(t *testing.T) {
+	for s := TraceFetch; s <= TraceException; s++ {
+		if s.String() == "?" {
+			t.Fatalf("stage %d unnamed", s)
+		}
+	}
+}

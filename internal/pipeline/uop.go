@@ -1,0 +1,88 @@
+package pipeline
+
+import (
+	"faulthound/internal/branch"
+	"faulthound/internal/isa"
+)
+
+// physID indexes the unified physical register file. Integer physical
+// registers occupy [0, IntPhysRegs); FP physical registers occupy
+// [IntPhysRegs, IntPhysRegs+FPPhysRegs).
+type physID uint16
+
+const physNone physID = 0xffff
+
+// uopState tracks an instruction's position in the pipeline.
+type uopState uint8
+
+const (
+	stFetched uopState = iota
+	stDispatched
+	stIssued
+	stCompleted
+	stCommitted
+	stSquashed
+)
+
+// uop is one in-flight instruction.
+type uop struct {
+	seq    uint64 // global age (monotonic)
+	thread int
+	pc     uint64
+	inst   isa.Inst
+
+	// Rename state.
+	dst    physID // destination physical register (physNone if none)
+	oldDst physID // previous mapping of the arch dest, freed at commit
+	src    [2]physID
+	nsrc   int
+
+	state uopState
+
+	// Front-end prediction and checkpoint (branches only).
+	pred    branch.Prediction
+	ratCkpt []physID // per-thread RAT snapshot for mispredict recovery
+	predPC  uint64   // next PC the front end followed after this uop
+	isCall  bool
+	isRet   bool
+
+	// Execution results.
+	result    uint64
+	effAddr   uint64
+	storeVal  uint64
+	taken     bool
+	target    uint64
+	excepted  bool // memory translation exception, raised at commit
+	exceptMsg string
+
+	// Timing.
+	readyAt    uint64 // fetch-queue release cycle
+	completeAt uint64 // scheduled completion cycle while executing
+
+	// Queue positions.
+	inIQ     bool
+	lsqIndex int // index into the thread's LSQ ring, -1 if none
+
+	// Replay bookkeeping.
+	// rmwDone marks an atomic whose read-modify-write has been applied
+	// to memory; such a uop can no longer be squashed.
+	rmwDone    bool
+	inDelayBuf bool
+	replaying  bool
+	replayed   bool // has been re-executed at least once
+	shadow     bool // SRT-iso redundant copy: consumes bandwidth only
+	halt       bool
+}
+
+// isMem reports whether the uop accesses data memory (including
+// atomics, which occupy LSQ entries).
+func (u *uop) isMem() bool { return u.inst.IsMem() || u.inst.IsAtomic() }
+
+// isLoad reports whether the uop is a load.
+func (u *uop) isLoad() bool { return u.inst.Op == isa.LD }
+
+// isStore reports whether the uop is a store.
+func (u *uop) isStore() bool { return u.inst.Op == isa.ST }
+
+// fuClass maps the uop to a functional-unit pool.
+func (u *uop) fuClass() isa.Class { return isa.ClassOf(u.inst.Op) }

@@ -1,0 +1,388 @@
+package prog
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"faulthound/internal/isa"
+)
+
+// Parse assembles a textual program. The syntax mirrors the
+// disassembly format of isa.Inst.String:
+//
+//	; comment (also //)
+//	.data <dataSizeBytes>        directive, once, before code
+//	.word <offset> <value>       initialize a data word (byte offset)
+//	.base <address>              optional data-segment base
+//	label:
+//	add r1, r2, r3               register-register ops
+//	addi r1, r2, 42              register-immediate ops
+//	movi r5, -7
+//	ld r4, [r2+16]               loads/stores with byte offsets
+//	st [r2-8], r6
+//	beq r1, r2, label            branches to labels
+//	jmp label
+//	jal label                    call (links r31)
+//	ret                          jalr r0, r31
+//	halt
+//
+// Registers are r0..r31 and f0..f15. Numbers may be decimal or 0x-hex.
+func Parse(name, src string) (*Program, error) {
+	var (
+		b        *Builder
+		dataSize uint64 = 4096
+		base     uint64 = DefaultDataBase
+		pending  []func(*Builder) error
+	)
+	flush := func() *Builder {
+		if b == nil {
+			b = NewBuilderAt(name, base, dataSize)
+			for _, f := range pending {
+				if err := f(b); err != nil {
+					b.errs = append(b.errs, err)
+				}
+			}
+			pending = nil
+		}
+		return b
+	}
+
+	for ln, raw := range strings.Split(src, "\n") {
+		line := raw
+		if i := strings.IndexAny(line, ";"); i >= 0 {
+			line = line[:i]
+		}
+		if i := strings.Index(line, "//"); i >= 0 {
+			line = line[:i]
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		lineNo := ln + 1
+
+		switch {
+		case strings.HasPrefix(line, ".data"):
+			v, err := parseNum(strings.TrimSpace(strings.TrimPrefix(line, ".data")))
+			if err != nil {
+				return nil, fmt.Errorf("%s:%d: bad .data size: %v", name, lineNo, err)
+			}
+			if b != nil {
+				return nil, fmt.Errorf("%s:%d: .data must precede code", name, lineNo)
+			}
+			dataSize = uint64(v)
+			continue
+		case strings.HasPrefix(line, ".base"):
+			v, err := parseNum(strings.TrimSpace(strings.TrimPrefix(line, ".base")))
+			if err != nil {
+				return nil, fmt.Errorf("%s:%d: bad .base: %v", name, lineNo, err)
+			}
+			if b != nil {
+				return nil, fmt.Errorf("%s:%d: .base must precede code", name, lineNo)
+			}
+			base = uint64(v)
+			continue
+		case strings.HasPrefix(line, ".word"):
+			fields := strings.Fields(strings.TrimPrefix(line, ".word"))
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("%s:%d: .word wants <offset> <value>", name, lineNo)
+			}
+			off, err1 := parseNum(fields[0])
+			val, err2 := parseNum(fields[1])
+			if err1 != nil || err2 != nil {
+				return nil, fmt.Errorf("%s:%d: bad .word operands", name, lineNo)
+			}
+			pending = append(pending, func(b *Builder) error {
+				b.Word(uint64(off), uint64(val))
+				return nil
+			})
+			continue
+		}
+
+		bb := flush()
+		if strings.HasSuffix(line, ":") {
+			bb.Label(strings.TrimSuffix(line, ":"))
+			continue
+		}
+		if err := parseInst(bb, line); err != nil {
+			return nil, fmt.Errorf("%s:%d: %v", name, lineNo, err)
+		}
+	}
+	if b == nil {
+		return nil, fmt.Errorf("%s: no code", name)
+	}
+	return b.Build()
+}
+
+// MustParse is Parse for known-good sources; it panics on error.
+func MustParse(name, src string) *Program {
+	p, err := Parse(name, src)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// opNames maps mnemonics to opcodes and their operand shapes.
+var asmOps = map[string]isa.Op{
+	"nop": isa.NOP, "add": isa.ADD, "sub": isa.SUB, "and": isa.AND,
+	"or": isa.OR, "xor": isa.XOR, "sll": isa.SLL, "srl": isa.SRL,
+	"sra": isa.SRA, "cmplt": isa.CMPLT, "cmpltu": isa.CMPLTU,
+	"cmpeq": isa.CMPEQ, "addi": isa.ADDI, "andi": isa.ANDI,
+	"ori": isa.ORI, "xori": isa.XORI, "slli": isa.SLLI,
+	"srli": isa.SRLI, "srai": isa.SRAI, "movi": isa.MOVI,
+	"mul": isa.MUL, "div": isa.DIV, "rem": isa.REM, "fadd": isa.FADD,
+	"fsub": isa.FSUB, "fmul": isa.FMUL, "fdiv": isa.FDIV,
+	"fmin": isa.FMIN, "fmax": isa.FMAX, "i2f": isa.I2F, "f2i": isa.F2I,
+	"ld": isa.LD, "st": isa.ST, "amoadd": isa.AMOADD, "swap": isa.SWAP,
+	"beq": isa.BEQ, "bne": isa.BNE,
+	"blt": isa.BLT, "bge": isa.BGE, "jmp": isa.JMP, "jal": isa.JAL,
+	"jalr": isa.JALR, "halt": isa.HALT, "ret": isa.JALR,
+}
+
+func parseInst(b *Builder, line string) error {
+	mnem, rest, _ := strings.Cut(line, " ")
+	mnem = strings.ToLower(mnem)
+	op, ok := asmOps[mnem]
+	if !ok {
+		return fmt.Errorf("unknown mnemonic %q", mnem)
+	}
+	args := splitArgs(rest)
+
+	switch op {
+	case isa.NOP, isa.HALT:
+		if len(args) != 0 {
+			return fmt.Errorf("%s takes no operands", mnem)
+		}
+		b.Emit(isa.Inst{Op: op})
+		return nil
+	case isa.MOVI:
+		return with2(args, mnem, func(a, c string) error {
+			rd, err := parseReg(a)
+			if err != nil {
+				return err
+			}
+			imm, err := parseNum(c)
+			if err != nil {
+				return err
+			}
+			b.MovI(rd, int32(imm))
+			return nil
+		})
+	case isa.ADDI, isa.ANDI, isa.ORI, isa.XORI, isa.SLLI, isa.SRLI, isa.SRAI:
+		if len(args) != 3 {
+			return fmt.Errorf("%s wants rd, rs1, imm", mnem)
+		}
+		rd, err := parseReg(args[0])
+		if err != nil {
+			return err
+		}
+		rs1, err := parseReg(args[1])
+		if err != nil {
+			return err
+		}
+		imm, err := parseNum(args[2])
+		if err != nil {
+			return err
+		}
+		b.OpI(op, rd, rs1, int32(imm))
+		return nil
+	case isa.I2F, isa.F2I:
+		return with2(args, mnem, func(a, c string) error {
+			rd, err := parseReg(a)
+			if err != nil {
+				return err
+			}
+			rs1, err := parseReg(c)
+			if err != nil {
+				return err
+			}
+			b.Emit(isa.Inst{Op: op, Rd: rd, Rs1: rs1})
+			return nil
+		})
+	case isa.LD:
+		if len(args) != 2 {
+			return fmt.Errorf("ld wants rd, [rs+off]")
+		}
+		rd, err := parseReg(args[0])
+		if err != nil {
+			return err
+		}
+		rs, off, err := parseMem(args[1])
+		if err != nil {
+			return err
+		}
+		b.Ld(rd, rs, off)
+		return nil
+	case isa.ST:
+		if len(args) != 2 {
+			return fmt.Errorf("st wants [rs+off], rs2")
+		}
+		rs, off, err := parseMem(args[0])
+		if err != nil {
+			return err
+		}
+		rs2, err := parseReg(args[1])
+		if err != nil {
+			return err
+		}
+		b.St(rs, off, rs2)
+		return nil
+	case isa.AMOADD, isa.SWAP:
+		if len(args) != 3 {
+			return fmt.Errorf("%s wants rd, [rs+off], rs2", mnem)
+		}
+		rd, err := parseReg(args[0])
+		if err != nil {
+			return err
+		}
+		rs, off, err := parseMem(args[1])
+		if err != nil {
+			return err
+		}
+		rs2, err := parseReg(args[2])
+		if err != nil {
+			return err
+		}
+		b.Emit(isa.Inst{Op: op, Rd: rd, Rs1: rs, Rs2: rs2, Imm: off})
+		return nil
+	case isa.BEQ, isa.BNE, isa.BLT, isa.BGE:
+		if len(args) != 3 {
+			return fmt.Errorf("%s wants rs1, rs2, label", mnem)
+		}
+		rs1, err := parseReg(args[0])
+		if err != nil {
+			return err
+		}
+		rs2, err := parseReg(args[1])
+		if err != nil {
+			return err
+		}
+		b.Br(op, rs1, rs2, args[2])
+		return nil
+	case isa.JMP:
+		if len(args) != 1 {
+			return fmt.Errorf("jmp wants a label")
+		}
+		b.Jmp(args[0])
+		return nil
+	case isa.JAL:
+		if len(args) != 1 {
+			return fmt.Errorf("jal wants a label")
+		}
+		b.Call(args[0])
+		return nil
+	case isa.JALR:
+		if mnem == "ret" {
+			if len(args) != 0 {
+				return fmt.Errorf("ret takes no operands")
+			}
+			b.Ret()
+			return nil
+		}
+		if len(args) != 2 {
+			return fmt.Errorf("jalr wants rd, rs1")
+		}
+		rd, err := parseReg(args[0])
+		if err != nil {
+			return err
+		}
+		rs1, err := parseReg(args[1])
+		if err != nil {
+			return err
+		}
+		b.Emit(isa.Inst{Op: isa.JALR, Rd: rd, Rs1: rs1})
+		return nil
+	default: // three-register ops
+		if len(args) != 3 {
+			return fmt.Errorf("%s wants rd, rs1, rs2", mnem)
+		}
+		rd, err := parseReg(args[0])
+		if err != nil {
+			return err
+		}
+		rs1, err := parseReg(args[1])
+		if err != nil {
+			return err
+		}
+		rs2, err := parseReg(args[2])
+		if err != nil {
+			return err
+		}
+		b.Op3(op, rd, rs1, rs2)
+		return nil
+	}
+}
+
+func with2(args []string, mnem string, f func(a, b string) error) error {
+	if len(args) != 2 {
+		return fmt.Errorf("%s wants two operands", mnem)
+	}
+	return f(args[0], args[1])
+}
+
+func splitArgs(s string) []string {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return nil
+	}
+	parts := strings.Split(s, ",")
+	for i := range parts {
+		parts[i] = strings.TrimSpace(parts[i])
+	}
+	return parts
+}
+
+func parseReg(s string) (isa.Reg, error) {
+	s = strings.ToLower(strings.TrimSpace(s))
+	if len(s) < 2 {
+		return 0, fmt.Errorf("bad register %q", s)
+	}
+	n, err := strconv.Atoi(s[1:])
+	if err != nil {
+		return 0, fmt.Errorf("bad register %q", s)
+	}
+	switch s[0] {
+	case 'r':
+		if n < 0 || n >= isa.NumIntRegs {
+			return 0, fmt.Errorf("integer register %q out of range", s)
+		}
+		return isa.Reg(n), nil
+	case 'f':
+		if n < 0 || n >= isa.NumFPRegs {
+			return 0, fmt.Errorf("fp register %q out of range", s)
+		}
+		return isa.F(n), nil
+	}
+	return 0, fmt.Errorf("bad register %q", s)
+}
+
+// parseMem parses "[rN+off]" or "[rN-off]" or "[rN]".
+func parseMem(s string) (isa.Reg, int32, error) {
+	s = strings.TrimSpace(s)
+	if !strings.HasPrefix(s, "[") || !strings.HasSuffix(s, "]") {
+		return 0, 0, fmt.Errorf("bad memory operand %q", s)
+	}
+	inner := s[1 : len(s)-1]
+	sep := strings.IndexAny(inner, "+-")
+	if sep < 0 {
+		r, err := parseReg(inner)
+		return r, 0, err
+	}
+	r, err := parseReg(inner[:sep])
+	if err != nil {
+		return 0, 0, err
+	}
+	off, err := parseNum(inner[sep:])
+	if err != nil {
+		return 0, 0, fmt.Errorf("bad offset in %q", s)
+	}
+	return r, int32(off), nil
+}
+
+func parseNum(s string) (int64, error) {
+	s = strings.TrimSpace(s)
+	s = strings.TrimPrefix(s, "+")
+	return strconv.ParseInt(s, 0, 64)
+}

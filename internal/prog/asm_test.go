@@ -1,0 +1,220 @@
+package prog
+
+import (
+	"strings"
+	"testing"
+
+	"faulthound/internal/isa"
+)
+
+func TestParseArithLoop(t *testing.T) {
+	p, err := Parse("sum", `
+		; sum integers 1..10 into r1
+		.data 64
+		movi r1, 0
+		movi r2, 1
+		movi r3, 11
+	loop:
+		add  r1, r1, r2
+		addi r2, r2, 1
+		blt  r2, r3, loop
+		halt
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	it := NewInterp(p)
+	it.Run(1000)
+	if !it.Halted || it.Regs[1] != 55 {
+		t.Fatalf("halted=%v r1=%d", it.Halted, it.Regs[1])
+	}
+}
+
+func TestParseMemoryAndDirectives(t *testing.T) {
+	p, err := Parse("mem", `
+		.data 128
+		.word 0 41
+		movi r2, 0x10000000
+		ld   r1, [r2]
+		addi r1, r1, 1
+		st   [r2+8], r1
+		ld   r3, [r2+8]
+		halt
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	it := NewInterp(p)
+	it.Run(100)
+	if it.Regs[3] != 42 {
+		t.Fatalf("r3 = %d, want 42", it.Regs[3])
+	}
+}
+
+func TestParseCustomBase(t *testing.T) {
+	p, err := Parse("based", `
+		.base 0x20000000
+		.data 64
+		.word 8 7
+		movi r2, 0x20000000
+		ld r1, [r2+8]
+		halt
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.DataBase != 0x20000000 {
+		t.Fatalf("base = %#x", p.DataBase)
+	}
+	it := NewInterp(p)
+	it.Run(100)
+	if it.Regs[1] != 7 {
+		t.Fatalf("r1 = %d", it.Regs[1])
+	}
+}
+
+func TestParseCallRet(t *testing.T) {
+	p, err := Parse("call", `
+		movi r1, 5
+		jal double
+		halt
+	double:
+		add r1, r1, r1
+		ret
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	it := NewInterp(p)
+	it.Run(100)
+	if !it.Halted || it.Regs[1] != 10 {
+		t.Fatalf("halted=%v r1=%d", it.Halted, it.Regs[1])
+	}
+}
+
+func TestParseFP(t *testing.T) {
+	p, err := Parse("fp", `
+		movi r1, 3
+		i2f  f0, r1
+		fmul f1, f0, f0
+		f2i  r2, f1
+		halt
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	it := NewInterp(p)
+	it.Run(100)
+	if it.Regs[2] != 9 {
+		t.Fatalf("r2 = %d, want 9", it.Regs[2])
+	}
+}
+
+func TestParseNegativeOffsetsAndHex(t *testing.T) {
+	p, err := Parse("neg", `
+		.data 128
+		movi r2, 0x10000010
+		movi r1, 0x2a
+		st [r2-8], r1
+		ld r3, [r2-8]
+		halt
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	it := NewInterp(p)
+	it.Run(100)
+	if it.Regs[3] != 0x2a {
+		t.Fatalf("r3 = %#x", it.Regs[3])
+	}
+}
+
+func TestParseComments(t *testing.T) {
+	p, err := Parse("c", `
+		movi r1, 1 ; trailing comment
+		// whole-line comment
+		halt
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Code) != 2 {
+		t.Fatalf("code length = %d", len(p.Code))
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := map[string]string{
+		"unknown mnemonic": "frobnicate r1, r2",
+		"bad register":     "add r1, r99, r2",
+		"fp out of range":  "fadd f1, f20, f2",
+		"no code":          "; nothing here",
+		"bad memory":       "ld r1, r2",
+		"data after code":  "movi r1, 0\n.data 64",
+		"word args":        ".word 8",
+		"halt operands":    "halt r1",
+		"jmp label":        "jmp",
+		"undefined label":  "jmp nowhere\nhalt",
+	}
+	for name, src := range cases {
+		if _, err := Parse("bad", src); err == nil {
+			t.Errorf("%s: Parse(%q) should fail", name, src)
+		}
+	}
+}
+
+func TestParseRoundTripViaString(t *testing.T) {
+	// Disassemble a built program and reparse the reparseable subset.
+	b := NewBuilder("rt", 64)
+	b.MovI(1, 7)
+	b.Op3(isa.ADD, 3, 1, 1)
+	b.OpI(isa.XORI, 4, 3, 0x55)
+	b.Halt()
+	p := b.MustBuild()
+	var sb strings.Builder
+	for _, in := range p.Code {
+		sb.WriteString(in.String())
+		sb.WriteByte('\n')
+	}
+	p2, err := Parse("rt2", sb.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, bIt := NewInterp(p), NewInterp(p2)
+	a.Run(100)
+	bIt.Run(100)
+	if a.Regs != bIt.Regs {
+		t.Fatal("reparsed program diverges")
+	}
+}
+
+func TestMustParsePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	MustParse("bad", "frobnicate")
+}
+
+func TestParseAtomics(t *testing.T) {
+	p, err := Parse("atomics", `
+		.data 64
+		.word 0 10
+		movi r2, 0x10000000
+		movi r3, 5
+		amoadd r4, [r2], r3   ; r4 = 10, mem = 15
+		movi r5, 99
+		swap r6, [r2], r5     ; r6 = 15, mem = 99
+		ld r7, [r2]
+		halt
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	it := NewInterp(p)
+	it.Run(100)
+	if it.Regs[4] != 10 || it.Regs[6] != 15 || it.Regs[7] != 99 {
+		t.Fatalf("r4=%d r6=%d r7=%d, want 10/15/99", it.Regs[4], it.Regs[6], it.Regs[7])
+	}
+}

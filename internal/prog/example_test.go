@@ -1,0 +1,47 @@
+package prog_test
+
+import (
+	"fmt"
+
+	"faulthound/internal/isa"
+	"faulthound/internal/prog"
+)
+
+// ExampleBuilder assembles a small loop with the builder API and runs
+// it on the reference interpreter.
+func ExampleBuilder() {
+	b := prog.NewBuilder("triangle", 64)
+	b.MovI(1, 0)  // sum
+	b.MovI(2, 1)  // i
+	b.MovI(3, 11) // bound
+	b.Label("loop")
+	b.Op3(isa.ADD, 1, 1, 2)
+	b.OpI(isa.ADDI, 2, 2, 1)
+	b.Br(isa.BLT, 2, 3, "loop")
+	b.Halt()
+
+	it := prog.NewInterp(b.MustBuild())
+	it.Run(1000)
+	fmt.Println("sum of 1..10 =", it.Regs[1])
+	// Output:
+	// sum of 1..10 = 55
+}
+
+// ExampleParse assembles the same program from text.
+func ExampleParse() {
+	p := prog.MustParse("triangle", `
+		movi r1, 0
+		movi r2, 1
+		movi r3, 11
+	loop:
+		add  r1, r1, r2
+		addi r2, r2, 1
+		blt  r2, r3, loop
+		halt
+	`)
+	it := prog.NewInterp(p)
+	it.Run(1000)
+	fmt.Println("sum of 1..10 =", it.Regs[1])
+	// Output:
+	// sum of 1..10 = 55
+}

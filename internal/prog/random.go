@@ -1,0 +1,169 @@
+package prog
+
+import (
+	"fmt"
+
+	"faulthound/internal/isa"
+	"faulthound/internal/stats"
+)
+
+// RandomConfig bounds the structured random-program generator.
+type RandomConfig struct {
+	// MaxDepth bounds block nesting (loops/ifs inside loops/ifs).
+	MaxDepth int
+	// MaxBlockLen bounds the statements per block.
+	MaxBlockLen int
+	// MaxLoopTrips bounds each loop's trip count (loops always
+	// terminate: the generator builds counted loops only).
+	MaxLoopTrips int
+	// DataWords sizes the addressable scratch array.
+	DataWords int
+	// Calls enables call/return generation.
+	Calls bool
+}
+
+// DefaultRandomConfig returns moderate bounds.
+func DefaultRandomConfig() RandomConfig {
+	return RandomConfig{MaxDepth: 3, MaxBlockLen: 8, MaxLoopTrips: 6, DataWords: 64, Calls: true}
+}
+
+// Random generates a structured, always-terminating random program:
+// nested counted loops, data-dependent ifs, arithmetic over a small
+// register set, loads/stores into a scratch array, and optional leaf
+// calls. It is the fuel for differential testing of the pipeline
+// against the reference interpreter.
+//
+// Register convention: r2 = data base (reserved), r20-r25 = loop
+// counters by depth (reserved), r3-r10 = general scratch.
+func Random(cfg RandomConfig, seed uint64) *Program {
+	g := &randGen{
+		cfg: cfg,
+		rng: stats.NewRNG(seed ^ 0xfeedface),
+		b:   NewBuilder(fmt.Sprintf("random-%d", seed), uint64(cfg.DataWords+2)*8),
+	}
+	for i := 0; i < cfg.DataWords; i++ {
+		g.b.Word(uint64(i)*8, g.rng.Uint64()&0xffff)
+	}
+	g.b.MovU64(2, g.b.DataBase())
+	for r := isa.Reg(3); r <= 10; r++ {
+		g.b.MovI(r, int32(g.rng.Intn(100)))
+	}
+	g.block(0)
+	g.b.Halt()
+	if cfg.Calls && g.usedCall {
+		// Leaf function: mangle two scratch registers and return.
+		g.b.Label("leaf")
+		g.b.Op3(isa.ADD, 9, 9, 10)
+		g.b.OpI(isa.XORI, 10, 10, 0x5a)
+		g.b.Ret()
+	}
+	return g.b.MustBuild()
+}
+
+type randGen struct {
+	cfg      RandomConfig
+	rng      *stats.RNG
+	b        *Builder
+	labels   int
+	usedCall bool
+}
+
+func (g *randGen) label(prefix string) string {
+	g.labels++
+	return fmt.Sprintf("%s%d", prefix, g.labels)
+}
+
+func (g *randGen) scratch() isa.Reg { return isa.Reg(3 + g.rng.Intn(8)) }
+
+// block emits a random sequence of statements at the given depth.
+func (g *randGen) block(depth int) {
+	n := 1 + g.rng.Intn(g.cfg.MaxBlockLen)
+	for i := 0; i < n; i++ {
+		switch g.rng.Intn(10) {
+		case 0, 1, 2:
+			g.arith()
+		case 3, 4:
+			g.load()
+		case 5:
+			g.store()
+		case 6:
+			if depth < g.cfg.MaxDepth {
+				g.loop(depth + 1)
+			} else {
+				g.arith()
+			}
+		case 7:
+			if depth < g.cfg.MaxDepth {
+				g.ifBlock(depth + 1)
+			} else {
+				g.load()
+			}
+		case 8:
+			if g.cfg.Calls {
+				g.usedCall = true
+				g.b.Call("leaf")
+			} else {
+				g.arith()
+			}
+		default:
+			g.arith()
+		}
+	}
+}
+
+func (g *randGen) arith() {
+	ops := []isa.Op{isa.ADD, isa.SUB, isa.AND, isa.OR, isa.XOR, isa.MUL, isa.CMPLT}
+	op := ops[g.rng.Intn(len(ops))]
+	g.b.Op3(op, g.scratch(), g.scratch(), g.scratch())
+	// Keep values bounded so addresses stay computable.
+	if g.rng.Bool(0.3) {
+		g.b.OpI(isa.ANDI, g.scratch(), g.scratch(), 0xffff)
+	}
+}
+
+// addr computes a safe scratch-array address into r11.
+func (g *randGen) addr() {
+	src := g.scratch()
+	g.b.OpI(isa.ANDI, 11, src, int32(g.cfg.DataWords-1)) // power-of-two mask preferred
+	if g.cfg.DataWords&(g.cfg.DataWords-1) != 0 {
+		// Non-power-of-two sizes: clamp by masking to the next lower
+		// power of two.
+		p := 1
+		for p*2 <= g.cfg.DataWords {
+			p *= 2
+		}
+		g.b.OpI(isa.ANDI, 11, src, int32(p-1))
+	}
+	g.b.OpI(isa.SLLI, 11, 11, 3)
+	g.b.Op3(isa.ADD, 11, 2, 11)
+}
+
+func (g *randGen) load() {
+	g.addr()
+	g.b.Ld(g.scratch(), 11, 0)
+}
+
+func (g *randGen) store() {
+	g.addr()
+	g.b.St(11, 0, g.scratch())
+}
+
+// loop emits a counted loop with a depth-reserved counter register.
+func (g *randGen) loop(depth int) {
+	ctr := isa.Reg(19 + depth) // r20..r25
+	trips := 1 + g.rng.Intn(g.cfg.MaxLoopTrips)
+	top := g.label("loop")
+	g.b.MovI(ctr, int32(trips))
+	g.b.Label(top)
+	g.block(depth)
+	g.b.OpI(isa.ADDI, ctr, ctr, -1)
+	g.b.Br(isa.BNE, ctr, isa.RZero, top)
+}
+
+// ifBlock emits a data-dependent conditional region.
+func (g *randGen) ifBlock(depth int) {
+	skip := g.label("skip")
+	g.b.Br(isa.BLT, g.scratch(), g.scratch(), skip)
+	g.block(depth)
+	g.b.Label(skip)
+}

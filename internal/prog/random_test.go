@@ -1,0 +1,75 @@
+package prog
+
+import (
+	"testing"
+
+	"faulthound/internal/isa"
+)
+
+func TestRandomProgramsTerminate(t *testing.T) {
+	for seed := uint64(0); seed < 50; seed++ {
+		p := Random(DefaultRandomConfig(), seed)
+		if err := p.Validate(); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		it := NewInterp(p)
+		it.Run(5_000_000)
+		if it.Faulted != nil {
+			t.Fatalf("seed %d: faulted: %v", seed, it.Faulted)
+		}
+		if !it.Halted {
+			t.Fatalf("seed %d: did not terminate within budget (steps %d)", seed, it.Steps)
+		}
+	}
+}
+
+func TestRandomDeterministic(t *testing.T) {
+	a := Random(DefaultRandomConfig(), 42)
+	b := Random(DefaultRandomConfig(), 42)
+	if len(a.Code) != len(b.Code) {
+		t.Fatal("nondeterministic length")
+	}
+	for i := range a.Code {
+		if a.Code[i] != b.Code[i] {
+			t.Fatalf("code differs at %d", i)
+		}
+	}
+	c := Random(DefaultRandomConfig(), 43)
+	if len(a.Code) == len(c.Code) {
+		same := true
+		for i := range a.Code {
+			if a.Code[i] != c.Code[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Fatal("different seeds produced identical programs")
+		}
+	}
+}
+
+func TestRandomExercisesConstructs(t *testing.T) {
+	// Across a batch of seeds, the generator must emit loops, branches,
+	// memory ops, and calls.
+	var loops, loads, stores, calls int
+	for seed := uint64(0); seed < 20; seed++ {
+		p := Random(DefaultRandomConfig(), seed)
+		for _, in := range p.Code {
+			switch {
+			case in.IsCondBranch():
+				loops++
+			case in.Op == isa.LD:
+				loads++
+			case in.Op == isa.ST:
+				stores++
+			case in.Op == isa.JAL:
+				calls++
+			}
+		}
+	}
+	if loops == 0 || loads == 0 || stores == 0 || calls == 0 {
+		t.Fatalf("constructs missing: loops=%d loads=%d stores=%d calls=%d",
+			loops, loads, stores, calls)
+	}
+}

@@ -1,0 +1,348 @@
+package sm
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestStickyFirstChangeAlarms(t *testing.T) {
+	s := NewSticky()
+	if s.Changing() {
+		t.Fatal("sticky should start unchanging")
+	}
+	if !s.Observe(true) {
+		t.Fatal("first change should alarm")
+	}
+	if !s.Changing() {
+		t.Fatal("should be changing after first change")
+	}
+}
+
+func TestStickyStaysSaturated(t *testing.T) {
+	s := NewSticky()
+	s.Observe(true)
+	// Arbitrarily many no-changes must not unstick it.
+	for i := 0; i < 100; i++ {
+		if s.Observe(false) {
+			t.Fatal("no-change must never alarm")
+		}
+	}
+	if !s.Changing() {
+		t.Fatal("sticky counter must stay saturated until Reset")
+	}
+	if s.Observe(true) {
+		t.Fatal("second change must not alarm (low coverage by design)")
+	}
+}
+
+func TestStickyReset(t *testing.T) {
+	s := NewSticky()
+	s.Observe(true)
+	s.Reset()
+	if s.Changing() {
+		t.Fatal("Reset should return to unchanging")
+	}
+	if !s.Observe(true) {
+		t.Fatal("change after Reset should alarm again")
+	}
+}
+
+func TestStandardDirectTransitions(t *testing.T) {
+	s := NewStandard(4) // U, C1, C2, C3 as in Figure 2(a)
+	if !s.Observe(true) {
+		t.Fatal("U->C1 should alarm")
+	}
+	if s.Observe(false) {
+		t.Fatal("C1->U should not alarm")
+	}
+	if s.Changing() {
+		t.Fatal("one no-change should suffice to re-enter U (the non-biased flaw)")
+	}
+	// Toggling values alarm on every change: the false-positive storm the
+	// paper attributes to the standard counter.
+	alarms := 0
+	for i := 0; i < 10; i++ {
+		if s.Observe(true) {
+			alarms++
+		}
+		s.Observe(false)
+	}
+	if alarms != 10 {
+		t.Fatalf("toggling should alarm every time with standard counter, got %d/10", alarms)
+	}
+}
+
+func TestStandardSaturation(t *testing.T) {
+	s := NewStandard(4)
+	for i := 0; i < 10; i++ {
+		s.Observe(true)
+	}
+	// From C3, three no-changes are needed to reach U.
+	s.Observe(false)
+	s.Observe(false)
+	if !s.Changing() {
+		t.Fatal("should still be changing after 2 no-changes from saturation")
+	}
+	s.Observe(false)
+	if s.Changing() {
+		t.Fatal("should be unchanging after 3 no-changes from C3")
+	}
+}
+
+func TestStandardPanicsOnTooFewStates(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewStandard(1)
+}
+
+func TestBiasedRequiresTwoNoChanges(t *testing.T) {
+	b := NewBiased(2)
+	if !b.Observe(true) {
+		t.Fatal("exit from unchanging should alarm")
+	}
+	b.Observe(false)
+	if !b.Changing() {
+		t.Fatal("one no-change must not re-enter unchanging (the bias)")
+	}
+	b.Observe(false)
+	if b.Changing() {
+		t.Fatal("two consecutive no-changes should re-enter unchanging")
+	}
+}
+
+func TestBiasedIntermediateChangeSilent(t *testing.T) {
+	b := NewBiased(2)
+	b.Observe(true)  // U -> changing, alarm
+	b.Observe(false) // intermediate
+	if b.Observe(true) {
+		t.Fatal("change in the intermediate state must not alarm (paper's coverage loss)")
+	}
+}
+
+func TestBiasedTogglingSuppressed(t *testing.T) {
+	// change, no-change, change, no-change... alarms exactly once with
+	// the biased machine; the standard counter would alarm every time.
+	b := NewBiased(2)
+	alarms := 0
+	for i := 0; i < 20; i++ {
+		if b.Observe(true) {
+			alarms++
+		}
+		b.Observe(false)
+	}
+	if alarms != 1 {
+		t.Fatalf("toggling should alarm exactly once, got %d", alarms)
+	}
+}
+
+func TestBiasedDepth3SlowerToUnchanging(t *testing.T) {
+	b := NewBiased(3)
+	b.Observe(true)
+	b.Observe(false)
+	b.Observe(false)
+	if !b.Changing() {
+		t.Fatal("depth-3 machine needs 3 no-changes")
+	}
+	b.Observe(false)
+	if b.Changing() {
+		t.Fatal("3 no-changes should suffice for depth 3")
+	}
+	if b.Depth() != 3 {
+		t.Fatalf("Depth() = %d", b.Depth())
+	}
+}
+
+func TestBiasedReset(t *testing.T) {
+	b := NewBiased(2)
+	b.Observe(true)
+	b.Reset()
+	if b.Changing() {
+		t.Fatal("Reset should return to unchanging")
+	}
+}
+
+func TestBiasedPanicsOnBadDepth(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewBiased(0)
+}
+
+func TestSuppressorAllowsFirstAlarm(t *testing.T) {
+	s := NewSuppressor(8)
+	if !s.Quiet() {
+		t.Fatal("should start quiet")
+	}
+	if !s.Observe(true) {
+		t.Fatal("first participation should be allowed")
+	}
+	if s.Quiet() {
+		t.Fatal("should not be quiet right after a participation")
+	}
+}
+
+func TestSuppressorRequiresSevenQuiets(t *testing.T) {
+	s := NewSuppressor(8)
+	s.Observe(true) // allowed; re-arms
+	// The next participation is suppressed until 7 non-participations.
+	for i := 0; i < 6; i++ {
+		s.Observe(false)
+	}
+	if s.Observe(true) {
+		t.Fatal("participation after only 6 quiets must be suppressed")
+	}
+	for i := 0; i < 7; i++ {
+		s.Observe(false)
+	}
+	if !s.Observe(true) {
+		t.Fatal("participation after 7 quiets must be allowed")
+	}
+}
+
+func TestSuppressorParticipationReArms(t *testing.T) {
+	s := NewSuppressor(8)
+	s.Observe(true)
+	for i := 0; i < 5; i++ {
+		s.Observe(false)
+	}
+	s.Observe(true) // suppressed, but must re-arm the full quiet count
+	for i := 0; i < 6; i++ {
+		s.Observe(false)
+	}
+	if s.Observe(true) {
+		t.Fatal("re-armed suppressor must still suppress after 6 quiets")
+	}
+}
+
+func TestSuppressorNonParticipationNeverAllowed(t *testing.T) {
+	s := NewSuppressor(4)
+	for i := 0; i < 20; i++ {
+		if s.Observe(false) {
+			t.Fatal("non-participation must never return allowed")
+		}
+	}
+}
+
+func TestSuppressorReset(t *testing.T) {
+	s := NewSuppressor(8)
+	s.Observe(true)
+	s.Reset()
+	if !s.Quiet() {
+		t.Fatal("Reset should return to quiet")
+	}
+	if s.States() != 8 {
+		t.Fatalf("States() = %d", s.States())
+	}
+}
+
+func TestSuppressorPanicsOnTooFewStates(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewSuppressor(1)
+}
+
+// Property: for any observation sequence, an alarm can only occur on a
+// changed observation, and only when the machine was unchanging just
+// before it.
+func TestAlarmOnlyOnExitProperty(t *testing.T) {
+	check := func(mk func() ChangeTracker) func(seq []bool) bool {
+		return func(seq []bool) bool {
+			m := mk()
+			for _, changed := range seq {
+				wasUnchanging := !m.Changing()
+				alarm := m.Observe(changed)
+				if bool(alarm) && (!changed || !wasUnchanging) {
+					return false
+				}
+			}
+			return true
+		}
+	}
+	for name, mk := range map[string]func() ChangeTracker{
+		"sticky":   func() ChangeTracker { return NewSticky() },
+		"standard": func() ChangeTracker { return NewStandard(4) },
+		"biased":   func() ChangeTracker { return NewBiased(2) },
+		"biased3":  func() ChangeTracker { return NewBiased(3) },
+	} {
+		if err := quick.Check(check(mk), nil); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+}
+
+// Property: a change always leaves every machine in the changing state.
+func TestChangeEntersChangingProperty(t *testing.T) {
+	f := func(seq []bool) bool {
+		machines := []ChangeTracker{NewSticky(), NewStandard(4), NewBiased(2)}
+		for _, changed := range seq {
+			for _, m := range machines {
+				m.Observe(changed)
+				if changed && !m.Changing() {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the biased machine alarms at most once per "burst": between
+// two alarms there must be at least Depth consecutive no-changes.
+func TestBiasedAlarmSpacingProperty(t *testing.T) {
+	f := func(seq []bool, depth8 uint8) bool {
+		depth := int(depth8%3) + 1
+		b := NewBiased(depth)
+		runOfNoChange := depth // initially unchanging
+		for _, changed := range seq {
+			alarm := b.Observe(changed)
+			if bool(alarm) && runOfNoChange < depth {
+				return false
+			}
+			if changed {
+				runOfNoChange = 0
+			} else if runOfNoChange < depth {
+				runOfNoChange++
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: suppressor allows a participation only after >= n-1
+// consecutive non-participations (or at start).
+func TestSuppressorSpacingProperty(t *testing.T) {
+	f := func(seq []bool, n8 uint8) bool {
+		n := int(n8%7) + 2
+		s := NewSuppressor(n)
+		quiets := n - 1 // initially quiet
+		for _, part := range seq {
+			allowed := s.Observe(part)
+			if allowed && quiets < n-1 {
+				return false
+			}
+			if part {
+				quiets = 0
+			} else if quiets < n-1 {
+				quiets++
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,56 @@
+// Package srt models the SRT comparator of the paper's evaluation —
+// specifically SRT-iso, the idealized, partial-redundancy variant of
+// Reinhardt & Mukherjee's Simultaneous and Redundantly Threaded
+// processor that Section 4 defines:
+//
+//   - the trailing threads incur no branch mispredictions (branch
+//     outcome queue) and no cache misses (load-value queue);
+//   - leading/trailing synchronization for checking loads and stores is
+//     free;
+//   - to compare fairly against FaultHound's partial coverage, the
+//     trailing threads re-execute only a Coverage fraction of the
+//     committed instructions.
+//
+// The pipeline implements this as "shadow" operations: each committed
+// instruction spawns, with probability Coverage, an idealized redundant
+// copy that consumes issue/FU/commit bandwidth (resource pressure on
+// the leading threads) and energy, but no registers or cache state.
+// This package configures that mode and documents the model.
+package srt
+
+import "faulthound/internal/pipeline"
+
+// Model describes one SRT variant.
+type Model struct {
+	// Name labels the scheme in harness output.
+	Name string
+	// Coverage is the fraction of committed instructions re-executed
+	// redundantly: 1.0 is full SRT; SRT-iso uses the coverage of the
+	// scheme it is compared against (the paper matches FaultHound's
+	// measured coverage).
+	Coverage float64
+}
+
+// Full returns the full-redundancy SRT detection model (coverage 1.0).
+func Full() Model { return Model{Name: "srt", Coverage: 1.0} }
+
+// Iso returns SRT-iso scaled to the given coverage.
+func Iso(coverage float64) Model {
+	if coverage < 0 {
+		coverage = 0
+	}
+	if coverage > 1 {
+		coverage = 1
+	}
+	return Model{Name: "srt-iso", Coverage: coverage}
+}
+
+// Configure applies the model to a pipeline configuration.
+func (m Model) Configure(cfg *pipeline.Config) {
+	cfg.ShadowRedundancy = m.Coverage
+}
+
+// DetectionCoverage returns the fault coverage the model provides: SRT
+// detects every fault in the instructions it re-executes, so coverage
+// equals the redundant fraction.
+func (m Model) DetectionCoverage() float64 { return m.Coverage }

@@ -1,0 +1,68 @@
+package srt
+
+import (
+	"testing"
+
+	"faulthound/internal/pipeline"
+	"faulthound/internal/prog"
+	"faulthound/internal/workload"
+)
+
+func TestModels(t *testing.T) {
+	if Full().Coverage != 1.0 || Full().Name != "srt" {
+		t.Fatal("Full model wrong")
+	}
+	if Iso(0.75).Coverage != 0.75 || Iso(0.75).Name != "srt-iso" {
+		t.Fatal("Iso model wrong")
+	}
+	if Iso(-1).Coverage != 0 || Iso(2).Coverage != 1 {
+		t.Fatal("Iso should clamp coverage")
+	}
+	if Full().DetectionCoverage() != 1.0 {
+		t.Fatal("detection coverage mismatch")
+	}
+}
+
+func TestConfigure(t *testing.T) {
+	cfg := pipeline.DefaultConfig(2)
+	Iso(0.6).Configure(&cfg)
+	if cfg.ShadowRedundancy != 0.6 {
+		t.Fatalf("ShadowRedundancy = %v", cfg.ShadowRedundancy)
+	}
+}
+
+// TestRedundancyScalesWork checks the model end-to-end: higher coverage
+// means proportionally more shadow work and never a faster run.
+func TestRedundancyScalesWork(t *testing.T) {
+	bm, err := workload.Get("bzip2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := bm.Build(prog.DefaultDataBase, 1)
+	run := func(cov float64) (uint64, uint64) {
+		cfg := pipeline.DefaultConfig(1)
+		Iso(cov).Configure(&cfg)
+		c, err := pipeline.New(cfg, []*prog.Program{p}, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c.RunUntilCommits(0, 20000, 5_000_000)
+		return c.Stats().ShadowOps, c.Cycle()
+	}
+	s0, c0 := run(0)
+	sHalf, _ := run(0.5)
+	sFull, cFull := run(1.0)
+	if s0 != 0 {
+		t.Fatal("no redundancy should mean no shadow ops")
+	}
+	if sHalf == 0 || sFull == 0 {
+		t.Fatal("redundancy produced no shadow ops")
+	}
+	ratio := float64(sFull) / float64(sHalf)
+	if ratio < 1.7 || ratio > 2.3 {
+		t.Fatalf("full/half shadow ratio = %v, want ~2", ratio)
+	}
+	if cFull < c0 {
+		t.Fatal("redundancy cannot speed the run up")
+	}
+}

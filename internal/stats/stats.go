@@ -1,0 +1,171 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Mean returns the arithmetic mean of xs, or 0 for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// GeoMean returns the geometric mean of xs, or 0 for an empty slice.
+// Non-positive entries are clamped to a tiny positive value so that a
+// single zero does not annihilate the mean (standard practice when
+// averaging speedups that may contain zeros from degenerate runs).
+func GeoMean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		if x <= 0 {
+			x = 1e-12
+		}
+		s += math.Log(x)
+	}
+	return math.Exp(s / float64(len(xs)))
+}
+
+// HarmonicMean returns the harmonic mean of xs, or 0 for an empty slice
+// or any non-positive entry.
+func HarmonicMean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		if x <= 0 {
+			return 0
+		}
+		s += 1 / x
+	}
+	return float64(len(xs)) / s
+}
+
+// Percentile returns the p-th percentile (0..100) of xs using linear
+// interpolation between closest ranks. It returns 0 for empty input.
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	ys := append([]float64(nil), xs...)
+	sort.Float64s(ys)
+	if p <= 0 {
+		return ys[0]
+	}
+	if p >= 100 {
+		return ys[len(ys)-1]
+	}
+	rank := p / 100 * float64(len(ys)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return ys[lo]
+	}
+	frac := rank - float64(lo)
+	return ys[lo]*(1-frac) + ys[hi]*frac
+}
+
+// Rate is a counter pair used throughout the detectors and the harness:
+// occurrences over opportunities.
+type Rate struct {
+	Num   uint64 // occurrences
+	Denom uint64 // opportunities
+}
+
+// Add records n occurrences over d opportunities.
+func (r *Rate) Add(n, d uint64) {
+	r.Num += n
+	r.Denom += d
+}
+
+// Hit records one occurrence over one opportunity.
+func (r *Rate) Hit() { r.Num++; r.Denom++ }
+
+// Miss records one opportunity without an occurrence.
+func (r *Rate) Miss() { r.Denom++ }
+
+// Value returns the rate as a fraction in [0, 1], or 0 when there were
+// no opportunities.
+func (r Rate) Value() float64 {
+	if r.Denom == 0 {
+		return 0
+	}
+	return float64(r.Num) / float64(r.Denom)
+}
+
+// Percent returns the rate as a percentage.
+func (r Rate) Percent() float64 { return r.Value() * 100 }
+
+// String renders the rate as "num/denom (pct%)".
+func (r Rate) String() string {
+	return fmt.Sprintf("%d/%d (%.2f%%)", r.Num, r.Denom, r.Percent())
+}
+
+// Histogram is a fixed-bucket histogram over int64 samples.
+type Histogram struct {
+	// Bounds are the inclusive upper bounds of each bucket except the
+	// last, which is unbounded.
+	Bounds []int64
+	Counts []uint64
+	Total  uint64
+	Sum    int64
+	Min    int64
+	Max    int64
+}
+
+// NewHistogram creates a histogram with the given ascending bucket
+// bounds. A final overflow bucket is added automatically.
+func NewHistogram(bounds ...int64) *Histogram {
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic("stats: histogram bounds must be strictly ascending")
+		}
+	}
+	return &Histogram{
+		Bounds: append([]int64(nil), bounds...),
+		Counts: make([]uint64, len(bounds)+1),
+		Min:    math.MaxInt64,
+		Max:    math.MinInt64,
+	}
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v int64) {
+	i := sort.Search(len(h.Bounds), func(i int) bool { return v <= h.Bounds[i] })
+	h.Counts[i]++
+	h.Total++
+	h.Sum += v
+	if v < h.Min {
+		h.Min = v
+	}
+	if v > h.Max {
+		h.Max = v
+	}
+}
+
+// MeanValue returns the arithmetic mean of all observed samples.
+func (h *Histogram) MeanValue() float64 {
+	if h.Total == 0 {
+		return 0
+	}
+	return float64(h.Sum) / float64(h.Total)
+}
+
+// Fraction returns the fraction of samples in bucket i.
+func (h *Histogram) Fraction(i int) float64 {
+	if h.Total == 0 {
+		return 0
+	}
+	return float64(h.Counts[i]) / float64(h.Total)
+}

@@ -1,0 +1,290 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestRNGDeterminism(t *testing.T) {
+	a, b := NewRNG(42), NewRNG(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("streams diverged at step %d", i)
+		}
+	}
+}
+
+func TestRNGDifferentSeedsDiffer(t *testing.T) {
+	a, b := NewRNG(1), NewRNG(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("streams with different seeds coincide %d/100 times", same)
+	}
+}
+
+func TestRNGIntnRange(t *testing.T) {
+	r := NewRNG(7)
+	for i := 0; i < 10000; i++ {
+		v := r.Intn(13)
+		if v < 0 || v >= 13 {
+			t.Fatalf("Intn(13) = %d out of range", v)
+		}
+	}
+}
+
+func TestRNGIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewRNG(1).Intn(0)
+}
+
+func TestRNGFloat64Range(t *testing.T) {
+	r := NewRNG(9)
+	for i := 0; i < 10000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 = %v out of [0,1)", f)
+		}
+	}
+}
+
+func TestRNGFloat64Uniformity(t *testing.T) {
+	r := NewRNG(11)
+	var sum float64
+	n := 100000
+	for i := 0; i < n; i++ {
+		sum += r.Float64()
+	}
+	mean := sum / float64(n)
+	if math.Abs(mean-0.5) > 0.01 {
+		t.Fatalf("mean of uniforms = %v, want ~0.5", mean)
+	}
+}
+
+func TestRNGGeometricMean(t *testing.T) {
+	r := NewRNG(13)
+	p := 0.25
+	var sum float64
+	n := 50000
+	for i := 0; i < n; i++ {
+		sum += float64(r.Geometric(p))
+	}
+	mean := sum / float64(n)
+	if math.Abs(mean-1/p) > 0.2 {
+		t.Fatalf("geometric mean = %v, want ~%v", mean, 1/p)
+	}
+}
+
+func TestRNGGeometricAtLeastOne(t *testing.T) {
+	r := NewRNG(17)
+	for i := 0; i < 10000; i++ {
+		if r.Geometric(0.9) < 1 {
+			t.Fatal("geometric sample < 1")
+		}
+	}
+	if r.Geometric(1.0) != 1 {
+		t.Fatal("Geometric(1.0) != 1")
+	}
+}
+
+func TestRNGSplitDecorrelated(t *testing.T) {
+	r := NewRNG(23)
+	s := r.Split()
+	same := 0
+	for i := 0; i < 100; i++ {
+		if r.Uint64() == s.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("split streams coincide %d/100 times", same)
+	}
+}
+
+func TestRNGPerm(t *testing.T) {
+	r := NewRNG(29)
+	p := r.Perm(50)
+	seen := make([]bool, 50)
+	for _, v := range p {
+		if v < 0 || v >= 50 || seen[v] {
+			t.Fatalf("invalid permutation: %v", p)
+		}
+		seen[v] = true
+	}
+}
+
+func TestMean(t *testing.T) {
+	if got := Mean([]float64{1, 2, 3, 4}); got != 2.5 {
+		t.Fatalf("Mean = %v, want 2.5", got)
+	}
+	if got := Mean(nil); got != 0 {
+		t.Fatalf("Mean(nil) = %v, want 0", got)
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	got := GeoMean([]float64{1, 4})
+	if math.Abs(got-2) > 1e-9 {
+		t.Fatalf("GeoMean = %v, want 2", got)
+	}
+	if GeoMean(nil) != 0 {
+		t.Fatal("GeoMean(nil) != 0")
+	}
+	// Zero entries are clamped, not fatal.
+	if v := GeoMean([]float64{0, 1}); v <= 0 {
+		t.Fatalf("GeoMean with zero entry = %v, want > 0", v)
+	}
+}
+
+func TestHarmonicMean(t *testing.T) {
+	got := HarmonicMean([]float64{1, 2})
+	want := 4.0 / 3.0
+	if math.Abs(got-want) > 1e-9 {
+		t.Fatalf("HarmonicMean = %v, want %v", got, want)
+	}
+	if HarmonicMean([]float64{1, 0}) != 0 {
+		t.Fatal("HarmonicMean with zero should be 0")
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	cases := []struct{ p, want float64 }{
+		{0, 1}, {50, 3}, {100, 5}, {25, 2},
+	}
+	for _, c := range cases {
+		if got := Percentile(xs, c.p); math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("Percentile(%v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+	if Percentile(nil, 50) != 0 {
+		t.Fatal("Percentile(nil) != 0")
+	}
+}
+
+func TestPercentileDoesNotMutate(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	Percentile(xs, 50)
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Fatalf("input mutated: %v", xs)
+	}
+}
+
+func TestRate(t *testing.T) {
+	var r Rate
+	if r.Value() != 0 {
+		t.Fatal("empty rate should be 0")
+	}
+	r.Hit()
+	r.Miss()
+	r.Miss()
+	r.Add(2, 2)
+	if r.Num != 3 || r.Denom != 5 {
+		t.Fatalf("rate = %d/%d, want 3/5", r.Num, r.Denom)
+	}
+	if math.Abs(r.Value()-0.6) > 1e-12 {
+		t.Fatalf("Value = %v, want 0.6", r.Value())
+	}
+	if math.Abs(r.Percent()-60) > 1e-9 {
+		t.Fatalf("Percent = %v, want 60", r.Percent())
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	h := NewHistogram(10, 20, 30)
+	for _, v := range []int64{5, 10, 11, 25, 31, 100} {
+		h.Observe(v)
+	}
+	want := []uint64{2, 1, 1, 2}
+	for i, w := range want {
+		if h.Counts[i] != w {
+			t.Fatalf("bucket %d = %d, want %d (counts %v)", i, h.Counts[i], w, h.Counts)
+		}
+	}
+	if h.Min != 5 || h.Max != 100 {
+		t.Fatalf("min/max = %d/%d", h.Min, h.Max)
+	}
+	if math.Abs(h.MeanValue()-182.0/6.0) > 1e-9 {
+		t.Fatalf("mean = %v", h.MeanValue())
+	}
+	if math.Abs(h.Fraction(0)-2.0/6.0) > 1e-9 {
+		t.Fatalf("Fraction(0) = %v", h.Fraction(0))
+	}
+}
+
+func TestHistogramPanicsOnBadBounds(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewHistogram(10, 10)
+}
+
+// Property: percentile is bounded by min and max of the input.
+func TestPercentileBoundedProperty(t *testing.T) {
+	f := func(raw []uint16, p8 uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for i, v := range raw {
+			xs[i] = float64(v)
+			lo = math.Min(lo, xs[i])
+			hi = math.Max(hi, xs[i])
+		}
+		p := float64(p8) / 255 * 100
+		got := Percentile(xs, p)
+		return got >= lo-1e-9 && got <= hi+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: means ordering — harmonic <= geometric <= arithmetic for
+// positive inputs.
+func TestMeanOrderingProperty(t *testing.T) {
+	f := func(raw []uint16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		for i, v := range raw {
+			xs[i] = float64(v) + 1 // strictly positive
+		}
+		h, g, a := HarmonicMean(xs), GeoMean(xs), Mean(xs)
+		return h <= g+1e-6 && g <= a+1e-6
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: histogram conserves the total count.
+func TestHistogramConservationProperty(t *testing.T) {
+	f := func(raw []int32) bool {
+		h := NewHistogram(-100, 0, 100, 1000)
+		for _, v := range raw {
+			h.Observe(int64(v))
+		}
+		var n uint64
+		for _, c := range h.Counts {
+			n += c
+		}
+		return n == h.Total && h.Total == uint64(len(raw))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

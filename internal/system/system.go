@@ -1,0 +1,230 @@
+// Package system assembles multiple cores into the paper's Table-2
+// machine: 8 cores, each 2-way SMT, sharing one memory image. The
+// multithreaded benchmarks (SPLASH-2 and the commercial workloads) run
+// one software thread per SMT context across all cores; detectors are
+// per-core, as FaultHound's hardware is.
+//
+// Caches are private and timing-only (architectural data lives in the
+// shared memory), so cross-core sharing is architecturally coherent by
+// construction; the timing model omits coherence misses, which none of
+// the paper's mechanisms interact with.
+package system
+
+import (
+	"fmt"
+
+	"faulthound/internal/detect"
+	"faulthound/internal/mem"
+	"faulthound/internal/pipeline"
+	"faulthound/internal/prog"
+)
+
+// Config describes the machine.
+type Config struct {
+	// Cores is the core count (Table 2 uses 8).
+	Cores int
+	// Core is the per-core configuration (Threads sets the SMT width).
+	Core pipeline.Config
+}
+
+// DefaultConfig returns the paper's 8-core, 2-way-SMT machine.
+func DefaultConfig() Config {
+	return Config{Cores: 8, Core: pipeline.DefaultConfig(2)}
+}
+
+// System is a running multicore machine.
+type System struct {
+	cfg    Config
+	cores  []*pipeline.Core
+	memory *mem.Memory
+}
+
+// New builds a system running the given programs, one per hardware
+// thread (len(programs) must equal Cores x Core.Threads). All programs
+// share one memory image spanning the union of their data segments;
+// give threads disjoint segments unless they intentionally share.
+// mkDetector builds one detector per core (nil for no detection).
+func New(cfg Config, programs []*prog.Program, mkDetector func(core int) detect.Detector) (*System, error) {
+	if cfg.Cores < 1 {
+		return nil, fmt.Errorf("system: need at least one core")
+	}
+	want := cfg.Cores * cfg.Core.Threads
+	if len(programs) != want {
+		return nil, fmt.Errorf("system: %d programs for %d hardware threads", len(programs), want)
+	}
+
+	base, end := programs[0].DataBase, programs[0].DataBase+programs[0].DataSize
+	image := make(map[uint64]uint64)
+	for _, p := range programs {
+		if p.DataBase < base {
+			base = p.DataBase
+		}
+		if e := p.DataBase + p.DataSize; e > end {
+			end = e
+		}
+		for a, v := range p.Data {
+			image[a] = v
+		}
+	}
+	shared := mem.NewMemory(base, end-base, image)
+
+	s := &System{cfg: cfg, memory: shared}
+	for i := 0; i < cfg.Cores; i++ {
+		var det detect.Detector
+		if mkDetector != nil {
+			det = mkDetector(i)
+		}
+		slice := programs[i*cfg.Core.Threads : (i+1)*cfg.Core.Threads]
+		c, err := pipeline.NewShared(cfg.Core, slice, det, shared)
+		if err != nil {
+			return nil, fmt.Errorf("system: core %d: %w", i, err)
+		}
+		s.cores = append(s.cores, c)
+	}
+	return s, nil
+}
+
+// Cores returns the core count.
+func (s *System) Cores() int { return len(s.cores) }
+
+// Core returns core i.
+func (s *System) Core(i int) *pipeline.Core { return s.cores[i] }
+
+// Memory returns the shared memory image.
+func (s *System) Memory() *mem.Memory { return s.memory }
+
+// Step advances every core by one cycle (cores are cycle-synchronous).
+func (s *System) Step() {
+	for _, c := range s.cores {
+		c.Step()
+	}
+}
+
+// Run steps the system until every hardware thread halts or maxCycles
+// elapse; it returns the cycles executed.
+func (s *System) Run(maxCycles uint64) uint64 {
+	var n uint64
+	for n < maxCycles && !s.AllHalted() {
+		s.Step()
+		n++
+	}
+	return n
+}
+
+// RunUntilCommits steps until core 0's thread 0 commits n instructions
+// or maxCycles elapse; it reports whether the target was reached.
+func (s *System) RunUntilCommits(n, maxCycles uint64) bool {
+	var cycles uint64
+	for s.cores[0].Committed(0) < n {
+		if cycles >= maxCycles || s.AllHalted() {
+			return s.cores[0].Committed(0) >= n
+		}
+		s.Step()
+		cycles++
+	}
+	return true
+}
+
+// AllHalted reports whether every hardware thread has halted.
+func (s *System) AllHalted() bool {
+	for _, c := range s.cores {
+		if !c.AllHalted() {
+			return false
+		}
+	}
+	return true
+}
+
+// CommittedTotal sums committed instructions across all cores.
+func (s *System) CommittedTotal() uint64 {
+	var n uint64
+	for _, c := range s.cores {
+		n += c.CommittedTotal()
+	}
+	return n
+}
+
+// Stats aggregates the per-core pipeline counters.
+func (s *System) Stats() pipeline.Stats {
+	var agg pipeline.Stats
+	for _, c := range s.cores {
+		st := c.Stats()
+		agg.Cycles = st.Cycles // synchronous: same on every core
+		agg.Fetched += st.Fetched
+		agg.Dispatched += st.Dispatched
+		agg.Issued += st.Issued
+		agg.Completed += st.Completed
+		agg.Committed += st.Committed
+		agg.Loads += st.Loads
+		agg.Stores += st.Stores
+		agg.Branches += st.Branches
+		agg.BranchMispredicts += st.BranchMispredicts
+		agg.Exceptions += st.Exceptions
+		agg.ReplayTriggers += st.ReplayTriggers
+		agg.ReplayedUops += st.ReplayedUops
+		agg.Rollbacks += st.Rollbacks
+		agg.RollbackSquashedUops += st.RollbackSquashedUops
+		agg.Singletons += st.Singletons
+		agg.FaultsDeclared += st.FaultsDeclared
+		agg.ShadowOps += st.ShadowOps
+		agg.RegReads += st.RegReads
+		agg.RegWrites += st.RegWrites
+		for i := range st.IssuedByClass {
+			agg.IssuedByClass[i] += st.IssuedByClass[i]
+		}
+	}
+	return agg
+}
+
+// Clone returns an independent deep copy of the whole machine: the
+// shared memory is cloned once and every core clone references it. The
+// multicore fault-injection runner uses this.
+func (s *System) Clone() *System {
+	m := s.memory.Clone()
+	d := &System{cfg: s.cfg, memory: m}
+	for _, c := range s.cores {
+		d.cores = append(d.cores, c.CloneWithMemory(m))
+	}
+	return d
+}
+
+// ArchHash folds the shared memory and every hardware thread's live
+// architectural registers into one fingerprint for tandem comparison.
+func (s *System) ArchHash() uint64 {
+	h := s.memory.Hash()
+	for ci, c := range s.cores {
+		for tid := 0; tid < s.cfg.Core.Threads; tid++ {
+			regs := c.LiveArchRegs(tid)
+			for i, v := range regs {
+				x := (uint64(ci*64+tid*48+i) + 1) * 0x9e3779b97f4a7c15
+				x ^= v + 0x2545f4914f6cdd1d
+				x ^= x >> 33
+				x *= 0xff51afd7ed558ccd
+				x ^= x >> 33
+				h ^= x
+			}
+		}
+	}
+	return h
+}
+
+// WarmDetectors fast-forwards every core's detector over its thread-0
+// program (see pipeline.Core.WarmDetector).
+func (s *System) WarmDetectors(n uint64) {
+	for _, c := range s.cores {
+		c.WarmDetector(n)
+	}
+}
+
+// AnyExcepted reports whether any hardware thread took an exception,
+// and one of the messages.
+func (s *System) AnyExcepted() (bool, string) {
+	for _, c := range s.cores {
+		for tid := 0; tid < s.cfg.Core.Threads; tid++ {
+			if exc, msg := c.Excepted(tid); exc {
+				return true, msg
+			}
+		}
+	}
+	return false, ""
+}

@@ -1,0 +1,30 @@
+package tcam_test
+
+import (
+	"fmt"
+
+	"faulthound/internal/tcam"
+)
+
+// Example demonstrates the clustered, value-indexed filter organization
+// of Section 3.1: a strided address stream settles into a filter whose
+// low bits are wildcards, and a genuinely foreign value triggers.
+func Example() {
+	tc := tcam.New(tcam.DefaultConfig())
+
+	// A stable neighborhood: stack-slot-like addresses.
+	for i := 0; i < 10; i++ {
+		tc.Lookup(0x7fff1000)
+	}
+	res := tc.Lookup(0x7fff1000)
+	fmt.Println("stable value triggers:", res.Trigger)
+
+	// A single-bit deviation from a learned neighborhood — the
+	// signature of a soft fault.
+	res = tc.Lookup(0x7fff1000 ^ 1<<40)
+	fmt.Println("bit-40 flip triggers:", res.Trigger)
+
+	// Output:
+	// stable value triggers: false
+	// bit-40 flip triggers: true
+}

@@ -1,0 +1,43 @@
+package tcam
+
+import (
+	"testing"
+
+	"faulthound/internal/filter"
+)
+
+func BenchmarkLookupMatch(b *testing.B) {
+	tc := New(DefaultConfig())
+	tc.Lookup(0x10000000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tc.Lookup(0x10000000)
+	}
+}
+
+func BenchmarkLookupStride(b *testing.B) {
+	tc := New(DefaultConfig())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tc.Lookup(0x10000000 + uint64(i%4096)*8)
+	}
+}
+
+func BenchmarkProbe(b *testing.B) {
+	tc := New(DefaultConfig())
+	for i := uint64(0); i < 64; i++ {
+		tc.Lookup(0x10000000 + i*8)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tc.Probe(0x10000000 + uint64(i%4096)*8)
+	}
+}
+
+func BenchmarkFilterObserve(b *testing.B) {
+	f := filter.New(filter.Biased2, 0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.Observe(uint64(i))
+	}
+}

@@ -1,0 +1,407 @@
+// Package tcam implements FaultHound's inverted filter organization
+// (ISCA'15 Section 3.1): a small counting ternary CAM of bit-mask
+// filters searched by value, so that similar values cluster into the
+// same filter and reinforce its learning. The TCAM carries the
+// second-level filter that masks delinquent bit positions (Section 3.2)
+// and the per-entry squash state machines that distinguish rename
+// faults from false positives (Section 3.4).
+package tcam
+
+import (
+	"math/bits"
+
+	"faulthound/internal/filter"
+	"faulthound/internal/sm"
+)
+
+// Config sizes one TCAM (the paper uses two: one for load/store
+// addresses, one for store values).
+type Config struct {
+	// Entries is the filter count; the paper finds 16-32 sufficient
+	// even for commercial workloads (Table 2 uses 32).
+	Entries int
+	// Policy selects the per-bit state machine (Biased2 in FaultHound).
+	Policy filter.Policy
+	// LoosenThreshold is the maximum mismatch bit count for which the
+	// closest filter is loosened instead of a filter being replaced
+	// (the paper uses 4).
+	LoosenThreshold int
+	// SecondLevel enables the delinquent-bit second-level filter.
+	SecondLevel bool
+	// SecondLevelStates is the per-bit suppressor state count (8 in the
+	// paper: 7 consecutive no-alarms required).
+	SecondLevelStates int
+	// SecondLevelUnion, when true, trains the second-level filter on
+	// the union of all filters' mismatch bits instead of only the
+	// closest filter's (an interpretation knob; default false).
+	SecondLevelUnion bool
+	// SquashMachines enables the per-entry squash state machines.
+	SquashMachines bool
+	// SquashStates is the squash machine state count (8 in the paper).
+	SquashStates int
+	// SquashMinMismatch is the minimum mismatch bit count for a trigger
+	// to be eligible for squash escalation: a rename fault substitutes
+	// a value from a different neighborhood, so its mismatch is wide,
+	// while natural drift loosens one or two bits. 0 means
+	// LoosenThreshold+1 (replacement-level only).
+	SquashMinMismatch int
+	// PeriodicClear, if nonzero, flash-clears all filters every that
+	// many lookups (PBFS-style; unused by FaultHound).
+	PeriodicClear uint64
+}
+
+// DefaultConfig returns the paper's Table-2 TCAM configuration.
+func DefaultConfig() Config {
+	return Config{
+		Entries:           32,
+		Policy:            filter.Biased2,
+		LoosenThreshold:   4,
+		SecondLevel:       true,
+		SecondLevelStates: 8,
+		SquashMachines:    true,
+		SquashStates:      8,
+		SquashMinMismatch: 3,
+	}
+}
+
+// Result reports the outcome of one TCAM lookup.
+type Result struct {
+	// Trigger is true when the value fell outside every filter's
+	// neighborhood (a potential fault or a new value neighborhood).
+	Trigger bool
+	// Suppressed is true when a trigger was masked by the second-level
+	// filter (a likely delinquent-bit false positive). A suppressed
+	// trigger causes no replay.
+	Suppressed bool
+	// SquashAllowed is true when the squash state machine of the
+	// closest-matching filter identifies a likely rename fault, which
+	// requires a full rollback rather than a replay.
+	SquashAllowed bool
+	// BestIndex is the index of the fully-matching or closest filter.
+	BestIndex int
+	// MismatchMask holds the mismatching bit positions of the closest
+	// filter on a trigger (zero on a match).
+	MismatchMask uint64
+	// Replaced is true when the lookup installed a new filter in place
+	// of an existing one (mismatch count above the loosen threshold).
+	Replaced bool
+}
+
+// Stats counts TCAM activity for the harness and the energy model.
+type Stats struct {
+	Lookups      uint64
+	Triggers     uint64 // raw first-level triggers
+	Suppressed   uint64 // masked by the second-level filter
+	Replays      uint64 // triggers that proceed as replays
+	Squashes     uint64 // triggers escalated to rollback
+	Loosened     uint64
+	Replaced     uint64
+	FlashClears  uint64
+	LearnLookups uint64 // lookups during replay (learn-only)
+}
+
+// TCAM is one counting ternary CAM of bit-mask filters.
+type TCAM struct {
+	cfg     Config
+	filters []*filter.Filter
+	used    []bool
+	age     []uint64 // last-touch stamp per entry for LRU replacement
+	stamp   uint64
+	second  []*sm.Suppressor // one per bit position
+	squash  []*sm.Suppressor // one per entry
+	stats   Stats
+	// learnOnly suppresses trigger actions while filters keep learning
+	// (FaultHound ignores triggers during replay, Section 3.3).
+	learnOnly bool
+}
+
+// New creates a TCAM from cfg.
+func New(cfg Config) *TCAM {
+	if cfg.Entries <= 0 {
+		panic("tcam: need at least one entry")
+	}
+	t := &TCAM{
+		cfg:     cfg,
+		filters: make([]*filter.Filter, cfg.Entries),
+		used:    make([]bool, cfg.Entries),
+		age:     make([]uint64, cfg.Entries),
+	}
+	for i := range t.filters {
+		t.filters[i] = filter.New(cfg.Policy, 0)
+	}
+	if cfg.SecondLevel {
+		t.second = make([]*sm.Suppressor, 64)
+		for i := range t.second {
+			t.second[i] = sm.NewSuppressor(cfg.SecondLevelStates)
+		}
+	}
+	if cfg.SquashMachines {
+		t.squash = make([]*sm.Suppressor, cfg.Entries)
+		for i := range t.squash {
+			t.squash[i] = sm.NewSuppressor(cfg.SquashStates)
+		}
+	}
+	return t
+}
+
+// Config returns the TCAM configuration.
+func (t *TCAM) Config() Config { return t.cfg }
+
+// Stats returns a snapshot of the activity counters.
+func (t *TCAM) Stats() Stats { return t.stats }
+
+// SetLearnOnly controls replay-time behavior: when true, lookups update
+// the filters but never report triggers (and do not train the
+// second-level or squash machines).
+func (t *TCAM) SetLearnOnly(v bool) { t.learnOnly = v }
+
+// Lookup searches the TCAM for v, updates the winning filter as part of
+// the lookup, and reports the outcome. This is the complete per-value
+// operation of Section 3.1, including the second-level filter and
+// squash machine decisions.
+func (t *TCAM) Lookup(v uint64) Result {
+	t.stats.Lookups++
+	if t.cfg.PeriodicClear != 0 && t.stats.Lookups%t.cfg.PeriodicClear == 0 {
+		t.FlashClear()
+	}
+	t.stamp++
+
+	// Counting-TCAM search: find the closest-matching filter and, if
+	// requested, the union of mismatching bits.
+	best, bestCount := -1, 65
+	bestMask := uint64(0)
+	var unionMask uint64
+	anyUsed := false
+	for i, f := range t.filters {
+		if !t.used[i] {
+			continue
+		}
+		anyUsed = true
+		mask := f.Match(v)
+		if t.cfg.SecondLevelUnion {
+			unionMask |= mask
+		}
+		n := bits.OnesCount64(mask)
+		if n < bestCount {
+			best, bestCount, bestMask = i, n, mask
+		}
+	}
+
+	// Cold start: install the value in a free entry, no trigger.
+	if !anyUsed {
+		t.install(v)
+		return Result{BestIndex: 0}
+	}
+
+	if bestCount == 0 {
+		// Inside a neighborhood: reinforce the winning filter.
+		t.filters[best].Observe(v)
+		t.age[best] = t.stamp
+		return Result{BestIndex: best}
+	}
+
+	// Trigger: the value is outside every neighborhood.
+	res := Result{Trigger: true, BestIndex: best, MismatchMask: bestMask}
+
+	// Update or replace, as part of the lookup (Figure 3).
+	if bestCount <= t.cfg.LoosenThreshold {
+		t.filters[best].Observe(v)
+		t.age[best] = t.stamp
+		t.stats.Loosened++
+	} else if free := t.freeEntry(); free >= 0 {
+		t.filters[free].Reset(v)
+		t.used[free] = true
+		t.age[free] = t.stamp
+		res.Replaced = true
+		res.BestIndex = free
+		t.stats.Replaced++
+	} else {
+		victim := t.lruEntry()
+		t.filters[victim].Reset(v)
+		t.age[victim] = t.stamp
+		res.Replaced = true
+		res.BestIndex = victim
+		t.stats.Replaced++
+	}
+
+	if t.learnOnly {
+		// Triggers are ignored during replay to avoid repeated replay
+		// triggers; the state machines are not trained either.
+		t.stats.LearnLookups++
+		res.Trigger = false
+		res.MismatchMask = 0
+		res.Replaced = false
+		return res
+	}
+
+	t.stats.Triggers++
+
+	// Second-level filter: the trigger is allowed when the majority of
+	// its mismatching bit positions have been quiet. Natural value
+	// drift re-offends in the same (delinquent) bit positions and is
+	// suppressed; a fault — injected or propagated — mismatches mostly
+	// quiet positions and passes (Section 3.2). Every bit's suppressor
+	// is trained regardless.
+	if t.second != nil {
+		trainMask := bestMask
+		if t.cfg.SecondLevelUnion {
+			trainMask = unionMask
+		}
+		quiet, total := 0, 0
+		for b := 0; b < 64; b++ {
+			participated := trainMask>>uint(b)&1 == 1
+			allowed := t.second[b].Observe(participated)
+			if participated {
+				total++
+				if allowed {
+					quiet++
+				}
+			}
+		}
+		if quiet*2 <= total {
+			res.Suppressed = true
+			t.stats.Suppressed++
+			return res
+		}
+	}
+
+	// Squash machines: observed on every replay trigger; the closest
+	// filter participating after a quiet run marks a likely rename
+	// fault. A rename fault substitutes an unintended value from a
+	// different neighborhood, so only replacement-level triggers (far
+	// from every filter — a real identity change) can escalate; the
+	// small mismatches of natural drift never do.
+	if t.squash != nil {
+		minMM := t.cfg.SquashMinMismatch
+		if minMM <= 0 {
+			minMM = t.cfg.LoosenThreshold + 1
+		}
+		wide := bits.OnesCount64(bestMask) >= minMM
+		for i := range t.squash {
+			allowed := t.squash[i].Observe(i == res.BestIndex)
+			if i == res.BestIndex && allowed && wide {
+				res.SquashAllowed = true
+			}
+		}
+	}
+	if res.SquashAllowed {
+		t.stats.Squashes++
+	} else {
+		t.stats.Replays++
+	}
+	return res
+}
+
+func (t *TCAM) install(v uint64) {
+	t.filters[0].Reset(v)
+	t.used[0] = true
+	t.age[0] = t.stamp
+}
+
+func (t *TCAM) freeEntry() int {
+	for i, u := range t.used {
+		if !u {
+			return i
+		}
+	}
+	return -1
+}
+
+func (t *TCAM) lruEntry() int {
+	victim, va := 0, t.age[0]
+	for i := 1; i < len(t.age); i++ {
+		if t.age[i] < va {
+			victim, va = i, t.age[i]
+		}
+	}
+	return victim
+}
+
+// Probe searches the TCAM for v without mutating any state: no filter
+// updates, no replacement, no state-machine training. It reports
+// whether v would trigger and whether the second-level filter would
+// suppress that trigger. The commit-time LSQ check uses this (the
+// filters already learned the value at completion; re-training them at
+// commit would double-count every stable observation and skew the
+// delinquent-bit suppressors).
+func (t *TCAM) Probe(v uint64) (trigger, suppressed bool) {
+	bestCount := 65
+	bestMask := uint64(0)
+	anyUsed := false
+	for i, f := range t.filters {
+		if !t.used[i] {
+			continue
+		}
+		anyUsed = true
+		mask := f.Match(v)
+		n := bits.OnesCount64(mask)
+		if n < bestCount {
+			bestCount, bestMask = n, mask
+		}
+	}
+	if !anyUsed || bestCount == 0 || t.learnOnly {
+		return false, false
+	}
+	if t.second != nil {
+		quiet, total := 0, 0
+		for b := 0; b < 64; b++ {
+			if bestMask>>uint(b)&1 == 1 {
+				total++
+				if t.second[b].Quiet() {
+					quiet++
+				}
+			}
+		}
+		if quiet*2 <= total {
+			return true, true
+		}
+	}
+	return true, false
+}
+
+// FlashClear returns every filter's bits to "unchanging" (keeping
+// previous values), PBFS-style.
+func (t *TCAM) FlashClear() {
+	for i, f := range t.filters {
+		if t.used[i] {
+			f.FlashClear()
+		}
+	}
+	t.stats.FlashClears++
+}
+
+// Entry exposes filter i for diagnostics and tests.
+func (t *TCAM) Entry(i int) (f *filter.Filter, used bool) {
+	return t.filters[i], t.used[i]
+}
+
+// Clone returns an independent deep copy.
+func (t *TCAM) Clone() *TCAM {
+	c := &TCAM{
+		cfg:       t.cfg,
+		filters:   make([]*filter.Filter, len(t.filters)),
+		used:      append([]bool(nil), t.used...),
+		age:       append([]uint64(nil), t.age...),
+		stamp:     t.stamp,
+		stats:     t.stats,
+		learnOnly: t.learnOnly,
+	}
+	for i, f := range t.filters {
+		c.filters[i] = f.Clone()
+	}
+	if t.second != nil {
+		c.second = make([]*sm.Suppressor, len(t.second))
+		for i, s := range t.second {
+			cp := *s
+			c.second[i] = &cp
+		}
+	}
+	if t.squash != nil {
+		c.squash = make([]*sm.Suppressor, len(t.squash))
+		for i, s := range t.squash {
+			cp := *s
+			c.squash[i] = &cp
+		}
+	}
+	return c
+}

@@ -1,0 +1,186 @@
+package workload
+
+import (
+	"faulthound/internal/isa"
+	"faulthound/internal/prog"
+	"faulthound/internal/stats"
+)
+
+// buildApache substitutes the Apache web-server workload: a request
+// loop that hashes a "URL", walks the served file's blocks, and appends
+// to a log — wide-ranging addresses over a 1 MB working set, branchy
+// control, store-heavy. Register use: r1=req r2=base r4=fileIdx
+// r5=checksum r6=len r7/r8=tmp r9=logPtr r10=lcg-mult r11=lcg-state
+// r12=blk.
+func buildApache(base, seed uint64) *prog.Program {
+	const files = 4096
+	const blockWords = 16
+	const contentWords = files * blockWords // 512 KB
+	b := prog.NewBuilderAt("apache", base, 1<<20)
+	rng := stats.NewRNG(seed ^ 0xa9a)
+	// File table: per-file pseudo-length 1..blockWords.
+	for i := uint64(0); i < files; i++ {
+		b.Word(i*8, uint64(rng.Intn(blockWords))+1)
+	}
+	tableOff := int32(0)
+	contentOff := int32(files * 8)
+	logOff := contentOff + contentWords*8
+	for i := uint64(0); i < 4096; i += 64 { // sparse content init
+		b.Word(uint64(contentOff)+i*8, rng.Uint64()&0xffff)
+	}
+
+	b.MovU64(2, base)
+	b.MovI(9, 0)
+	b.MovU64(10, lcgMul)
+	b.MovI(11, int32(seed|3)&0x7fffffff)
+	b.MovI(1, 0)
+
+	b.Label("request")
+	// fileIdx: web traffic is Zipf-like — AND two uniform draws to bias
+	// toward a small set of hot files.
+	emitLCG(b, 4, 11, 10)
+	emitLCG(b, 7, 11, 10)
+	b.Op3(isa.AND, 4, 4, 7)
+	b.OpI(isa.ANDI, 4, 4, files-1)
+	// len = fileTable[fileIdx]
+	b.OpI(isa.SLLI, 7, 4, 3)
+	b.Op3(isa.ADD, 8, 2, 7)
+	b.Ld(6, 8, tableOff)
+	// checksum the file's blocks: blk in [0, len)
+	b.MovI(5, 0)
+	b.MovI(12, 0)
+	b.Label("blocks")
+	b.Op3(isa.MUL, 7, 4, 0)  // clear r7 (mul by zero reg)
+	b.OpI(isa.SLLI, 7, 4, 7) // fileIdx * blockWords * 8
+	b.OpI(isa.SLLI, 3, 12, 3)
+	b.Op3(isa.ADD, 7, 7, 3)
+	b.Op3(isa.ADD, 8, 2, 7)
+	b.Ld(7, 8, contentOff)
+	b.Op3(isa.ADD, 5, 5, 7)
+	b.OpI(isa.ADDI, 12, 12, 1)
+	b.Br(isa.BLT, 12, 6, "blocks")
+	b.OpI(isa.ANDI, 5, 5, 0xffff) // logged fields are small (status, bytes)
+	// log the request: log[logPtr & mask] = checksum
+	b.OpI(isa.ANDI, 7, 9, 8191)
+	b.OpI(isa.SLLI, 7, 7, 3)
+	b.Op3(isa.ADD, 8, 2, 7)
+	b.St(8, logOff, 5)
+	b.OpI(isa.ADDI, 9, 9, 1)
+	// keep-alive branch on checksum parity (unpredictable)
+	b.OpI(isa.ANDI, 7, 5, 1)
+	b.Br(isa.BEQ, 7, 0, "request")
+	b.St(2, logOff+8*8192+16, 9) // connection table slot (stable address)
+	b.Jmp("request")
+	return b.MustBuild()
+}
+
+// buildSpecjbb substitutes SPECjbb: warehouse transactions — a binary
+// search over a sorted key array (hard-to-predict branches, hopping
+// addresses) followed by an object field update. Register use: r1=key
+// r2=base r4=lo r5=hi r6=mid r7/r8=tmp r9=val r10=lcg-mult
+// r11=lcg-state.
+func buildSpecjbb(base, seed uint64) *prog.Program {
+	const keys = 65536 // 512 KB sorted array
+	b := prog.NewBuilderAt("specjbb", base, 1<<20)
+	for i := uint64(0); i < keys; i += 1 {
+		b.Word(i*8, i*7+3) // sorted keys
+	}
+	objOff := int32(keys * 8)
+
+	b.MovU64(2, base)
+	b.MovU64(10, lcgMul)
+	b.MovI(11, int32(seed|5)&0x7fffffff)
+
+	b.Label("tx")
+	// key = random in range
+	emitLCG(b, 1, 11, 10)
+	b.OpI(isa.ANDI, 1, 1, keys-1)
+	b.OpI(isa.SLLI, 7, 1, 3)
+	b.OpI(isa.ADDI, 1, 7, 0) // key*8 proxy (searchable value)
+	// binary search for key over keys[0..n)
+	b.MovI(4, 0)
+	b.MovI(5, keys)
+	b.Label("search")
+	b.Op3(isa.ADD, 6, 4, 5)
+	b.OpI(isa.SRLI, 6, 6, 1) // mid
+	b.OpI(isa.SLLI, 7, 6, 3)
+	b.Op3(isa.ADD, 8, 2, 7)
+	b.Ld(7, 8, 0) // keys[mid]
+	b.Br(isa.BGE, 7, 1, "goleft")
+	b.OpI(isa.ADDI, 4, 6, 1) // lo = mid+1
+	b.Jmp("cont")
+	b.Label("goleft")
+	b.Op3(isa.ADD, 5, 6, 0) // hi = mid
+	b.Label("cont")
+	b.Br(isa.BLT, 4, 5, "search")
+	// object update at the found slot
+	b.OpI(isa.ANDI, 6, 4, 16383)
+	b.OpI(isa.SLLI, 7, 6, 3)
+	b.Op3(isa.ADD, 8, 2, 7)
+	b.Ld(9, 8, objOff)
+	b.OpI(isa.ADDI, 9, 9, 1)
+	b.St(8, objOff, 9)
+	// Warehouse statistics: a fixed hot counter every transaction.
+	b.Ld(9, 2, objOff+16384*8+8)
+	b.OpI(isa.ADDI, 9, 9, 1)
+	b.St(2, objOff+16384*8+8, 9)
+	b.Jmp("tx")
+	return b.MustBuild()
+}
+
+// buildOLTP substitutes the OLTP (TPC-C-like) workload: transactions
+// that pick a random record page, read several fields, branch on an
+// abort condition, and write back fields plus a redo-log entry — a
+// 2 MB working set with frequent L2 misses. Register use: r1=rec
+// r2=base r4..r6=fields r7/r8=tmp r9=logPtr r10=lcg-mult r11=lcg-state.
+func buildOLTP(base, seed uint64) *prog.Program {
+	const records = 32768 // x 7 words < 2 MB
+	const recWords = 7
+	b := prog.NewBuilderAt("oltp", base, 2<<20)
+	rng := stats.NewRNG(seed ^ 0x017)
+	for i := uint64(0); i < 2048; i++ { // sparse init
+		b.Word(i*recWords*8, rng.Uint64()&0xffff)
+	}
+	logOff := int32(records * recWords * 8)
+
+	b.MovU64(2, base)
+	b.MovI(9, 0)
+	b.MovU64(10, lcgMul)
+	b.MovI(11, int32(seed|7)&0x7fffffff)
+
+	b.Label("tx")
+	// rec = random record
+	emitLCG(b, 1, 11, 10)
+	b.OpI(isa.ANDI, 1, 1, records-1)
+	b.MovI(7, recWords*8)
+	b.Op3(isa.MUL, 7, 1, 7)
+	b.Op3(isa.ADD, 8, 2, 7)
+	// read fields
+	b.Ld(4, 8, 0)
+	b.Ld(5, 8, 8)
+	b.Ld(6, 8, 16)
+	// abort check: field parity (data-dependent branch)
+	b.Op3(isa.ADD, 7, 4, 5)
+	b.OpI(isa.ANDI, 7, 7, 3)
+	b.Br(isa.BEQ, 7, 0, "abort")
+	// commit: write back updated fields
+	b.Op3(isa.ADD, 4, 4, 6)
+	b.OpI(isa.ADDI, 5, 5, 1)
+	b.St(8, 0, 4)
+	b.St(8, 8, 5)
+	// redo log append
+	b.OpI(isa.ANDI, 7, 9, 4095)
+	b.OpI(isa.SLLI, 7, 7, 3)
+	b.Op3(isa.ADD, 8, 2, 7)
+	b.St(8, logOff, 4)
+	// metadata page: LSN counter at a fixed hot address
+	b.Ld(7, 2, logOff+4096*8+8)
+	b.OpI(isa.ADDI, 7, 7, 1)
+	b.St(2, logOff+4096*8+8, 7)
+	b.OpI(isa.ADDI, 9, 9, 1)
+	b.Jmp("tx")
+	b.Label("abort")
+	b.OpI(isa.ADDI, 9, 9, 1)
+	b.Jmp("tx")
+	return b.MustBuild()
+}

@@ -1,0 +1,83 @@
+package workload
+
+import (
+	"testing"
+
+	"faulthound/internal/core"
+	"faulthound/internal/pipeline"
+	"faulthound/internal/prog"
+)
+
+func TestMicroKernelsRunCleanly(t *testing.T) {
+	for _, bm := range Micro() {
+		bm := bm
+		t.Run(bm.Name, func(t *testing.T) {
+			t.Parallel()
+			p := bm.Build(prog.DefaultDataBase, 1)
+			if err := p.Validate(); err != nil {
+				t.Fatal(err)
+			}
+			it := prog.NewInterp(p)
+			it.Run(20000)
+			if it.Faulted != nil || it.Halted {
+				t.Fatalf("faulted=%v halted=%v", it.Faulted, it.Halted)
+			}
+			c, err := pipeline.New(pipeline.DefaultConfig(1), []*prog.Program{p}, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !c.RunUntilCommits(0, 8000, 2_000_000) {
+				t.Fatalf("stalled at %d", c.Committed(0))
+			}
+		})
+	}
+}
+
+// TestMicroPatternsDriveDetectorsAsDesigned verifies each kernel
+// produces the filter behavior it is named for.
+func TestMicroPatternsDriveDetectorsAsDesigned(t *testing.T) {
+	run := func(build func(uint64, uint64) *prog.Program) (*pipeline.Core, *core.FaultHound) {
+		p := build(prog.DefaultDataBase, 1)
+		det := core.New(core.BackendConfig())
+		c, err := pipeline.New(pipeline.DefaultConfig(1), []*prog.Program{p}, det)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c.RunUntilCommits(0, 15000, 5_000_000)
+		return c, det
+	}
+
+	// The acted-on (non-suppressed) rate separates the patterns: the
+	// stream's carry-bit alarms are delinquent repeats the second-level
+	// filter absorbs, while the chase's are genuinely new neighborhoods.
+	acted := func(d *core.FaultHound) float64 {
+		s := d.Stats()
+		return float64(s.Replays+s.Rollbacks+s.Singletons) / float64(s.Checks)
+	}
+	_, dStream := run(MicroStream)
+	_, dChase := run(MicroChase)
+	if acted(dChase) < 2*acted(dStream) {
+		t.Errorf("pointer chase (%.3f) should act far more than streaming (%.3f)",
+			acted(dChase), acted(dStream))
+	}
+
+	// Toggle: the second-level filter must suppress most of the
+	// repeated delinquent-bit alarms.
+	_, dToggle := run(MicroToggle)
+	ds := dToggle.Stats()
+	if ds.Triggers > 20 && ds.Suppressed*2 < ds.Triggers {
+		t.Errorf("second-level filter suppressed only %d of %d toggle triggers",
+			ds.Suppressed, ds.Triggers)
+	}
+}
+
+func TestMicroRegistry(t *testing.T) {
+	if len(Micro()) != 4 {
+		t.Fatalf("micro suite has %d kernels", len(Micro()))
+	}
+	for _, bm := range Micro() {
+		if bm.Suite != "Micro" || bm.Build == nil {
+			t.Fatalf("malformed micro benchmark %+v", bm.Name)
+		}
+	}
+}

@@ -1,0 +1,92 @@
+package workload
+
+import (
+	"faulthound/internal/isa"
+	"faulthound/internal/prog"
+	"faulthound/internal/stats"
+)
+
+// OceanMP builds a genuinely parallel Ocean: nthreads programs that
+// share ONE data segment, each relaxing its own band of the grid and
+// meeting at a barrier built from an AMOADD counter with a generation
+// word — the real SPLASH-2 structure, exercising the ISA's atomics and
+// the multicore system's shared memory.
+//
+// Memory map (word offsets):
+//
+//	0                 relaxation factor (0.25)
+//	1                 barrier arrival counter
+//	2                 barrier generation
+//	8 .. 8+cells      the grid
+//
+// Every returned program has the same DataBase; run them on a
+// system.System (or one SMT core) so they share memory.
+func OceanMP(base uint64, seed uint64, nthreads int) []*prog.Program {
+	const side = 64
+	const cells = side * side
+	const gridOff = 8 // words
+
+	rng := stats.NewRNG(seed ^ 0x0cead)
+	programs := make([]*prog.Program, nthreads)
+	band := (side - 2) / nthreads
+
+	for tid := 0; tid < nthreads; tid++ {
+		b := prog.NewBuilderAt("ocean-mp", base, 128<<10)
+		if tid == 0 {
+			// Thread 0 owns data initialization in the image.
+			b.Word(0, fbits(0.25))
+			for i := uint64(0); i < cells+side+1; i++ {
+				b.Word((gridOff+i)*8, fbits(rng.Float64()*10))
+			}
+		}
+		firstRow := 1 + tid*band
+		lastRow := firstRow + band
+		if tid == nthreads-1 {
+			lastRow = side - 1
+		}
+
+		// r2=base r1=idx r3=bandEnd r9=generation r7/r8=tmp r12=nthreads
+		b.MovU64(2, base)
+		b.MovI(12, int32(nthreads))
+		b.MovI(9, 0)
+
+		b.Label("iter")
+		// Relax this thread's band (every other cell, red-black style).
+		b.MovI(1, int32(firstRow*side+1))
+		b.MovI(3, int32(lastRow*side-1))
+		b.Label("sweep")
+		b.OpI(isa.SLLI, 7, 1, 3)
+		b.Op3(isa.ADD, 8, 2, 7)
+		b.Emit(isa.Inst{Op: isa.LD, Rd: isa.F(0), Rs1: 8, Imm: (gridOff + 1) * 8})
+		b.Emit(isa.Inst{Op: isa.LD, Rd: isa.F(1), Rs1: 8, Imm: (gridOff - 1) * 8})
+		b.Emit(isa.Inst{Op: isa.LD, Rd: isa.F(2), Rs1: 8, Imm: (gridOff + side) * 8})
+		b.Emit(isa.Inst{Op: isa.LD, Rd: isa.F(3), Rs1: 8, Imm: (gridOff - side) * 8})
+		b.Op3(isa.FADD, isa.F(0), isa.F(0), isa.F(1))
+		b.Op3(isa.FADD, isa.F(2), isa.F(2), isa.F(3))
+		b.Op3(isa.FADD, isa.F(0), isa.F(0), isa.F(2))
+		b.Emit(isa.Inst{Op: isa.LD, Rd: isa.F(4), Rs1: 2, Imm: 0})
+		b.Op3(isa.FMUL, isa.F(0), isa.F(0), isa.F(4))
+		b.Emit(isa.Inst{Op: isa.ST, Rs1: 8, Rs2: isa.F(0), Imm: gridOff * 8})
+		b.OpI(isa.ADDI, 1, 1, 2)
+		b.Br(isa.BLT, 1, 3, "sweep")
+
+		// Barrier: last arriver resets the counter and bumps the
+		// generation; everyone else spins on the generation word.
+		b.OpI(isa.ADDI, 9, 9, 1) // my next generation
+		b.MovI(7, 1)
+		b.Emit(isa.Inst{Op: isa.AMOADD, Rd: 6, Rs1: 2, Rs2: 7, Imm: 8}) // arrivals
+		b.OpI(isa.ADDI, 6, 6, 1)
+		b.Br(isa.BLT, 6, 12, "wait")
+		// Last arriver: counter = 0, generation = r9 (release).
+		b.St(2, 8, 0)
+		b.St(2, 16, 9)
+		b.Jmp("iter")
+		b.Label("wait")
+		b.Ld(7, 2, 16)
+		b.Br(isa.BLT, 7, 9, "wait")
+		b.Jmp("iter")
+
+		programs[tid] = b.MustBuild()
+	}
+	return programs
+}

@@ -1,0 +1,159 @@
+package workload
+
+import (
+	"math"
+
+	"faulthound/internal/isa"
+	"faulthound/internal/prog"
+	"faulthound/internal/stats"
+)
+
+// fbits packs a float64 for data-segment initialization.
+func fbits(f float64) uint64 { return math.Float64bits(f) }
+
+// buildDealII substitutes 447.dealII: dense FP linear algebra — a
+// matrix-vector product swept repeatedly, with regular unit-stride
+// loads and an FP multiply-add chain. Register use: r1=row r2=base
+// r3=n r4=col r7/r8=tmp; f0=acc f1=a f2=x.
+func buildDealII(base, seed uint64) *prog.Program {
+	const n = 64 // 64x64 doubles + vectors inside 64 KB
+	b := prog.NewBuilderAt("dealII", base, 64<<10)
+	rng := stats.NewRNG(seed ^ 0xdea)
+	for i := uint64(0); i < n*n; i++ {
+		b.Word(i*8, fbits(rng.Float64()*2-1))
+	}
+	xOff := int32(n * n * 8)
+	yOff := xOff + n*8
+	for i := uint64(0); i < n; i++ {
+		b.Word(uint64(xOff)+i*8, fbits(rng.Float64()))
+	}
+
+	b.MovU64(2, base)
+	b.MovI(3, n)
+	b.MovI(1, 0)
+	b.Label("rows")
+	b.Op3(isa.XOR, 5, 5, 5) // f-acc reset via integer zero then i2f
+	b.Emit(isa.Inst{Op: isa.I2F, Rd: isa.F(0), Rs1: 5})
+	b.MovI(4, 0)
+	b.Label("cols")
+	// a = A[row*n + col]
+	b.Op3(isa.MUL, 7, 1, 3)
+	b.Op3(isa.ADD, 7, 7, 4)
+	b.OpI(isa.SLLI, 7, 7, 3)
+	b.Op3(isa.ADD, 8, 2, 7)
+	b.Emit(isa.Inst{Op: isa.LD, Rd: isa.F(1), Rs1: 8})
+	// x = X[col]
+	b.OpI(isa.SLLI, 7, 4, 3)
+	b.Op3(isa.ADD, 8, 2, 7)
+	b.Emit(isa.Inst{Op: isa.LD, Rd: isa.F(2), Rs1: 8, Imm: xOff})
+	b.Op3(isa.FMUL, isa.F(1), isa.F(1), isa.F(2))
+	b.Op3(isa.FADD, isa.F(0), isa.F(0), isa.F(1))
+	b.OpI(isa.ADDI, 4, 4, 1)
+	b.Br(isa.BLT, 4, 3, "cols")
+	// Y[row] = acc
+	b.OpI(isa.SLLI, 7, 1, 3)
+	b.Op3(isa.ADD, 8, 2, 7)
+	b.Emit(isa.Inst{Op: isa.ST, Rs1: 8, Rs2: isa.F(0), Imm: yOff})
+	// Frame traffic: solver loop bookkeeping at a fixed address.
+	b.St(2, yOff+int32(n)*8+8, 1)
+	b.OpI(isa.ADDI, 1, 1, 1)
+	b.Br(isa.BLT, 1, 3, "rows")
+	b.MovI(1, 0)
+	b.Jmp("rows")
+	return b.MustBuild()
+}
+
+// buildGamess substitutes 416.gamess: quantum-chemistry inner kernels —
+// compute-bound FP polynomial evaluation with almost no memory traffic
+// (high value locality in the few stores it does). Register use: r1=i
+// r2=base r7/r8=tmp; f0=x f1=acc f2..f5=coefficients f6=step.
+func buildGamess(base, seed uint64) *prog.Program {
+	b := prog.NewBuilderAt("gamess", base, 16<<10)
+	b.Word(0, fbits(0.5))
+	b.Word(8, fbits(1.3))
+	b.Word(16, fbits(-0.7))
+	b.Word(24, fbits(0.11))
+	b.Word(32, fbits(0.003))
+	b.Word(40, fbits(1.0000003))
+	for i := uint64(0); i < 64; i++ {
+		b.Word(128+i*8, fbits(0.01*float64(i)))
+	}
+
+	b.MovU64(2, base)
+	b.Emit(isa.Inst{Op: isa.LD, Rd: isa.F(0), Rs1: 2, Imm: 0})  // x
+	b.Emit(isa.Inst{Op: isa.LD, Rd: isa.F(2), Rs1: 2, Imm: 8})  // c1
+	b.Emit(isa.Inst{Op: isa.LD, Rd: isa.F(3), Rs1: 2, Imm: 16}) // c2
+	b.Emit(isa.Inst{Op: isa.LD, Rd: isa.F(4), Rs1: 2, Imm: 24}) // c3
+	b.Emit(isa.Inst{Op: isa.LD, Rd: isa.F(5), Rs1: 2, Imm: 32}) // c4
+	b.Emit(isa.Inst{Op: isa.LD, Rd: isa.F(6), Rs1: 2, Imm: 40}) // step
+	b.MovI(1, 0)
+
+	b.Label("loop")
+	// Basis-function table walk: L1-resident loads with high locality
+	// (gamess sweeps small coefficient arrays in its integral kernels).
+	b.OpI(isa.ANDI, 7, 1, 63)
+	b.OpI(isa.SLLI, 7, 7, 3)
+	b.Op3(isa.ADD, 8, 2, 7)
+	b.Emit(isa.Inst{Op: isa.LD, Rd: isa.F(7), Rs1: 8, Imm: 128})
+	b.Op3(isa.FADD, isa.F(1), isa.F(1), isa.F(7))
+	b.Emit(isa.Inst{Op: isa.ST, Rs1: 8, Rs2: isa.F(1), Imm: 1024})
+	// Horner: acc = ((c4*x + c3)*x + c2)*x + c1
+	b.Op3(isa.FMUL, isa.F(1), isa.F(5), isa.F(0))
+	b.Op3(isa.FADD, isa.F(1), isa.F(1), isa.F(4))
+	b.Op3(isa.FMUL, isa.F(1), isa.F(1), isa.F(0))
+	b.Op3(isa.FADD, isa.F(1), isa.F(1), isa.F(3))
+	b.Op3(isa.FMUL, isa.F(1), isa.F(1), isa.F(0))
+	b.Op3(isa.FADD, isa.F(1), isa.F(1), isa.F(2))
+	// x drifts slowly (keeps values in a tight neighborhood)
+	b.Op3(isa.FMUL, isa.F(0), isa.F(0), isa.F(6))
+	// occasionally store the result
+	b.OpI(isa.ADDI, 1, 1, 1)
+	b.OpI(isa.ANDI, 7, 1, 127)
+	b.Br(isa.BNE, 7, 0, "loop")
+	b.Emit(isa.Inst{Op: isa.ST, Rs1: 2, Rs2: isa.F(1), Imm: 64})
+	b.Ld(8, 2, 72)
+	b.Jmp("loop")
+	return b.MustBuild()
+}
+
+// buildLeslie3d substitutes 437.leslie3d: a 3D stencil sweep whose load
+// addresses mix three index strides, producing the wide-ranging,
+// multi-bit-varying address stream behind leslie's low coverage in the
+// paper (Figure 8; improves with larger filters). Register use: r1=idx
+// r2=base r3=cells r7/r8=tmp; f0..f3 stencil values.
+func buildLeslie3d(base, seed uint64) *prog.Program {
+	const sx, sy = 1, 32
+	const sz = 32 * 32
+	const cells = 32 * 32 * 30 // leave z-guard planes inside 256 KB
+	b := prog.NewBuilderAt("leslie3d", base, 256<<10)
+	rng := stats.NewRNG(seed ^ 0x1e5)
+	for i := uint64(0); i < cells+sz+sy+1; i++ {
+		b.Word(i*8, fbits(rng.Float64()))
+	}
+
+	b.MovU64(2, base)
+	b.MovI(3, cells)
+	b.MovI(1, sz+sy+1) // start past the low guard
+	b.Label("loop")
+	b.OpI(isa.SLLI, 7, 1, 3)
+	b.Op3(isa.ADD, 8, 2, 7)
+	b.Emit(isa.Inst{Op: isa.LD, Rd: isa.F(0), Rs1: 8, Imm: 0})
+	b.Emit(isa.Inst{Op: isa.LD, Rd: isa.F(1), Rs1: 8, Imm: 8 * sx})
+	b.Emit(isa.Inst{Op: isa.LD, Rd: isa.F(2), Rs1: 8, Imm: 8 * sy})
+	b.Emit(isa.Inst{Op: isa.LD, Rd: isa.F(3), Rs1: 8, Imm: 8 * sz})
+	b.Op3(isa.FADD, isa.F(1), isa.F(1), isa.F(2))
+	b.Op3(isa.FADD, isa.F(1), isa.F(1), isa.F(3))
+	b.Emit(isa.Inst{Op: isa.LD, Rd: isa.F(2), Rs1: 8, Imm: -8 * sx})
+	b.Emit(isa.Inst{Op: isa.LD, Rd: isa.F(3), Rs1: 8, Imm: -8 * sy})
+	b.Op3(isa.FADD, isa.F(1), isa.F(1), isa.F(2))
+	b.Op3(isa.FADD, isa.F(1), isa.F(1), isa.F(3))
+	b.Op3(isa.FSUB, isa.F(0), isa.F(1), isa.F(0)) // bounded update
+	b.Emit(isa.Inst{Op: isa.ST, Rs1: 8, Rs2: isa.F(0), Imm: 0})
+	// Stride by a z-plane-and-a-bit each step so consecutive addresses
+	// differ in many bit positions (low address locality).
+	b.OpI(isa.ADDI, 1, 1, sz+sy+sx)
+	b.Br(isa.BLT, 1, 3, "loop")
+	b.MovI(1, sz+sy+1)
+	b.Jmp("loop")
+	return b.MustBuild()
+}

@@ -1,0 +1,249 @@
+package workload
+
+import (
+	"faulthound/internal/isa"
+	"faulthound/internal/prog"
+	"faulthound/internal/stats"
+)
+
+// lcgMul is the multiplier of the in-register LCG the kernels use for
+// deterministic pseudo-random control and address streams.
+const lcgMul = 6364136223846793005
+
+// emitLCG emits one LCG step: state = state*mulReg + 12345, and leaves
+// bits [33,64) of the new state in dst (well-mixed bits).
+func emitLCG(b *prog.Builder, dst, state, mulReg isa.Reg) {
+	b.Op3(isa.MUL, state, state, mulReg)
+	b.OpI(isa.ADDI, state, state, 12345)
+	b.OpI(isa.SRLI, dst, state, 33)
+}
+
+// buildPerl substitutes 400.perlbench: a bytecode-interpreter kernel —
+// an opcode dispatch chain over a bytecode array, a software hash table
+// with read-modify-write traffic, and branchy control flow. Register
+// use: r1=ip r2=base r3=codeWords r4=op r5=acc r6=h r7/r8=tmp r9=case
+// constant r10=lcg-mult r11=lcg-state.
+func buildPerl(base, seed uint64) *prog.Program {
+	const codeWords = 2048
+	const hashWords = 1024
+	b := prog.NewBuilderAt("perl", base, 64<<10)
+	rng := stats.NewRNG(seed ^ 0x9e1)
+	for i := uint64(0); i < codeWords; i++ {
+		b.Word(i*8, uint64(rng.Intn(5)))
+	}
+	hashOff := int32(codeWords * 8)
+	frameOff := hashOff + hashWords*8
+
+	b.MovU64(2, base)
+	b.MovI(3, codeWords)
+	b.MovI(1, 0)
+	b.MovI(5, 0)
+	b.MovI(6, 0)
+	b.MovU64(10, lcgMul)
+	b.MovI(11, int32(seed&0x7fffffff|1))
+
+	b.Label("loop")
+	b.OpI(isa.SLLI, 7, 1, 3)
+	b.Op3(isa.ADD, 8, 2, 7)
+	b.Ld(4, 8, 0) // op = code[ip]
+
+	// Dispatch chain (the interpreter's unpredictable indirect branch,
+	// expressed as a compare ladder).
+	b.MovI(9, 0)
+	b.Br(isa.BEQ, 4, 9, "op0")
+	b.MovI(9, 1)
+	b.Br(isa.BEQ, 4, 9, "op1")
+	b.MovI(9, 2)
+	b.Br(isa.BEQ, 4, 9, "op2")
+	b.MovI(9, 3)
+	b.Br(isa.BEQ, 4, 9, "op3")
+	// default: acc++
+	b.OpI(isa.ADDI, 5, 5, 1)
+	b.Jmp("next")
+
+	b.Label("op0") // acc += ip
+	b.Op3(isa.ADD, 5, 5, 1)
+	b.Jmp("next")
+
+	b.Label("op1") // acc ^= h
+	b.Op3(isa.XOR, 5, 5, 6)
+	b.Jmp("next")
+
+	b.Label("op2") // hash insert: h = (h*31 + acc) & mask; hash[h] = acc
+	b.OpI(isa.SLLI, 7, 6, 5)
+	b.Op3(isa.SUB, 7, 7, 6) // h*31
+	b.Op3(isa.ADD, 6, 7, 5)
+	b.OpI(isa.ANDI, 6, 6, hashWords-1)
+	b.OpI(isa.SLLI, 7, 6, 3)
+	b.Op3(isa.ADD, 8, 2, 7)
+	b.St(8, hashOff, 5)
+	b.Jmp("next")
+
+	b.Label("op3") // hash probe: acc += hash[lcg & mask]
+	emitLCG(b, 7, 11, 10)
+	b.OpI(isa.ANDI, 7, 7, hashWords-1)
+	b.OpI(isa.SLLI, 7, 7, 3)
+	b.Op3(isa.ADD, 8, 2, 7)
+	b.Ld(7, 8, hashOff)
+	b.Op3(isa.ADD, 5, 5, 7)
+
+	b.Label("next")
+	b.OpI(isa.ANDI, 5, 5, 0xffff) // VM values are small scalars/tags
+	// Frame traffic: compiled interpreters spill VM state to the stack
+	// every dispatch — a stable address with a slowly-changing value.
+	b.St(2, frameOff, 5)
+	b.Ld(13, 2, frameOff+8)
+	b.OpI(isa.ADDI, 1, 1, 1)
+	b.Br(isa.BLT, 1, 3, "loop")
+	b.MovI(1, 0)
+	b.Jmp("loop")
+	return b.MustBuild()
+}
+
+// buildBzip2 substitutes 401.bzip2: regular byte-stream transformation
+// with a histogram — streaming loads/stores with high spatial locality
+// and a data-dependent histogram update. Register use: r1=i r2=base
+// r3=words r4=v r5=t r6=running r7/r8=tmp.
+func buildBzip2(base, seed uint64) *prog.Program {
+	const words = 2048
+	b := prog.NewBuilderAt("bzip2", base, 32<<10)
+	rng := stats.NewRNG(seed ^ 0xb21)
+	for i := uint64(0); i < words; i++ {
+		b.Word(i*8, rng.Uint64()&0xffff)
+	}
+	outOff := int32(words * 8)
+	histOff := outOff + words*8/2 // histogram region (256 words used)
+
+	b.MovU64(2, base)
+	b.MovI(3, words)
+	b.MovI(1, 0)
+	b.MovI(6, 1)
+	b.Label("loop")
+	b.OpI(isa.SLLI, 7, 1, 3)
+	b.Op3(isa.ADD, 8, 2, 7)
+	b.Ld(4, 8, 0) // v = in[i]
+	// t = ((v >> 3) ^ (v << 2) + running) & 0xffff
+	b.OpI(isa.SRLI, 5, 4, 3)
+	b.OpI(isa.SLLI, 7, 4, 2)
+	b.Op3(isa.XOR, 5, 5, 7)
+	b.Op3(isa.ADD, 5, 5, 6)
+	b.OpI(isa.ANDI, 5, 5, 0xffff)
+	// running = running*5 + t
+	b.OpI(isa.SLLI, 7, 6, 2)
+	b.Op3(isa.ADD, 6, 7, 6)
+	b.Op3(isa.ADD, 6, 6, 5)
+	// out[i] = t's low byte (bzip2 emits a byte stream)
+	b.OpI(isa.ANDI, 9, 5, 0xff)
+	b.OpI(isa.SLLI, 7, 1, 3)
+	b.Op3(isa.ADD, 8, 2, 7)
+	b.St(8, outOff, 9)
+	// hist[t & (t>>4) & 255]++ — real byte histograms are heavily
+	// skewed toward few hot buckets, not uniform
+	b.OpI(isa.SRLI, 7, 5, 4)
+	b.Op3(isa.AND, 7, 5, 7)
+	b.OpI(isa.ANDI, 7, 7, 255)
+	b.OpI(isa.SLLI, 7, 7, 3)
+	b.Op3(isa.ADD, 8, 2, 7)
+	b.Ld(7, 8, histOff)
+	b.OpI(isa.ADDI, 7, 7, 1)
+	b.St(8, histOff, 7)
+	// Frame traffic: spill the running state to a fixed stack slot.
+	b.St(2, histOff+256*8, 6)
+	// i = (i+1) % words
+	b.OpI(isa.ADDI, 1, 1, 1)
+	b.Br(isa.BLT, 1, 3, "loop")
+	b.MovI(1, 0)
+	b.Jmp("loop")
+	return b.MustBuild()
+}
+
+// buildMcf substitutes 429.mcf: pointer chasing over a 512 KB
+// randomized linked cycle — memory-bound, cache-hostile, with
+// low-locality load addresses (mcf's defining trait). Register use:
+// r1=p r2=base r5=acc r7=tmp r9=store cursor.
+func buildMcf(base, seed uint64) *prog.Program {
+	const nodes = 32768 // 256 KB of pointers within the 512 KB segment
+	b := prog.NewBuilderAt("mcf", base, 512<<10)
+	permutationCycle(b, 0, nodes, seed^0x3cf)
+
+	sumOff := int32(nodes * 8)
+	b.MovU64(2, base)
+	b.Op3(isa.ADD, 1, 2, 0) // p = base (first node)
+	b.MovI(5, 0)
+	b.MovI(9, 0)
+	b.Label("loop")
+	b.Ld(1, 1, 0) // p = *p
+	b.Op3(isa.XOR, 5, 5, 1)
+	b.Ld(7, 1, 0) // peek next (second chained load)
+	b.Op3(isa.XOR, 5, 5, 7)
+	// Stable global: network-simplex code reloads shared parameters
+	// (costs, bounds) from fixed addresses inside the arc loop.
+	b.Ld(8, 2, sumOff+8)
+	b.Op3(isa.ADD, 5, 5, 8)
+	// occasionally publish the accumulator (store stream)
+	b.OpI(isa.ADDI, 9, 9, 1)
+	b.OpI(isa.ANDI, 7, 9, 63)
+	b.Br(isa.BNE, 7, 0, "loop")
+	b.St(2, sumOff, 5)
+	b.Jmp("loop")
+	return b.MustBuild()
+}
+
+// buildAstar substitutes 473.astar: grid pathfinding — neighbor-cost
+// loads around a moving position with data-dependent direction
+// branches. Register use: r1=pos r2=base r4=cost r5=best r6=dir
+// r7/r8=tmp r10=lcg-mult r11=lcg-state r12=gridMask.
+func buildAstar(base, seed uint64) *prog.Program {
+	const side = 128
+	// The walked region is masked to gridWords (a 64-row window of the
+	// grid) so the +-1 and +side neighbor offsets stay inside the
+	// segment.
+	const gridWords = 8192
+	b := prog.NewBuilderAt("astar", base, 128<<10)
+	rng := stats.NewRNG(seed ^ 0xa57)
+	for i := uint64(0); i < gridWords+side+2; i++ {
+		b.Word(i*8, uint64(rng.Intn(1000)))
+	}
+
+	b.MovU64(2, base)
+	b.MovI(1, side+1) // start inside the grid
+	b.MovI(5, 1<<30)
+	b.MovI(6, 1)
+	b.MovU64(10, lcgMul)
+	b.MovI(11, int32(seed|1)&0x7fffffff)
+	b.MovI(12, gridWords-1)
+
+	b.Label("loop")
+	// pos = ((pos + dir) & mask) | 1: masked to the window, forced >= 1
+	// so the -8 neighbor offset stays mapped
+	b.Op3(isa.ADD, 1, 1, 6)
+	b.Op3(isa.AND, 1, 1, 12)
+	b.OpI(isa.ORI, 1, 1, 1)
+	b.OpI(isa.SLLI, 7, 1, 3)
+	b.Op3(isa.ADD, 8, 2, 7)
+	b.Ld(4, 8, 0) // cost = grid[pos]
+	// neighbor sum: grid[pos+1] + grid[pos+side] (offsets within segment
+	// because pos is masked and the extreme rows wrap via the mask)
+	b.Ld(7, 8, 8)
+	b.Op3(isa.ADD, 4, 4, 7)
+	b.Ld(7, 8, -8)
+	b.Op3(isa.ADD, 4, 4, 7)
+	// best-so-far with data-dependent branch
+	b.Br(isa.BGE, 4, 5, "notbest")
+	b.Op3(isa.ADD, 5, 4, 0)
+	b.St(8, 0, 5) // relax the cell (visited mark)
+	b.Label("notbest")
+	// Frame traffic: the open-list head and best-cost bookkeeping live
+	// at fixed addresses.
+	b.St(2, (gridWords+side)*8, 5)
+	b.Ld(13, 2, (gridWords+side)*8)
+	// direction depends on cost parity (unpredictable)
+	b.OpI(isa.ANDI, 7, 4, 1)
+	b.Br(isa.BEQ, 7, 0, "east")
+	b.MovI(6, side) // south
+	b.Jmp("loop")
+	b.Label("east")
+	b.MovI(6, 1)
+	b.Jmp("loop")
+	return b.MustBuild()
+}

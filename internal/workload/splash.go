@@ -1,0 +1,213 @@
+package workload
+
+import (
+	"faulthound/internal/isa"
+	"faulthound/internal/prog"
+	"faulthound/internal/stats"
+)
+
+// buildOcean substitutes SPLASH-2 Ocean (64x64 grid): a red-black 2D
+// relaxation sweep — regular unit- and row-stride FP loads/stores with
+// high address locality. Register use: r1=idx r2=base r3=limit
+// r7/r8=tmp; f0..f4 stencil.
+func buildOcean(base, seed uint64) *prog.Program {
+	const side = 64
+	const cells = side * side
+	b := prog.NewBuilderAt("ocean", base, 64<<10)
+	rng := stats.NewRNG(seed ^ 0x0cea)
+	for i := uint64(0); i < cells+side+1; i++ {
+		b.Word(i*8, fbits(rng.Float64()*10))
+	}
+	b.Word(0, fbits(0.25)) // relaxation factor (also cell 0, unvisited)
+
+	b.MovU64(2, base)
+	b.MovI(3, cells)
+	b.MovI(1, side+1)
+	b.Label("sweep")
+	b.OpI(isa.SLLI, 7, 1, 3)
+	b.Op3(isa.ADD, 8, 2, 7)
+	b.Emit(isa.Inst{Op: isa.LD, Rd: isa.F(0), Rs1: 8, Imm: 8})         // east
+	b.Emit(isa.Inst{Op: isa.LD, Rd: isa.F(1), Rs1: 8, Imm: -8})        // west
+	b.Emit(isa.Inst{Op: isa.LD, Rd: isa.F(2), Rs1: 8, Imm: 8 * side})  // south
+	b.Emit(isa.Inst{Op: isa.LD, Rd: isa.F(3), Rs1: 8, Imm: -8 * side}) // north
+	b.Op3(isa.FADD, isa.F(0), isa.F(0), isa.F(1))
+	b.Op3(isa.FADD, isa.F(2), isa.F(2), isa.F(3))
+	b.Op3(isa.FADD, isa.F(0), isa.F(0), isa.F(2))
+	b.Emit(isa.Inst{Op: isa.LD, Rd: isa.F(4), Rs1: 2, Imm: 0}) // 0.25 factor slot
+	b.Op3(isa.FMUL, isa.F(0), isa.F(0), isa.F(4))
+	b.Emit(isa.Inst{Op: isa.ST, Rs1: 8, Rs2: isa.F(0), Imm: 0})
+	b.St(2, (cells+side+2)*8, 1) // loop bookkeeping at a fixed slot
+	b.OpI(isa.ADDI, 1, 1, 2)     // red-black: every other cell
+	b.Br(isa.BLT, 1, 3, "sweep")
+	b.MovI(1, side+1)
+	b.Jmp("sweep")
+	return b.MustBuild()
+}
+
+// buildRaytrace substitutes SPLASH-2 Raytrace: ray-sphere intersection
+// tests — per-object FP loads, dot-product arithmetic, and a
+// data-dependent hit branch with irregular hit-record stores. Register
+// use: r1=obj r2=base r3=objects r5=sign r7/r8=tmp r9=hits; f0..f5.
+func buildRaytrace(base, seed uint64) *prog.Program {
+	const objects = 512
+	const objWords = 4 // cx, cy, cz, r2
+	b := prog.NewBuilderAt("raytrace", base, 128<<10)
+	rng := stats.NewRNG(seed ^ 0x5a1)
+	for i := uint64(0); i < objects*objWords; i++ {
+		b.Word(i*8, fbits(rng.Float64()*20-10))
+	}
+	hitOff := int32(objects * objWords * 8)
+
+	b.MovU64(2, base)
+	b.MovI(3, objects)
+	b.MovI(1, 0)
+	b.MovI(9, 0)
+	// Ray origin/direction components drift in f4/f5.
+	b.MovI(7, 3)
+	b.Emit(isa.Inst{Op: isa.I2F, Rd: isa.F(4), Rs1: 7})
+	b.MovI(7, 2)
+	b.Emit(isa.Inst{Op: isa.I2F, Rd: isa.F(5), Rs1: 7})
+
+	b.Label("object")
+	b.OpI(isa.SLLI, 7, 1, 5) // obj * 4 words * 8
+	b.Op3(isa.ADD, 8, 2, 7)
+	b.Emit(isa.Inst{Op: isa.LD, Rd: isa.F(0), Rs1: 8, Imm: 0})
+	b.Emit(isa.Inst{Op: isa.LD, Rd: isa.F(1), Rs1: 8, Imm: 8})
+	b.Emit(isa.Inst{Op: isa.LD, Rd: isa.F(2), Rs1: 8, Imm: 16})
+	b.Emit(isa.Inst{Op: isa.LD, Rd: isa.F(3), Rs1: 8, Imm: 24})
+	// dist2 = (cx-ox)^2 + (cy-oy)^2 - r2
+	b.Op3(isa.FSUB, isa.F(0), isa.F(0), isa.F(4))
+	b.Op3(isa.FMUL, isa.F(0), isa.F(0), isa.F(0))
+	b.Op3(isa.FSUB, isa.F(1), isa.F(1), isa.F(5))
+	b.Op3(isa.FMUL, isa.F(1), isa.F(1), isa.F(1))
+	b.Op3(isa.FADD, isa.F(0), isa.F(0), isa.F(1))
+	b.Op3(isa.FSUB, isa.F(0), isa.F(0), isa.F(3))
+	// hit if dist2 < 0 (sign via F2I)
+	b.Emit(isa.Inst{Op: isa.F2I, Rd: 5, Rs1: isa.F(0)})
+	b.Br(isa.BGE, 5, 0, "miss")
+	// record the hit
+	b.OpI(isa.ANDI, 7, 9, 1023)
+	b.OpI(isa.SLLI, 7, 7, 3)
+	b.Op3(isa.ADD, 8, 2, 7)
+	b.St(8, hitOff, 1)
+	b.OpI(isa.ADDI, 9, 9, 1)
+	b.Label("miss")
+	b.OpI(isa.ADDI, 1, 1, 1)
+	b.Br(isa.BLT, 1, 3, "object")
+	// next ray: bounded origin update (oscillates within the scene)
+	b.Op3(isa.FSUB, isa.F(4), isa.F(5), isa.F(4))
+	b.Op3(isa.FADD, isa.F(4), isa.F(4), isa.F(2))
+	b.Op3(isa.FMIN, isa.F(4), isa.F(4), isa.F(3))
+	b.St(2, hitOff+1024*8+8, 9)
+	b.MovI(1, 0)
+	b.Jmp("object")
+	return b.MustBuild()
+}
+
+// buildVolrend substitutes SPLASH-2 Volrend: volume rendering — voxel
+// sampling at pseudo-random 3D positions, an opacity transfer-table
+// lookup, and FP accumulation with occasional image stores. Register
+// use: r1=sample r2=base r4=voxel r7/r8=tmp r9=pix r10=lcg-mult
+// r11=lcg-state; f0=opacity f1=sample.
+func buildVolrend(base, seed uint64) *prog.Program {
+	const voxels = 8192
+	b := prog.NewBuilderAt("volrend", base, 128<<10)
+	rng := stats.NewRNG(seed ^ 0x701)
+	for i := uint64(0); i < voxels; i += 2 { // sparse-but-dense-enough init
+		b.Word(i*8, uint64(rng.Intn(256)))
+	}
+	tableOff := int32(voxels * 8)
+	for i := uint64(0); i < 256; i++ {
+		b.Word(uint64(tableOff)+i*8, fbits(float64(i)/256))
+	}
+	imageOff := tableOff + 256*8
+
+	b.MovU64(2, base)
+	b.MovU64(10, lcgMul)
+	b.MovI(11, int32(seed|9)&0x7fffffff)
+	b.MovI(9, 0)
+	b.Op3(isa.XOR, 7, 7, 7)
+	b.Emit(isa.Inst{Op: isa.I2F, Rd: isa.F(0), Rs1: 7})
+
+	b.Label("sample")
+	// voxel address from the ray position (pseudo-random walk)
+	emitLCG(b, 1, 11, 10)
+	b.OpI(isa.ANDI, 1, 1, voxels-1)
+	b.OpI(isa.SLLI, 7, 1, 3)
+	b.Op3(isa.ADD, 8, 2, 7)
+	b.Ld(4, 8, 0)
+	// transfer lookup
+	b.OpI(isa.ANDI, 4, 4, 255)
+	b.OpI(isa.SLLI, 7, 4, 3)
+	b.Op3(isa.ADD, 8, 2, 7)
+	b.Emit(isa.Inst{Op: isa.LD, Rd: isa.F(1), Rs1: 8, Imm: tableOff})
+	b.Op3(isa.FADD, isa.F(0), isa.F(0), isa.F(1))
+	// every 16 samples, write the pixel
+	b.OpI(isa.ADDI, 9, 9, 1)
+	b.OpI(isa.ANDI, 7, 9, 15)
+	b.Br(isa.BNE, 7, 0, "sample")
+	b.OpI(isa.ANDI, 7, 9, 2047)
+	b.OpI(isa.SLLI, 7, 7, 3)
+	b.Op3(isa.ADD, 8, 2, 7)
+	b.Emit(isa.Inst{Op: isa.ST, Rs1: 8, Rs2: isa.F(0), Imm: imageOff})
+	b.St(2, imageOff+2048*8+8, 9) // ray state at a fixed slot
+	// next pixel starts transparent
+	b.Op3(isa.XOR, 7, 7, 7)
+	b.Emit(isa.Inst{Op: isa.I2F, Rd: isa.F(0), Rs1: 7})
+	b.Jmp("sample")
+	return b.MustBuild()
+}
+
+// buildWaterNsq substitutes SPLASH-2 Water-nsquared (216 molecules):
+// O(n^2) pairwise interactions — L1-resident FP loads, distance
+// arithmetic including a divide, and per-molecule force accumulation.
+// Register use: r1=i r2=base r3=n r4=j r7/r8=tmp; f0..f5.
+func buildWaterNsq(base, seed uint64) *prog.Program {
+	const n = 216
+	const molWords = 4
+	b := prog.NewBuilderAt("water-nsq", base, 32<<10)
+	rng := stats.NewRNG(seed ^ 0x3a7)
+	for i := uint64(0); i < n*molWords; i++ {
+		b.Word(i*8, fbits(rng.Float64()*5+0.1))
+	}
+	forceOff := int32(n * molWords * 8)
+
+	b.MovU64(2, base)
+	b.MovI(3, n)
+	b.MovI(1, 0)
+	b.Label("outer")
+	b.MovI(4, 0)
+	// load molecule i
+	b.OpI(isa.SLLI, 7, 1, 5)
+	b.Op3(isa.ADD, 8, 2, 7)
+	b.Emit(isa.Inst{Op: isa.LD, Rd: isa.F(0), Rs1: 8, Imm: 0})
+	b.Emit(isa.Inst{Op: isa.LD, Rd: isa.F(1), Rs1: 8, Imm: 8})
+	b.Op3(isa.XOR, 7, 7, 7)
+	b.Emit(isa.Inst{Op: isa.I2F, Rd: isa.F(5), Rs1: 7}) // force acc
+	b.Label("inner")
+	b.OpI(isa.SLLI, 7, 4, 5)
+	b.Op3(isa.ADD, 8, 2, 7)
+	b.Emit(isa.Inst{Op: isa.LD, Rd: isa.F(2), Rs1: 8, Imm: 0})
+	b.Emit(isa.Inst{Op: isa.LD, Rd: isa.F(3), Rs1: 8, Imm: 8})
+	// r2 = (xi-xj)^2 + (yi-yj)^2; f = 1/r2 (softened by +eps via data)
+	b.Op3(isa.FSUB, isa.F(2), isa.F(0), isa.F(2))
+	b.Op3(isa.FMUL, isa.F(2), isa.F(2), isa.F(2))
+	b.Op3(isa.FSUB, isa.F(3), isa.F(1), isa.F(3))
+	b.Op3(isa.FMUL, isa.F(3), isa.F(3), isa.F(3))
+	b.Op3(isa.FADD, isa.F(2), isa.F(2), isa.F(3))
+	b.Op3(isa.FADD, isa.F(2), isa.F(2), isa.F(0)) // soften (positive coords)
+	b.Op3(isa.FDIV, isa.F(4), isa.F(1), isa.F(2))
+	b.Op3(isa.FADD, isa.F(5), isa.F(5), isa.F(4))
+	b.OpI(isa.ADDI, 4, 4, 1)
+	b.Br(isa.BLT, 4, 3, "inner")
+	// store force[i]
+	b.OpI(isa.SLLI, 7, 1, 3)
+	b.Op3(isa.ADD, 8, 2, 7)
+	b.Emit(isa.Inst{Op: isa.ST, Rs1: 8, Rs2: isa.F(5), Imm: forceOff})
+	b.St(2, forceOff+int32(n)*8+8, 1) // step bookkeeping, fixed slot
+	b.OpI(isa.ADDI, 1, 1, 1)
+	b.Br(isa.BLT, 1, 3, "outer")
+	b.MovI(1, 0)
+	b.Jmp("outer")
+	return b.MustBuild()
+}

@@ -1,0 +1,178 @@
+package workload
+
+import (
+	"testing"
+
+	"faulthound/internal/pipeline"
+	"faulthound/internal/prog"
+)
+
+func TestRegistryComplete(t *testing.T) {
+	if len(All()) != 14 {
+		t.Fatalf("Table 1 has 14 benchmarks, registry has %d", len(All()))
+	}
+	suites := Suites()
+	if len(suites) != 4 {
+		t.Fatalf("suites = %v", suites)
+	}
+	want := map[string]int{SuiteSPECint: 4, SuiteSPECfp: 3, SuiteCommercial: 3, SuiteSPLASH: 4}
+	for s, n := range want {
+		if got := len(BySuite()[s]); got != n {
+			t.Errorf("suite %s has %d benchmarks, want %d", s, got, n)
+		}
+	}
+}
+
+func TestGet(t *testing.T) {
+	b, err := Get("mcf")
+	if err != nil || b.Name != "mcf" {
+		t.Fatalf("Get(mcf) = %+v, %v", b, err)
+	}
+	if _, err := Get("nope"); err == nil {
+		t.Fatal("Get(nope) should fail")
+	}
+}
+
+// TestAllKernelsRunCleanly is the workload acceptance test: every
+// kernel must build, validate, run 20k instructions on the interpreter
+// without faulting or halting (kernels loop forever), and run on the
+// pipeline committing the same stream.
+func TestAllKernelsRunCleanly(t *testing.T) {
+	for _, bm := range All() {
+		bm := bm
+		t.Run(bm.Name, func(t *testing.T) {
+			t.Parallel()
+			p := bm.Build(prog.DefaultDataBase, 1)
+			if err := p.Validate(); err != nil {
+				t.Fatal(err)
+			}
+			it := prog.NewInterp(p)
+			it.Run(20000)
+			if it.Faulted != nil {
+				t.Fatalf("interpreter faulted: %v", it.Faulted)
+			}
+			if it.Halted {
+				t.Fatal("kernel halted; kernels must loop forever")
+			}
+			if it.Steps != 20000 {
+				t.Fatalf("ran %d steps", it.Steps)
+			}
+
+			c, err := pipeline.New(pipeline.DefaultConfig(1), []*prog.Program{p}, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !c.RunUntilCommits(0, 10000, 2_000_000) {
+				exc, msg := c.Excepted(0)
+				t.Fatalf("pipeline stalled at %d commits (excepted=%v %s)", c.Committed(0), exc, msg)
+			}
+			if exc, msg := c.Excepted(0); exc {
+				t.Fatalf("pipeline exception: %s", msg)
+			}
+			s := c.Stats()
+			if s.Loads == 0 {
+				t.Fatal("kernel performs no loads")
+			}
+			if s.Stores == 0 {
+				t.Fatal("kernel performs no stores")
+			}
+		})
+	}
+}
+
+// TestKernelArchEquivalence cross-checks pipeline vs interpreter for
+// every kernel over a window (catching kernel-specific pipeline bugs).
+func TestKernelArchEquivalence(t *testing.T) {
+	for _, bm := range All() {
+		bm := bm
+		t.Run(bm.Name, func(t *testing.T) {
+			t.Parallel()
+			p := bm.Build(prog.DefaultDataBase, 2)
+			c, err := pipeline.New(pipeline.DefaultConfig(1), []*prog.Program{p}, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			const n = 5000
+			if !c.RunUntilCommits(0, n, 2_000_000) {
+				t.Fatalf("stalled at %d commits", c.Committed(0))
+			}
+			it := prog.NewInterp(p)
+			it.Run(c.Committed(0))
+			regs := c.ArchRegs(0)
+			for r, v := range it.Regs {
+				if regs[r] != v {
+					t.Errorf("reg %d: pipeline %#x interp %#x", r, regs[r], v)
+				}
+			}
+		})
+	}
+}
+
+func TestProgramsDisjointSegments(t *testing.T) {
+	bm, _ := Get("bzip2")
+	ps := Programs(bm, 2, 1)
+	if len(ps) != 2 {
+		t.Fatal("want 2 programs")
+	}
+	if ps[0].DataBase == ps[1].DataBase {
+		t.Fatal("segments must be disjoint")
+	}
+	if ps[0].DataBase+ps[0].DataSize > ps[1].DataBase {
+		t.Fatal("segments overlap")
+	}
+}
+
+func TestBuildDeterminism(t *testing.T) {
+	for _, bm := range All() {
+		a := bm.Build(prog.DefaultDataBase, 7)
+		b := bm.Build(prog.DefaultDataBase, 7)
+		if len(a.Code) != len(b.Code) {
+			t.Fatalf("%s: nondeterministic code length", bm.Name)
+		}
+		for i := range a.Code {
+			if a.Code[i] != b.Code[i] {
+				t.Fatalf("%s: code differs at %d", bm.Name, i)
+			}
+		}
+		if len(a.Data) != len(b.Data) {
+			t.Fatalf("%s: nondeterministic data", bm.Name)
+		}
+	}
+}
+
+// TestWorkloadDiversity sanity-checks the characteristic differences
+// the suite is built around: mcf misses caches far more than gamess,
+// and gamess is FP-heavy while perl is not.
+func TestWorkloadDiversity(t *testing.T) {
+	run := func(name string) (*pipeline.Core, pipeline.Stats) {
+		bm, err := Get(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p := bm.Build(prog.DefaultDataBase, 1)
+		c, err := pipeline.New(pipeline.DefaultConfig(1), []*prog.Program{p}, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c.RunUntilCommits(0, 20000, 5_000_000)
+		return c, c.Stats()
+	}
+	mcf, _ := run("mcf")
+	gamess, gs := run("gamess")
+	perl, ps := run("perl")
+
+	// Compare misses per committed instruction: mcf is memory-bound,
+	// gamess is compute-bound with almost no memory traffic.
+	mcfMPKI := float64(mcf.MemStats().L1DMisses) / float64(mcf.CommittedTotal())
+	gamessMPKI := float64(gamess.MemStats().L1DMisses) / float64(gamess.CommittedTotal())
+	if mcfMPKI < 4*gamessMPKI {
+		t.Errorf("mcf should miss much more per instruction than gamess: %v vs %v", mcfMPKI, gamessMPKI)
+	}
+	if gs.IssuedByClass[3] == 0 { // isa.ClassFP
+		t.Error("gamess should issue FP ops")
+	}
+	if ps.IssuedByClass[3] > gs.IssuedByClass[3]/10 {
+		t.Error("perl should be far less FP-heavy than gamess")
+	}
+	_ = perl
+}
