@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet race bench experiments extensions quick clean
+.PHONY: all build test vet race bench campaign experiments extensions quick clean
 
 all: vet test build
 
@@ -18,7 +18,12 @@ vet:
 	gofmt -l .
 
 race:
-	$(GO) test -race ./internal/workload/ ./internal/system/ ./internal/pipeline/
+	$(GO) test -race ./internal/workload/ ./internal/system/ ./internal/pipeline/ \
+		./internal/campaign/ ./internal/fault/
+
+# Parallel, resumable fault-injection campaign with an artifact bundle.
+campaign:
+	$(GO) run ./cmd/fhcampaign -bench all -schemes faulthound -injections 600
 
 # One iteration of every paper-figure bench plus the ablations.
 bench:

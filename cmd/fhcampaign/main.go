@@ -1,0 +1,186 @@
+// Command fhcampaign runs a parallel, resumable fault-injection
+// campaign and writes a provenance-stamped artifact bundle: a manifest
+// (run ID, config, seed, toolchain, git commit), a JSONL journal of
+// every completed injection, per-injection results.csv, aggregate
+// summary.json, and a human-readable report.md.
+//
+// Usage:
+//
+//	fhcampaign -bench bzip2,mcf -schemes faulthound -injections 1000 -workers 4
+//	fhcampaign -bench all -schemes pbfs,faulthound -out results/campaigns/sweep1
+//	fhcampaign -resume results/campaigns/sweep1
+//
+// Results are bit-identical for any -workers value, and an interrupted
+// campaign (Ctrl-C) resumes from its journal with -resume, reproducing
+// the uninterrupted bundle byte for byte.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"time"
+
+	"faulthound/internal/campaign"
+	"faulthound/internal/harness"
+	"faulthound/internal/workload"
+)
+
+func main() {
+	var (
+		bench      = flag.String("bench", "all", "comma-separated benchmarks, or \"all\" for the full Table-1 suite")
+		schemes    = flag.String("schemes", "faulthound", "comma-separated detection schemes under test (baseline runs implicitly)")
+		injections = flag.Int("injections", 0, "injections per benchmark x scheme cell (default: harness default)")
+		workers    = flag.Int("workers", 0, "worker goroutines (0 = GOMAXPROCS); results do not depend on it")
+		seed       = flag.Uint64("seed", 0, "campaign seed override")
+		runID      = flag.String("runid", "", "run identifier (default: UTC timestamp)")
+		out        = flag.String("out", "", "artifact bundle directory (default: results/campaigns/<runid>)")
+		resume     = flag.String("resume", "", "resume an interrupted campaign from its bundle directory")
+		quick      = flag.Bool("quick", false, "scaled-down fault config for smoke testing")
+		verbose    = flag.Bool("v", false, "per-cell progress lines")
+	)
+	flag.Parse()
+
+	opts := harness.DefaultOptions()
+	if *quick {
+		opts = harness.QuickOptions()
+	}
+	opts.Verbose = *verbose
+	opts.Workers = *workers
+
+	var (
+		spec campaign.Spec
+		dir  string
+	)
+	if *resume != "" {
+		man, err := campaign.ReadManifest(*resume)
+		if err != nil {
+			fatal(err)
+		}
+		spec = man.Spec
+		spec.Workers = *workers // 0 keeps GOMAXPROCS; flag overrides
+		dir = *resume
+	} else {
+		spec = opts.CampaignSpec(nil, nil)
+		spec.Benchmarks = benchList(*bench)
+		for _, n := range spec.Benchmarks {
+			if _, err := workload.Get(n); err != nil {
+				fatal(err)
+			}
+		}
+		for _, s := range strings.Split(*schemes, ",") {
+			s = strings.TrimSpace(s)
+			if s == "" {
+				continue
+			}
+			if !harness.ValidScheme(harness.Scheme(s)) {
+				fatal(fmt.Errorf("unknown scheme %q (known: %v)", s, harness.KnownSchemes()))
+			}
+			spec.Schemes = append(spec.Schemes, s)
+		}
+		if *injections > 0 {
+			spec.Fault.Injections = *injections
+		}
+		if *seed != 0 {
+			spec.Fault.Seed = *seed
+		}
+		spec.RunID = *runID
+		if spec.RunID == "" {
+			spec.RunID = campaign.DefaultRunID()
+		}
+		dir = *out
+		if dir == "" {
+			dir = filepath.Join("results", "campaigns", spec.RunID)
+		}
+	}
+
+	// Ctrl-C cancels cleanly: the journal keeps every completed
+	// injection and the run resumes with -resume.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	eng := &campaign.Engine{
+		Spec:     spec,
+		Factory:  opts.CampaignFactory(),
+		Progress: progressLine(),
+	}
+	if *verbose {
+		eng.OnCell = func(c campaign.Cell) {
+			fmt.Fprintf(os.Stderr, "# preparing %s\n", c)
+		}
+	}
+
+	outcome, err := eng.Run(ctx, dir, *resume != "")
+	fmt.Fprintln(os.Stderr)
+	if err != nil {
+		if ctx.Err() != nil {
+			fmt.Fprintf(os.Stderr, "fhcampaign: interrupted; resume with:\n  fhcampaign -resume %s\n", dir)
+			os.Exit(130)
+		}
+		fatal(err)
+	}
+
+	// Render the summary through the same harness tables figure
+	// generation uses.
+	sum := outcome.Summary
+	benches := spec.Benchmarks
+	var schemeList []harness.Scheme
+	for _, c := range spec.Cells() {
+		if c.Bench == benches[0] && c.Scheme != campaign.BaselineScheme {
+			schemeList = append(schemeList, harness.Scheme(c.Scheme))
+		}
+	}
+	if len(schemeList) > 0 {
+		fmt.Println(harness.CoverageTableFromSummary("coverage",
+			"SDC coverage (fraction of would-be-SDC faults corrected or detected)",
+			sum, benches, schemeList).Render())
+		fmt.Println(harness.FPTableFromSummary("fp-rate",
+			"False-positive rate (golden-run detector actions per committed instruction)",
+			sum, benches, append([]harness.Scheme{campaign.BaselineScheme}, schemeList...)).Render())
+	}
+	fmt.Printf("bundle: %s (%d cells, %d injections/cell, %d resumed, wall clock %s)\n",
+		dir, len(outcome.Cells), sum.Injections, outcome.Resumed, outcome.Elapsed.Round(time.Millisecond))
+	fmt.Printf("report: %s\n", filepath.Join(dir, campaign.ReportName))
+}
+
+// benchList resolves the -bench flag.
+func benchList(arg string) []string {
+	if arg == "all" || arg == "" {
+		var names []string
+		for _, bm := range workload.All() {
+			names = append(names, bm.Name)
+		}
+		return names
+	}
+	var names []string
+	for _, n := range strings.Split(arg, ",") {
+		if n = strings.TrimSpace(n); n != "" {
+			names = append(names, n)
+		}
+	}
+	return names
+}
+
+// progressLine returns a live completed/total meter on stderr,
+// throttled to at most ~1000 redraws per campaign.
+func progressLine() func(done, total int) {
+	return func(done, total int) {
+		step := total / 1000
+		if step < 1 {
+			step = 1
+		}
+		if done%step == 0 || done == total {
+			fmt.Fprintf(os.Stderr, "\r%d/%d injections (%.1f%%)", done, total, 100*float64(done)/float64(total))
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "fhcampaign:", err)
+	os.Exit(1)
+}

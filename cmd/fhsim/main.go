@@ -14,10 +14,13 @@ import (
 	"os"
 	"strings"
 
+	"faulthound/internal/campaign"
 	"faulthound/internal/detect"
 	"faulthound/internal/energy"
 	"faulthound/internal/harness"
+	"faulthound/internal/mem"
 	"faulthound/internal/pipeline"
+	"faulthound/internal/stats"
 	"faulthound/internal/workload"
 )
 
@@ -30,6 +33,7 @@ func main() {
 		warmup  = flag.Uint64("warmup", 3000, "warmup cycles before measurement")
 		trace   = flag.String("trace", "", "comma-separated trace stages to print (fetch,dispatch,issue,complete,commit,squash,replay,rollback,singleton,exception)")
 		traceN  = flag.Uint64("trace-cycles", 200, "cycles to trace before running silently")
+		asJSON  = flag.Bool("json", false, "emit the full stats block as one JSON object (scriptable runs)")
 	)
 	flag.Parse()
 
@@ -65,6 +69,13 @@ func main() {
 
 	ps := c.Stats()
 	ms := c.MemStats()
+	if *asJSON {
+		if err := emitJSON(bm, *scheme, *threads, run); err != nil {
+			fmt.Fprintln(os.Stderr, "fhsim:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	fmt.Printf("benchmark        %s (%s)\n", bm.Name, bm.Suite)
 	fmt.Printf("scheme           %s\n", *scheme)
 	fmt.Printf("threads          %d\n", *threads)
@@ -73,8 +84,8 @@ func main() {
 	fmt.Printf("IPC              %.3f\n", float64(committed)/float64(cycles))
 	fmt.Printf("branch mispred   %.2f%%\n", c.BranchMispredictRate()*100)
 	fmt.Printf("loads/stores     %d / %d\n", ps.Loads, ps.Stores)
-	fmt.Printf("L1D miss rate    %.2f%%\n", 100*float64(ms.L1DMisses)/float64(max64(ms.L1DAccesses, 1)))
-	fmt.Printf("L2 miss rate     %.2f%%\n", 100*float64(ms.L2Misses)/float64(max64(ms.L2Accesses, 1)))
+	fmt.Printf("L1D miss rate    %.2f%%\n", 100*float64(ms.L1DMisses)/float64(stats.Max64(ms.L1DAccesses, 1)))
+	fmt.Printf("L2 miss rate     %.2f%%\n", 100*float64(ms.L2Misses)/float64(stats.Max64(ms.L2Accesses, 1)))
 	fmt.Printf("replay triggers  %d (uops replayed %d)\n", ps.ReplayTriggers, ps.ReplayedUops)
 	fmt.Printf("rollbacks        %d (uops squashed %d)\n", ps.Rollbacks, ps.RollbackSquashedUops)
 	fmt.Printf("singletons       %d (faults declared %d)\n", ps.Singletons, ps.FaultsDeclared)
@@ -123,9 +134,54 @@ func runTraced(opts harness.Options, bm workload.Benchmark, scheme harness.Schem
 	return nil
 }
 
-func max64(a, b uint64) uint64 {
-	if a > b {
-		return a
+// emitJSON writes the run's full stats block as a single JSON object on
+// stdout, marshaled the same way the campaign subsystem marshals its
+// summary artifacts (stable keys, indented, provenance-stamped).
+func emitJSON(bm workload.Benchmark, scheme string, threads int, run harness.Run) error {
+	c := run.Core
+	ps, ms := c.Stats(), c.MemStats()
+	var ds detect.Stats
+	if d := c.Detector(); d != nil {
+		ds = d.Stats()
 	}
-	return b
+	b := energy.Default().Compute(ps, ms, ds)
+	obj := struct {
+		Provenance  campaign.Provenance `json:"provenance"`
+		Benchmark   string              `json:"benchmark"`
+		Suite       string              `json:"suite"`
+		Scheme      string              `json:"scheme"`
+		Threads     int                 `json:"threads"`
+		Cycles      uint64              `json:"cycles"`
+		Committed   uint64              `json:"committed"`
+		IPC         float64             `json:"ipc"`
+		MispredRate float64             `json:"branch_mispredict_rate"`
+		FPRate      float64             `json:"fp_rate"`
+		Pipeline    pipeline.Stats      `json:"pipeline"`
+		Memory      mem.HierarchyStats  `json:"memory"`
+		Detector    detect.Stats        `json:"detector"`
+		Energy      energy.Breakdown    `json:"energy"`
+		EnergyTotal float64             `json:"energy_total"`
+	}{
+		Provenance:  campaign.NewProvenance(campaign.DefaultRunID()),
+		Benchmark:   bm.Name,
+		Suite:       bm.Suite,
+		Scheme:      scheme,
+		Threads:     threads,
+		Cycles:      run.Cycles,
+		Committed:   run.Committed,
+		IPC:         float64(run.Committed) / float64(stats.Max64(run.Cycles, 1)),
+		MispredRate: c.BranchMispredictRate(),
+		FPRate:      run.FPRate(),
+		Pipeline:    ps,
+		Memory:      ms,
+		Detector:    ds,
+		Energy:      b,
+		EnergyTotal: b.Total(),
+	}
+	out, err := campaign.MarshalJSON(obj)
+	if err != nil {
+		return err
+	}
+	_, err = os.Stdout.Write(out)
+	return err
 }

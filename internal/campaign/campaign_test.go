@@ -1,0 +1,276 @@
+package campaign_test
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"faulthound/internal/campaign"
+	"faulthound/internal/fault"
+	"faulthound/internal/harness"
+)
+
+// testSpec returns a small two-cell campaign (bzip2 x baseline +
+// faulthound) and the harness options that resolve its cores.
+func testSpec(t *testing.T, injections int) (campaign.Spec, harness.Options) {
+	t.Helper()
+	o := harness.QuickOptions()
+	spec := o.CampaignSpec([]string{"bzip2"}, []harness.Scheme{harness.FaultHound})
+	spec.RunID = "test-run"
+	spec.Fault.Injections = injections
+	return spec, o
+}
+
+func runEngine(t *testing.T, spec campaign.Spec, o harness.Options, dir string, resume bool, progress func(done, total int)) (*campaign.Outcome, error) {
+	t.Helper()
+	eng := &campaign.Engine{Spec: spec, Factory: o.CampaignFactory(), Progress: progress}
+	return eng.Run(context.Background(), dir, resume)
+}
+
+func readFile(t *testing.T, path string) []byte {
+	t.Helper()
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// TestWorkerCountInvariance is the determinism guarantee: the same spec
+// produces byte-identical results.csv and summary.json bundles whether
+// one worker or many execute it.
+func TestWorkerCountInvariance(t *testing.T) {
+	spec, o := testSpec(t, 24)
+	var bundles [][]byte
+	for _, workers := range []int{1, 4} {
+		dir := filepath.Join(t.TempDir(), "run")
+		s := spec
+		s.Workers = workers
+		if _, err := runEngine(t, s, o, dir, false, nil); err != nil {
+			t.Fatal(err)
+		}
+		bundles = append(bundles, readFile(t, filepath.Join(dir, campaign.ResultsName)))
+		// summary.json must match too (aggregates of the same results).
+		bundles = append(bundles, readFile(t, filepath.Join(dir, campaign.SummaryName)))
+	}
+	if string(bundles[0]) != string(bundles[2]) {
+		t.Fatal("results.csv differs between -workers 1 and -workers 4")
+	}
+	if string(bundles[1]) != string(bundles[3]) {
+		t.Fatal("summary.json differs between -workers 1 and -workers 4")
+	}
+	if len(bundles[0]) == 0 {
+		t.Fatal("empty results.csv")
+	}
+}
+
+// TestResumeReproducesBundle kills a campaign mid-flight (context
+// cancel after N results), restarts it with resume, and asserts the
+// merged bundle is byte-identical to an uninterrupted run with the
+// same seed — the journal-resume guarantee, run under -race in CI.
+func TestResumeReproducesBundle(t *testing.T) {
+	spec, o := testSpec(t, 24)
+	spec.Workers = 4
+
+	// Uninterrupted reference run.
+	refDir := filepath.Join(t.TempDir(), "ref")
+	if _, err := runEngine(t, spec, o, refDir, false, nil); err != nil {
+		t.Fatal(err)
+	}
+	refCSV := readFile(t, filepath.Join(refDir, campaign.ResultsName))
+
+	// Interrupted run: cancel after 10 completed injections.
+	dir := filepath.Join(t.TempDir(), "run")
+	ctx, cancel := context.WithCancel(context.Background())
+	eng := &campaign.Engine{
+		Spec:    spec,
+		Factory: o.CampaignFactory(),
+		Progress: func(done, total int) {
+			if done >= 10 {
+				cancel()
+			}
+		},
+	}
+	if _, err := eng.Run(ctx, dir, false); !errors.Is(err, context.Canceled) {
+		t.Fatalf("interrupted run returned %v, want context.Canceled", err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, campaign.ResultsName)); !os.IsNotExist(err) {
+		t.Fatal("interrupted run should not have written results.csv")
+	}
+	recs, err := campaign.ReadJournal(filepath.Join(dir, campaign.JournalName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) == 0 {
+		t.Fatal("interrupted run left an empty journal")
+	}
+
+	// Resume and compare.
+	out, err := runEngine(t, spec, o, dir, true, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Resumed < 10 {
+		t.Fatalf("resumed %d results, expected >= 10", out.Resumed)
+	}
+	gotCSV := readFile(t, filepath.Join(dir, campaign.ResultsName))
+	if string(gotCSV) != string(refCSV) {
+		t.Fatal("resumed results.csv differs from the uninterrupted run")
+	}
+	if string(readFile(t, filepath.Join(dir, campaign.SummaryName))) !=
+		string(readFile(t, filepath.Join(refDir, campaign.SummaryName))) {
+		t.Fatal("resumed summary.json differs from the uninterrupted run")
+	}
+}
+
+// TestResumeSpecMismatch rejects resuming with a different campaign.
+func TestResumeSpecMismatch(t *testing.T) {
+	spec, o := testSpec(t, 8)
+	dir := filepath.Join(t.TempDir(), "run")
+	if _, err := runEngine(t, spec, o, dir, false, nil); err != nil {
+		t.Fatal(err)
+	}
+	other := spec
+	other.Fault.Seed++
+	if _, err := runEngine(t, other, o, dir, true, nil); err == nil {
+		t.Fatal("resume with a different seed should fail")
+	}
+}
+
+// TestBundleArtifacts checks the bundle contents: a parsable manifest
+// with provenance, a summary whose cells partition the injections, and
+// a report referencing every artifact.
+func TestBundleArtifacts(t *testing.T) {
+	spec, o := testSpec(t, 12)
+	dir := filepath.Join(t.TempDir(), "run")
+	out, err := runEngine(t, spec, o, dir, false, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	man, err := campaign.ReadManifest(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if man.Provenance.RunID != "test-run" || man.Provenance.GoVersion == "" || man.Provenance.GitCommit == "" {
+		t.Fatalf("incomplete provenance: %+v", man.Provenance)
+	}
+	if cells := man.Spec.Cells(); len(cells) != 2 || cells[0].Scheme != campaign.BaselineScheme {
+		t.Fatalf("manifest spec cells = %v", cells)
+	}
+
+	var sum campaign.Summary
+	if err := json.Unmarshal(readFile(t, filepath.Join(dir, campaign.SummaryName)), &sum); err != nil {
+		t.Fatal(err)
+	}
+	if len(sum.Cells) != 2 {
+		t.Fatalf("summary has %d cells, want 2", len(sum.Cells))
+	}
+	for _, c := range sum.Cells {
+		if c.Masked+c.Noisy+c.SDC != spec.Fault.Injections {
+			t.Fatalf("cell %s/%s outcomes do not partition: %d+%d+%d != %d",
+				c.Bench, c.Scheme, c.Masked, c.Noisy, c.SDC, spec.Fault.Injections)
+		}
+	}
+	fh := sum.Cell("bzip2", string(harness.FaultHound))
+	if fh == nil || fh.Coverage == nil {
+		t.Fatal("faulthound cell has no coverage summary")
+	}
+	if base := sum.Cell("bzip2", campaign.BaselineScheme); base == nil || base.Coverage != nil {
+		t.Fatal("baseline cell should exist without coverage")
+	}
+
+	report := string(readFile(t, filepath.Join(dir, campaign.ReportName)))
+	for _, want := range []string{"Run ID", campaign.ResultsName, campaign.SummaryName, campaign.JournalName, "## Classification"} {
+		if !strings.Contains(report, want) {
+			t.Fatalf("report.md missing %q", want)
+		}
+	}
+	if out.Summary.Injections != spec.Fault.Injections {
+		t.Fatalf("summary injections = %d", out.Summary.Injections)
+	}
+}
+
+// TestSummaryMatchesPairCoverage cross-checks the engine's aggregation
+// against the fault package's reference pairing.
+func TestSummaryMatchesPairCoverage(t *testing.T) {
+	spec, o := testSpec(t, 24)
+	out, err := runEngine(t, spec, o, "", false, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := fault.PairCoverage(out.Campaigns[0], out.Campaigns[1])
+	fh := out.Summary.Cell("bzip2", string(harness.FaultHound))
+	if fh.Coverage.SDCBase != rep.SDCBase || fh.Coverage.Covered != rep.CoveredCount {
+		t.Fatalf("summary coverage %+v != PairCoverage %+v", fh.Coverage, rep)
+	}
+}
+
+// TestJournalTolerance: a truncated final line (killed mid-write) is
+// ignored; interior corruption is an error.
+func TestJournalTolerance(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "j.jsonl")
+	good := `{"kind":"prep","bench":"b","scheme":"s","fp_rate":0.5}` + "\n"
+	if err := os.WriteFile(path, []byte(good+`{"kind":"result","bench`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := campaign.ReadJournal(path)
+	if err != nil {
+		t.Fatalf("truncated final line should be tolerated: %v", err)
+	}
+	if len(recs) != 1 || recs[0].Kind != "prep" {
+		t.Fatalf("records = %+v", recs)
+	}
+
+	if err := os.WriteFile(path, []byte("garbage\n"+good), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := campaign.ReadJournal(path); err == nil {
+		t.Fatal("interior corruption should be an error")
+	}
+
+	if recs, err := campaign.ReadJournal(filepath.Join(dir, "missing.jsonl")); err != nil || recs != nil {
+		t.Fatalf("missing journal: recs=%v err=%v", recs, err)
+	}
+}
+
+// TestCellsEnumeration: baseline first per benchmark, duplicates and
+// explicit "baseline" entries collapse.
+func TestCellsEnumeration(t *testing.T) {
+	s := campaign.Spec{
+		Benchmarks: []string{"a", "b"},
+		Schemes:    []string{"baseline", "x", "x", "y"},
+	}
+	got := s.Cells()
+	want := []campaign.Cell{
+		{"a", "baseline"}, {"a", "x"}, {"a", "y"},
+		{"b", "baseline"}, {"b", "x"}, {"b", "y"},
+	}
+	if len(got) != len(want) {
+		t.Fatalf("cells = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("cells[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+// TestCellSeedDecorrelation: distinct cells derive distinct auxiliary
+// seeds, stable across calls.
+func TestCellSeedDecorrelation(t *testing.T) {
+	a := campaign.CellSeed(1, campaign.Cell{Bench: "bzip2", Scheme: "faulthound"})
+	b := campaign.CellSeed(1, campaign.Cell{Bench: "bzip2", Scheme: "baseline"})
+	c := campaign.CellSeed(1, campaign.Cell{Bench: "mcf", Scheme: "faulthound"})
+	if a == b || a == c || b == c {
+		t.Fatalf("cell seeds collide: %x %x %x", a, b, c)
+	}
+	if a != campaign.CellSeed(1, campaign.Cell{Bench: "bzip2", Scheme: "faulthound"}) {
+		t.Fatal("cell seed not stable")
+	}
+}

@@ -1,0 +1,316 @@
+package campaign
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"faulthound/internal/fault"
+)
+
+// ManifestName is the manifest's file name inside a run directory.
+const ManifestName = "manifest.json"
+
+// Manifest is the manifest.json artifact: provenance plus the spec
+// verbatim. A resume run validates its spec against it.
+type Manifest struct {
+	Provenance Provenance `json:"provenance"`
+	Spec       Spec       `json:"spec"`
+}
+
+// ReadManifest loads dir/manifest.json.
+func ReadManifest(dir string) (*Manifest, error) {
+	b, err := os.ReadFile(filepath.Join(dir, ManifestName))
+	if err != nil {
+		return nil, err
+	}
+	var m Manifest
+	if err := json.Unmarshal(b, &m); err != nil {
+		return nil, fmt.Errorf("campaign: bad manifest in %s: %w", dir, err)
+	}
+	return &m, nil
+}
+
+// Engine executes a campaign spec. Factory supplies core construction
+// per cell; Progress and OnCell are optional observation hooks, both
+// invoked serially.
+type Engine struct {
+	Spec    Spec
+	Factory CoreFactory
+	// Progress is called after every completed injection with the
+	// cumulative completed count (including journal-resumed results)
+	// and the campaign total.
+	Progress func(done, total int)
+	// OnCell is called when a cell's golden-run preparation starts.
+	OnCell func(c Cell)
+}
+
+// Outcome is a finished campaign: the per-cell results in cell order,
+// their aggregate summary, and run metadata.
+type Outcome struct {
+	Spec      Spec
+	Cells     []Cell
+	Campaigns []*fault.Campaign
+	Summary   *Summary
+	// Resumed counts injections restored from the journal instead of
+	// executed.
+	Resumed int
+	// Elapsed is the wall-clock duration of this Run call.
+	Elapsed time.Duration
+	// Dir is the artifact bundle directory ("" for in-memory runs).
+	Dir string
+}
+
+// cellState is one cell's lazily-prepared golden run. Preparation
+// happens under once when the first worker picks a task of the cell;
+// after prepare returns, prepared is read-only and shared by every
+// worker (see fault.Prepared).
+type cellState struct {
+	once     sync.Once
+	prepared *fault.Prepared
+	err      error
+}
+
+type task struct{ cell, inj int }
+
+// Run executes the campaign. With dir != "", the run journals into and
+// writes its artifact bundle under dir; with resume true, dir must hold
+// a prior run's manifest and journal, whose completed injections are
+// reused. A cancelled ctx stops the run with ctx.Err(), leaving the
+// journal for a later resume.
+func (e *Engine) Run(ctx context.Context, dir string, resume bool) (*Outcome, error) {
+	start := time.Now()
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := e.Spec.validate(); err != nil {
+		return nil, err
+	}
+	if e.Factory == nil {
+		return nil, fmt.Errorf("campaign: engine has no core factory")
+	}
+	if resume && dir == "" {
+		return nil, fmt.Errorf("campaign: resume requires a run directory")
+	}
+
+	cells := e.Spec.Cells()
+	nInj := e.Spec.Fault.Injections
+	injs := fault.DrawInjections(e.Spec.Fault)
+	cellIdx := make(map[Cell]int, len(cells))
+	for i, c := range cells {
+		cellIdx[c] = i
+	}
+
+	results := make([][]fault.Result, len(cells))
+	have := make([][]bool, len(cells))
+	for i := range cells {
+		results[i] = make([]fault.Result, nInj)
+		have[i] = make([]bool, nInj)
+	}
+	fpRates := make([]float64, len(cells))
+	fpKnown := make([]bool, len(cells))
+
+	// Resume: validate the manifest and replay the journal.
+	resumed := 0
+	if resume {
+		man, err := ReadManifest(dir)
+		if err != nil {
+			return nil, err
+		}
+		if !e.Spec.equivalent(man.Spec) {
+			return nil, fmt.Errorf("campaign: spec does not match the manifest in %s (cells or fault config differ)", dir)
+		}
+		recs, err := ReadJournal(filepath.Join(dir, JournalName))
+		if err != nil {
+			return nil, err
+		}
+		for _, r := range recs {
+			ci, ok := cellIdx[Cell{r.Bench, r.Scheme}]
+			if !ok {
+				return nil, fmt.Errorf("campaign: journal records unknown cell %s/%s", r.Bench, r.Scheme)
+			}
+			switch r.Kind {
+			case "prep":
+				fpRates[ci], fpKnown[ci] = r.FPRate, true
+			case "result":
+				if r.Index < 0 || r.Index >= nInj || r.Result == nil {
+					return nil, fmt.Errorf("campaign: journal has bad result record for %s/%s index %d", r.Bench, r.Scheme, r.Index)
+				}
+				if !have[ci][r.Index] {
+					resumed++
+				}
+				results[ci][r.Index] = *r.Result
+				have[ci][r.Index] = true
+			default:
+				return nil, fmt.Errorf("campaign: journal has unknown record kind %q", r.Kind)
+			}
+		}
+	}
+
+	// Open the bundle directory and journal; a fresh run writes the
+	// manifest up front so even an early kill leaves a resumable run.
+	var journal *journalWriter
+	if dir != "" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return nil, err
+		}
+		if !resume {
+			man := Manifest{Provenance: NewProvenance(e.Spec.RunID), Spec: e.Spec}
+			if err := WriteJSONFile(filepath.Join(dir, ManifestName), man); err != nil {
+				return nil, err
+			}
+		}
+		var err error
+		journal, err = openJournal(filepath.Join(dir, JournalName))
+		if err != nil {
+			return nil, err
+		}
+		defer journal.close()
+	}
+
+	// Enumerate outstanding tasks cell-major: workers converge on one
+	// cell's injections while the next cell's preparation overlaps with
+	// the current cell's tail.
+	var tasks []task
+	for ci := range cells {
+		for i := 0; i < nInj; i++ {
+			if !have[ci][i] {
+				tasks = append(tasks, task{ci, i})
+			}
+		}
+	}
+	total := len(cells) * nInj
+
+	states := make([]*cellState, len(cells))
+	for i := range states {
+		states[i] = &cellState{}
+	}
+
+	runCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	var (
+		mu       sync.Mutex
+		firstErr error
+		done     = total - len(tasks)
+	)
+	fail := func(err error) {
+		mu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		mu.Unlock()
+		cancel()
+	}
+
+	// prepare runs a cell's golden phase exactly once and journals its
+	// fault-free FP rate.
+	prepare := func(ci int) *cellState {
+		st := states[ci]
+		st.once.Do(func() {
+			c := cells[ci]
+			if e.OnCell != nil {
+				mu.Lock()
+				e.OnCell(c)
+				mu.Unlock()
+			}
+			mk, err := e.Factory(c.Bench, c.Scheme)
+			if err != nil {
+				st.err = fmt.Errorf("campaign: %s: %w", c, err)
+				return
+			}
+			p, err := fault.Prepare(mk, e.Spec.Fault)
+			if err != nil {
+				st.err = fmt.Errorf("campaign: %s: %w", c, err)
+				return
+			}
+			st.prepared = p
+			mu.Lock()
+			fpRates[ci], fpKnown[ci] = p.FPRate(), true
+			mu.Unlock()
+			if journal != nil {
+				if err := journal.append(Record{Kind: "prep", Bench: c.Bench, Scheme: c.Scheme, FPRate: p.FPRate()}); err != nil {
+					st.err = err
+				}
+			}
+		})
+		return st
+	}
+
+	workers := e.Spec.workers()
+	if workers > len(tasks) && len(tasks) > 0 {
+		workers = len(tasks)
+	}
+	taskCh := make(chan task)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for t := range taskCh {
+				st := prepare(t.cell)
+				if st.err != nil {
+					fail(st.err)
+					return
+				}
+				res := st.prepared.RunOne(injs[t.inj])
+				results[t.cell][t.inj] = res
+				have[t.cell][t.inj] = true
+				if journal != nil {
+					c := cells[t.cell]
+					if err := journal.append(Record{Kind: "result", Bench: c.Bench, Scheme: c.Scheme, Index: t.inj, Result: &res}); err != nil {
+						fail(err)
+						return
+					}
+				}
+				mu.Lock()
+				done++
+				if e.Progress != nil {
+					e.Progress(done, total)
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+
+feed:
+	for _, t := range tasks {
+		select {
+		case taskCh <- t:
+		case <-runCtx.Done():
+			break feed
+		}
+	}
+	close(taskCh)
+	wg.Wait()
+
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+
+	campaigns := make([]*fault.Campaign, len(cells))
+	for ci := range cells {
+		campaigns[ci] = &fault.Campaign{Config: e.Spec.Fault, Results: results[ci]}
+	}
+	out := &Outcome{
+		Spec:      e.Spec,
+		Cells:     cells,
+		Campaigns: campaigns,
+		Summary:   buildSummary(e.Spec, cells, campaigns, fpRates),
+		Resumed:   resumed,
+		Elapsed:   time.Since(start),
+		Dir:       dir,
+	}
+	if dir != "" {
+		if err := writeBundle(dir, out); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,115 @@
+package campaign
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sync"
+
+	"faulthound/internal/fault"
+)
+
+// JournalName is the journal's file name inside a run directory.
+const JournalName = "journal.jsonl"
+
+// Record is one journal line. Kind "prep" records a cell's golden-run
+// preparation (its fault-free false-positive rate); kind "result"
+// records one completed injection. The journal is append-only: a
+// campaign killed mid-flight leaves every completed injection on disk,
+// and a resume run replays the journal instead of re-executing them.
+type Record struct {
+	Kind   string        `json:"kind"` // "prep" | "result"
+	Bench  string        `json:"bench"`
+	Scheme string        `json:"scheme"`
+	Index  int           `json:"index,omitempty"`
+	FPRate float64       `json:"fp_rate,omitempty"`
+	Result *fault.Result `json:"result,omitempty"`
+}
+
+// journalWriter appends records to a journal file, one JSON object per
+// line, serialized by a mutex so worker goroutines can share it.
+type journalWriter struct {
+	mu sync.Mutex
+	f  *os.File
+	w  *bufio.Writer
+}
+
+// openJournal opens path for appending (creating it if absent).
+func openJournal(path string) (*journalWriter, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	return &journalWriter{f: f, w: bufio.NewWriter(f)}, nil
+}
+
+// append writes one record and flushes it to the file, so a killed
+// process loses at most the record being written.
+func (j *journalWriter) append(r Record) error {
+	b, err := json.Marshal(r)
+	if err != nil {
+		return err
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if _, err := j.w.Write(append(b, '\n')); err != nil {
+		return err
+	}
+	return j.w.Flush()
+}
+
+// close flushes and closes the file.
+func (j *journalWriter) close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if err := j.w.Flush(); err != nil {
+		j.f.Close()
+		return err
+	}
+	return j.f.Close()
+}
+
+// ReadJournal parses a journal file. A truncated final line (the record
+// being written when the process died) is ignored; malformed interior
+// lines are an error. A missing file yields no records.
+func ReadJournal(path string) ([]Record, error) {
+	f, err := os.Open(path)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+
+	var (
+		out  []Record
+		bad  int // line number of a malformed line, 1-based; 0 = none
+		line int
+	)
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<22)
+	for sc.Scan() {
+		line++
+		if len(sc.Bytes()) == 0 {
+			continue
+		}
+		var r Record
+		if err := json.Unmarshal(sc.Bytes(), &r); err != nil {
+			if bad != 0 {
+				return nil, fmt.Errorf("campaign: journal %s: malformed line %d", path, bad)
+			}
+			bad = line // tolerated only if it turns out to be the last line
+			continue
+		}
+		if bad != 0 {
+			return nil, fmt.Errorf("campaign: journal %s: malformed line %d", path, bad)
+		}
+		out = append(out, r)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}

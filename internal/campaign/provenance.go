@@ -1,0 +1,73 @@
+package campaign
+
+import (
+	"encoding/json"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"time"
+)
+
+// Provenance stamps an artifact bundle with what produced it: the run
+// ID, the toolchain, and the source revision. It is embedded in
+// manifest.json and echoed by report.md so every number in the bundle
+// is traceable.
+type Provenance struct {
+	RunID     string `json:"run_id"`
+	CreatedAt string `json:"created_at"` // RFC 3339, UTC
+	GoVersion string `json:"go_version"`
+	GitCommit string `json:"git_commit"` // "unknown" outside a git checkout
+}
+
+// NewProvenance stamps a bundle with the current toolchain, source
+// revision, and wall-clock time.
+func NewProvenance(runID string) Provenance {
+	return Provenance{
+		RunID:     runID,
+		CreatedAt: time.Now().UTC().Format(time.RFC3339),
+		GoVersion: runtime.Version(),
+		GitCommit: gitCommit(),
+	}
+}
+
+// DefaultRunID returns a timestamp-based run identifier, unique at
+// one-second granularity (the exemplar bundle format's convention).
+func DefaultRunID() string {
+	return time.Now().UTC().Format("2006-01-02T15-04-05Z")
+}
+
+// gitCommit resolves HEAD, or "unknown" when git or the checkout is
+// unavailable.
+func gitCommit() string {
+	out, err := exec.Command("git", "rev-parse", "HEAD").Output()
+	if err != nil {
+		return "unknown"
+	}
+	return strings.TrimSpace(string(out))
+}
+
+// MarshalJSON renders v as stable, indented JSON with a trailing
+// newline — the one marshaling every artifact and the fhsim -json
+// output share.
+func MarshalJSON(v any) ([]byte, error) {
+	b, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}
+
+// WriteJSONFile marshals v with MarshalJSON into path, creating parent
+// directories.
+func WriteJSONFile(path string, v any) error {
+	b, err := MarshalJSON(v)
+	if err != nil {
+		return err
+	}
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return err
+	}
+	return os.WriteFile(path, b, 0o644)
+}

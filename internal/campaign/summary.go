@@ -1,0 +1,119 @@
+package campaign
+
+import "faulthound/internal/fault"
+
+// CoverageSummary aggregates one scheme cell's paired coverage against
+// its benchmark's baseline cell.
+type CoverageSummary struct {
+	// SDCBase counts injections that are SDC without protection — the
+	// coverage denominator.
+	SDCBase int `json:"sdc_base"`
+	// Covered counts SDC-base faults the scheme corrected, detected, or
+	// surfaced as an exception.
+	Covered int `json:"covered"`
+	// FalseNoisy counts covered faults that surfaced as exceptions.
+	FalseNoisy int `json:"false_noisy"`
+	// Coverage is Covered / SDCBase in [0, 1].
+	Coverage float64 `json:"coverage"`
+	// Bins is the Figure-11 breakdown over SDC-base faults, keyed by
+	// bin name in fault.BinNames order.
+	Bins map[string]int `json:"bins"`
+}
+
+// CellSummary aggregates one benchmark×scheme cell.
+type CellSummary struct {
+	Bench  string `json:"bench"`
+	Scheme string `json:"scheme"`
+	// Masked/Noisy/SDC is the Figure-7 outcome classification.
+	Masked int `json:"masked"`
+	Noisy  int `json:"noisy"`
+	SDC    int `json:"sdc"`
+	// Detected counts injections where the scheme declared a fault.
+	Detected int `json:"detected"`
+	// FPRate is the golden (fault-free) detector action rate over the
+	// campaign window — replays + rollbacks + singletons per committed
+	// instruction.
+	FPRate float64 `json:"fp_rate"`
+	// Coverage is present on scheme cells (nil for baseline).
+	Coverage *CoverageSummary `json:"coverage,omitempty"`
+}
+
+// Summary is the aggregate view of a campaign — the summary.json
+// artifact, and the form the harness's coverage/FP tables consume.
+type Summary struct {
+	RunID      string        `json:"run_id"`
+	Injections int           `json:"injections_per_cell"`
+	Cells      []CellSummary `json:"cells"`
+}
+
+// Cell returns the summary of one cell, or nil if absent.
+func (s *Summary) Cell(bench, scheme string) *CellSummary {
+	for i := range s.Cells {
+		if s.Cells[i].Bench == bench && s.Cells[i].Scheme == scheme {
+			return &s.Cells[i]
+		}
+	}
+	return nil
+}
+
+// Coverage returns the coverage fraction of one scheme cell, and
+// whether the cell exists and has coverage data.
+func (s *Summary) Coverage(bench, scheme string) (float64, bool) {
+	c := s.Cell(bench, scheme)
+	if c == nil || c.Coverage == nil {
+		return 0, false
+	}
+	return c.Coverage.Coverage, true
+}
+
+// FPRate returns the fault-free false-positive rate of one cell, and
+// whether the cell exists.
+func (s *Summary) FPRate(bench, scheme string) (float64, bool) {
+	c := s.Cell(bench, scheme)
+	if c == nil {
+		return 0, false
+	}
+	return c.FPRate, true
+}
+
+// buildSummary aggregates per-cell campaigns into the summary
+// artifact. campaigns and fpRates are keyed by the cell's position in
+// spec.Cells().
+func buildSummary(spec Spec, cells []Cell, campaigns []*fault.Campaign, fpRates []float64) *Summary {
+	sum := &Summary{RunID: spec.RunID, Injections: spec.Fault.Injections}
+	// Index the baseline campaign per benchmark for pairing.
+	baseline := make(map[string]*fault.Campaign)
+	for i, c := range cells {
+		if c.Scheme == BaselineScheme {
+			baseline[c.Bench] = campaigns[i]
+		}
+	}
+	for i, c := range cells {
+		camp := campaigns[i]
+		cs := CellSummary{Bench: c.Bench, Scheme: c.Scheme, FPRate: fpRates[i]}
+		cs.Masked, cs.Noisy, cs.SDC = camp.Classification()
+		for _, r := range camp.Results {
+			if r.Detected {
+				cs.Detected++
+			}
+		}
+		if c.Scheme != BaselineScheme {
+			if base := baseline[c.Bench]; base != nil {
+				rep := fault.PairCoverage(base, camp)
+				cov := &CoverageSummary{
+					SDCBase:    rep.SDCBase,
+					Covered:    rep.CoveredCount,
+					FalseNoisy: rep.FalseNoisy,
+					Coverage:   rep.Coverage(),
+					Bins:       map[string]int{},
+				}
+				for _, b := range fault.BinNames() {
+					cov.Bins[b.String()] = rep.Bins[b]
+				}
+				cs.Coverage = cov
+			}
+		}
+		sum.Cells = append(sum.Cells, cs)
+	}
+	return sum
+}

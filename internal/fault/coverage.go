@@ -85,6 +85,26 @@ func (r CoverageReport) BinFraction(b Bin) float64 {
 	return float64(r.Bins[b]) / float64(r.SDCBase)
 }
 
+// ClassifyPair classifies one (baseline, detector) result pair for the
+// same injection descriptor. It returns the Figure-11 bin of the
+// detector result and whether the pair counts toward the SDC base (the
+// baseline outcome was SDC); the bin is meaningful only when counted.
+//
+// A fault is Covered when the detector run ends with golden state
+// (corrected), a declared fault (detected), or an exception/hang
+// (surfaced). Like the paper's tandem methodology, this is a state
+// comparison: recovery via the scheme's own recovery machinery is
+// credited regardless of which trigger invoked it.
+func ClassifyPair(b, d Result) (bin Bin, counted bool) {
+	if b.Outcome != SDC {
+		return Covered, false // coverage is measured over would-be-SDC faults
+	}
+	if d.Outcome == Masked || d.Detected || d.Outcome == Noisy {
+		return Covered, true
+	}
+	return classifyUncovered(d), true
+}
+
 // PairCoverage builds the coverage report from a baseline campaign (no
 // detector) and a detector campaign run with the same Config (hence the
 // same injection descriptor stream).
@@ -96,27 +116,19 @@ func PairCoverage(base, det *Campaign) CoverageReport {
 	}
 	for i := 0; i < n; i++ {
 		b, d := base.Results[i], det.Results[i]
-		if b.Outcome != SDC {
-			continue // coverage is measured over would-be-SDC faults
-		}
-		rep.SDCBase++
-		// A fault is covered when the detector run ends with golden
-		// state (corrected), a declared fault (detected), or an
-		// exception/hang (surfaced). Like the paper's tandem
-		// methodology, this is a state comparison: recovery via the
-		// scheme's own recovery machinery is credited regardless of
-		// which trigger invoked it.
-		covered := d.Outcome == Masked || d.Detected
-		if d.Outcome == Noisy {
-			covered = true
-			rep.FalseNoisy++
-		}
-		if covered {
-			rep.CoveredCount++
-			rep.Bins[Covered]++
+		bin, counted := ClassifyPair(b, d)
+		if !counted {
 			continue
 		}
-		rep.Bins[classifyUncovered(d)]++
+		rep.SDCBase++
+		rep.Bins[bin]++
+		if bin == Covered {
+			rep.CoveredCount++
+			if d.Outcome == Noisy {
+				// Counted as covered: the exception is a detection.
+				rep.FalseNoisy++
+			}
+		}
 	}
 	return rep
 }

@@ -211,12 +211,32 @@ func (c *Campaign) Classification() (masked, noisy, sdc int) {
 	return
 }
 
-// Run executes a campaign: mk must build a fresh, deterministic core
-// (program + detector); the same mk with the same cfg yields identical
-// results.
-func Run(mk func() *pipeline.Core, cfg Config) (*Campaign, error) {
-	injs := DrawInjections(cfg)
+// Prepared is a fault campaign after golden-run preparation: the
+// warmed golden core, the golden architectural-hash trace, and the
+// detector's false-positive background. Every field is read-only after
+// Prepare returns, so any number of goroutines may call RunOne
+// concurrently — each injection clones the shared golden core and
+// mutates only its own clone.
+type Prepared struct {
+	cfg    Config
+	injs   []Injection
+	golden *pipeline.Core
+	// hashes and background are keyed by thread-0 commit count and are
+	// never written after Prepare.
+	hashes     map[uint64]uint64
+	background map[uint64]detect.Stats
+	// fpRate is the golden (fault-free) detector action rate over the
+	// traced window — the campaign's false-positive measurement, free
+	// because the golden run executes the window anyway.
+	fpRate float64
+}
 
+// Prepare performs the golden-run phase of a campaign: detector
+// fast-forward, pipeline warmup, and the golden hash/background trace
+// over the injection spread plus run window. mk must build a fresh,
+// deterministic core (program + detector). The returned Prepared is
+// immutable and safe for concurrent RunOne calls.
+func Prepare(mk func() *pipeline.Core, cfg Config) (*Prepared, error) {
 	golden := mk()
 	golden.WarmDetector(cfg.DetectorWarmupInstr)
 	golden.Run(cfg.WarmupCycles)
@@ -230,7 +250,9 @@ func Run(mk func() *pipeline.Core, cfg Config) (*Campaign, error) {
 	// Record, at every commit count the faulty runs can target, the
 	// golden architectural hash and the golden detector counters (the
 	// false-positive background against which fault-attributable
-	// activity is measured).
+	// activity is measured). The trace runs on a throwaway clone so the
+	// shared golden core itself is never stepped — and therefore never
+	// mutated — after this function returns.
 	gold := golden.Clone()
 	hashes := make(map[uint64]uint64)
 	background := make(map[uint64]detect.Stats)
@@ -248,6 +270,8 @@ func Run(mk func() *pipeline.Core, cfg Config) (*Campaign, error) {
 	if d := golden.Detector(); d != nil {
 		background[golden.Committed(0)] = d.Stats()
 	}
+	ds0 := gold.DetectorStats()
+	commits0 := gold.Committed(0)
 	for i := uint64(0); i < cfg.SpreadCycles; i++ {
 		gold.Step()
 	}
@@ -259,16 +283,60 @@ func Run(mk func() *pipeline.Core, cfg Config) (*Campaign, error) {
 	if exc, msg := gold.Excepted(0); exc {
 		return nil, fmt.Errorf("fault: golden run excepted in window: %s", msg)
 	}
+	p := &Prepared{
+		cfg:        cfg,
+		injs:       DrawInjections(cfg),
+		golden:     golden,
+		hashes:     hashes,
+		background: background,
+	}
+	ds := gold.DetectorStats()
+	if commits := gold.Committed(0) - commits0; commits > 0 {
+		p.fpRate = float64(ds.Replays+ds.Rollbacks+ds.Singletons-
+			ds0.Replays-ds0.Rollbacks-ds0.Singletons) / float64(commits)
+	}
+	return p, nil
+}
 
-	camp := &Campaign{Config: cfg, Results: make([]Result, 0, len(injs))}
-	for _, inj := range injs {
-		camp.Results = append(camp.Results, runOne(golden, inj, cfg, hashes, background))
+// Config returns the campaign configuration.
+func (p *Prepared) Config() Config { return p.cfg }
+
+// Injections returns the pre-drawn descriptor list. The slice is shared
+// and must not be modified.
+func (p *Prepared) Injections() []Injection { return p.injs }
+
+// FPRate returns the golden run's fault-free detector action rate
+// (replays + rollbacks + singletons per committed instruction) over the
+// traced window.
+func (p *Prepared) FPRate() float64 { return p.fpRate }
+
+// RunOne executes one injection: it clones the shared golden core,
+// advances to the injection cycle, flips the bit, runs the window, and
+// classifies. Safe to call from multiple goroutines.
+func (p *Prepared) RunOne(inj Injection) Result {
+	return runOne(p.golden, inj, p.cfg, p.hashes, p.background)
+}
+
+// Run executes a campaign serially: mk must build a fresh,
+// deterministic core (program + detector); the same mk with the same
+// cfg yields identical results. RunParallel produces bit-identical
+// results on any worker count.
+func Run(mk func() *pipeline.Core, cfg Config) (*Campaign, error) {
+	p, err := Prepare(mk, cfg)
+	if err != nil {
+		return nil, err
+	}
+	camp := &Campaign{Config: cfg, Results: make([]Result, 0, len(p.injs))}
+	for _, inj := range p.injs {
+		camp.Results = append(camp.Results, p.RunOne(inj))
 	}
 	return camp, nil
 }
 
 // runOne clones the warmed golden core, advances to the injection
-// cycle, flips the bit, runs the window, and classifies.
+// cycle, flips the bit, runs the window, and classifies. golden,
+// goldenHash, and background are read-only here: the clone is this
+// call's private mutable state.
 func runOne(golden *pipeline.Core, inj Injection, cfg Config, goldenHash map[uint64]uint64, background map[uint64]detect.Stats) Result {
 	f := golden.Clone()
 	for i := uint64(0); i < inj.CycleOffset; i++ {

@@ -1,0 +1,82 @@
+package fault
+
+import (
+	"context"
+	"runtime"
+	"sync"
+
+	"faulthound/internal/pipeline"
+)
+
+// RunAll executes every injection of the prepared campaign across a
+// pool of workers goroutines and returns the results in descriptor
+// order. Because each injection's randomness is sealed in its
+// descriptor (SiteSeed) and workers share only the read-only golden
+// state, the results are bit-identical to Run's for any worker count.
+//
+// workers <= 0 selects GOMAXPROCS. progress, when non-nil, is invoked
+// serially (under the pool's lock) after each completed injection with
+// the running completed count and the campaign total. A cancelled ctx
+// stops scheduling new injections and returns ctx.Err().
+func (p *Prepared) RunAll(ctx context.Context, workers int, progress func(done, total int)) (*Campaign, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(p.injs) && len(p.injs) > 0 {
+		workers = len(p.injs)
+	}
+
+	results := make([]Result, len(p.injs))
+	idx := make(chan int)
+	var (
+		wg   sync.WaitGroup
+		mu   sync.Mutex
+		done int
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				results[i] = p.RunOne(p.injs[i])
+				mu.Lock()
+				done++
+				if progress != nil {
+					progress(done, len(p.injs))
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+
+	var err error
+feed:
+	for i := range p.injs {
+		select {
+		case idx <- i:
+		case <-ctx.Done():
+			err = ctx.Err()
+			break feed
+		}
+	}
+	close(idx)
+	wg.Wait()
+	if err != nil {
+		return nil, err
+	}
+	return &Campaign{Config: p.cfg, Results: results}, nil
+}
+
+// RunParallel is Run with a worker pool: Prepare once, then fan the
+// injections across workers goroutines. Results are bit-identical to
+// Run's regardless of worker count.
+func RunParallel(ctx context.Context, mk func() *pipeline.Core, cfg Config, workers int, progress func(done, total int)) (*Campaign, error) {
+	p, err := Prepare(mk, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return p.RunAll(ctx, workers, progress)
+}

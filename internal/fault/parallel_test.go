@@ -1,0 +1,98 @@
+package fault
+
+import (
+	"context"
+	"sync"
+	"testing"
+)
+
+// TestRunParallelMatchesSerial proves the worker pool is a pure
+// scheduling change: for any worker count the results are bit-identical
+// to the serial runner's.
+func TestRunParallelMatchesSerial(t *testing.T) {
+	mk := mkCore(t, "bzip2", nil)
+	cfg := smallConfig()
+	serial, err := Run(mk, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 4, 8} {
+		par, err := RunParallel(context.Background(), mk, cfg, workers, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(par.Results) != len(serial.Results) {
+			t.Fatalf("workers=%d: %d results, want %d", workers, len(par.Results), len(serial.Results))
+		}
+		for i := range serial.Results {
+			if par.Results[i] != serial.Results[i] {
+				t.Fatalf("workers=%d: result %d differs from serial run", workers, i)
+			}
+		}
+	}
+}
+
+// TestPreparedSharedState proves the Prepare/RunOne split's contract:
+// after preparation, the golden core, hash trace, and detector
+// background are read-only, so goroutines sharing one Prepared must
+// not race (run with -race) and must reproduce the serial results.
+func TestPreparedSharedState(t *testing.T) {
+	mk := mkCore(t, "bzip2", nil)
+	cfg := smallConfig()
+	p, err := Prepare(mk, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	injs := p.Injections()
+	want := make([]Result, len(injs))
+	for i, inj := range injs {
+		want[i] = p.RunOne(inj)
+	}
+
+	const workers = 8
+	got := make([]Result, len(injs))
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := w; i < len(injs); i += workers {
+				got[i] = p.RunOne(injs[i])
+			}
+		}(w)
+	}
+	wg.Wait()
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("concurrent result %d differs from serial", i)
+		}
+	}
+}
+
+// TestRunAllCancel checks that a cancelled context aborts the pool with
+// ctx.Err instead of hanging or returning partial results as success.
+func TestRunAllCancel(t *testing.T) {
+	mk := mkCore(t, "bzip2", nil)
+	p, err := Prepare(mk, smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := p.RunAll(ctx, 2, nil); err != context.Canceled {
+		t.Fatalf("RunAll on cancelled ctx = %v, want context.Canceled", err)
+	}
+}
+
+// TestPreparedFPRate sanity-checks the golden fault-free FP
+// measurement: a baseline core (no detector) has rate zero, and the
+// rate is never negative.
+func TestPreparedFPRate(t *testing.T) {
+	p, err := Prepare(mkCore(t, "bzip2", nil), smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.FPRate() != 0 {
+		t.Fatalf("baseline FP rate = %v, want 0", p.FPRate())
+	}
+}

@@ -3,6 +3,7 @@ package harness
 import (
 	"fmt"
 
+	"faulthound/internal/campaign"
 	"faulthound/internal/detect"
 	"faulthound/internal/energy"
 	"faulthound/internal/fault"
@@ -95,16 +96,25 @@ func Fig7(o Options) (*Table, error) {
 		Title:   "Fault characterization: fraction of injected faults",
 		Columns: []string{"benchmark", "masked", "noisy", "sdc"},
 	}
+	names := make([]string, len(bms))
+	for i, bm := range bms {
+		names[i] = bm.Name
+	}
+	// One baseline-only campaign over every benchmark — the same
+	// engine (and worker pool) cmd/fhcampaign uses.
+	out, err := o.RunCampaign(o.CampaignSpec(names, nil))
+	if err != nil {
+		return nil, err
+	}
 	suiteAgg := map[string][]([3]float64){}
 	var all [][3]float64
 	order := []string{}
 	for _, bm := range bms {
-		o.progress("fig7: %s", bm.Name)
-		camp, err := fault.Run(o.MakeCore(bm, Baseline), o.Fault)
-		if err != nil {
-			return nil, err
+		cell := out.Summary.Cell(bm.Name, campaign.BaselineScheme)
+		if cell == nil {
+			return nil, fmt.Errorf("harness: fig7 campaign missing cell %s", bm.Name)
 		}
-		m, n, s := camp.Classification()
+		m, n, s := cell.Masked, cell.Noisy, cell.SDC
 		tot := float64(m + n + s)
 		fr := [3]float64{float64(m) / tot, float64(n) / tot, float64(s) / tot}
 		t.AddRow(bm.Name, pct(fr[0]), pct(fr[1]), pct(fr[2]))
@@ -147,59 +157,60 @@ func Fig8a(o Options) (*Table, error) {
 		fig8Schemes)
 }
 
-// coverageTable runs paired campaigns for the given schemes.
+// coverageTable runs paired campaigns for the given schemes through
+// the campaign engine and builds the table from its summaries.
 func coverageTable(o Options, id, title string, schemes []Scheme) (*Table, error) {
 	bms, err := o.benchmarks()
 	if err != nil {
 		return nil, err
 	}
-	cols := []string{"benchmark"}
-	for _, s := range schemes {
-		cols = append(cols, string(s))
+	names := make([]string, len(bms))
+	for i, bm := range bms {
+		names[i] = bm.Name
 	}
-	t := &Table{ID: id, Title: title, Columns: cols}
 	reps := o.Replicates
 	if reps < 1 {
 		reps = 1
 	}
-	sums := make([]float64, len(schemes))
-	n := 0
-	for _, bm := range bms {
-		covs := make([]float64, len(schemes))
-		for r := 0; r < reps; r++ {
-			fcfg := o.Fault
-			fcfg.Seed += uint64(r) * 7919
-			o.progress("%s: %s (baseline campaign, rep %d)", id, bm.Name, r)
-			base, err := fault.Run(o.MakeCore(bm, Baseline), fcfg)
-			if err != nil {
-				return nil, err
-			}
-			for i, s := range schemes {
-				o.progress("%s: %s/%s (rep %d)", id, bm.Name, s, r)
-				det, err := fault.Run(o.MakeCore(bm, s), fcfg)
-				if err != nil {
-					return nil, err
-				}
-				covs[i] += fault.PairCoverage(base, det).Coverage()
-			}
-		}
-		row := []string{bm.Name}
-		for i := range schemes {
-			c := covs[i] / float64(reps)
-			row = append(row, pct(c))
-			sums[i] += c
-		}
-		n++
-		t.AddRow(row...)
+	// covs[bench][scheme] accumulates coverage over replicates.
+	covs := make(map[string][]float64, len(names))
+	for _, bm := range names {
+		covs[bm] = make([]float64, len(schemes))
 	}
+	for r := 0; r < reps; r++ {
+		spec := o.CampaignSpec(names, schemes)
+		spec.Fault.Seed += uint64(r) * 7919
+		o.progress("%s: campaign rep %d (%d cells)", id, r, len(spec.Cells()))
+		out, err := o.RunCampaign(spec)
+		if err != nil {
+			return nil, err
+		}
+		for _, bm := range names {
+			for i, s := range schemes {
+				c, ok := out.Summary.Coverage(bm, string(s))
+				if !ok {
+					return nil, fmt.Errorf("harness: %s campaign missing cell %s/%s", id, bm, s)
+				}
+				covs[bm][i] += c
+			}
+		}
+	}
+	avg := &campaign.Summary{Injections: o.Fault.Injections}
+	for _, bm := range names {
+		for i, s := range schemes {
+			avg.Cells = append(avg.Cells, campaign.CellSummary{
+				Bench:  bm,
+				Scheme: string(s),
+				Coverage: &campaign.CoverageSummary{
+					Coverage: covs[bm][i] / float64(reps),
+				},
+			})
+		}
+	}
+	t := CoverageTableFromSummary(id, title, avg, names, schemes)
 	if reps > 1 {
 		t.Notes = append(t.Notes, fmt.Sprintf("each cell averages %d campaigns with distinct seeds", reps))
 	}
-	mean := []string{"mean(all)"}
-	for _, s := range sums {
-		mean = append(mean, pct(s/float64(n)))
-	}
-	t.AddRow(mean...)
 	t.Notes = append(t.Notes, "paper means: PBFS ~30%, PBFS-biased ~75-80%, FaultHound ~75%")
 	return t, nil
 }
@@ -353,22 +364,28 @@ func Fig11(o Options) (*Table, error) {
 		cols = append(cols, b.String())
 	}
 	t := &Table{ID: "fig11", Title: "SDC fault breakdown under FaultHound", Columns: cols}
+	names := make([]string, len(bms))
+	for i, bm := range bms {
+		names[i] = bm.Name
+	}
+	out, err := o.RunCampaign(o.CampaignSpec(names, []Scheme{FaultHound}))
+	if err != nil {
+		return nil, err
+	}
 	sums := make([]float64, len(bins))
 	n := 0
 	for _, bm := range bms {
-		o.progress("fig11: %s", bm.Name)
-		base, err := fault.Run(o.MakeCore(bm, Baseline), o.Fault)
-		if err != nil {
-			return nil, err
+		cell := out.Summary.Cell(bm.Name, string(FaultHound))
+		if cell == nil || cell.Coverage == nil {
+			return nil, fmt.Errorf("harness: fig11 campaign missing cell %s/%s", bm.Name, FaultHound)
 		}
-		det, err := fault.Run(o.MakeCore(bm, FaultHound), o.Fault)
-		if err != nil {
-			return nil, err
-		}
-		rep := fault.PairCoverage(base, det)
+		cov := cell.Coverage
 		row := []string{bm.Name}
 		for i, b := range bins {
-			f := rep.BinFraction(b)
+			f := 0.0
+			if cov.SDCBase > 0 {
+				f = float64(cov.Bins[b.String()]) / float64(cov.SDCBase)
+			}
 			row = append(row, pct(f))
 			sums[i] += f
 		}
@@ -445,19 +462,23 @@ func Fig12(o Options) ([]*Table, error) {
 		Title:   "Impact of covering the LSQ on SDC coverage (mean over benchmarks)",
 		Columns: []string{"config", "coverage"},
 	}
-	for _, s := range []Scheme{FHBENoLSQ, FHBackend} {
+	lsqSchemes := []Scheme{FHBENoLSQ, FHBackend}
+	names := make([]string, len(bms))
+	for i, bm := range bms {
+		names[i] = bm.Name
+	}
+	out, err := o.RunCampaign(o.CampaignSpec(names, lsqSchemes))
+	if err != nil {
+		return nil, err
+	}
+	for _, s := range lsqSchemes {
 		var sum float64
 		for _, bm := range bms {
-			o.progress("fig12-right: %s/%s", bm.Name, s)
-			base, err := fault.Run(o.MakeCore(bm, Baseline), o.Fault)
-			if err != nil {
-				return nil, err
+			cov, ok := out.Summary.Coverage(bm.Name, string(s))
+			if !ok {
+				return nil, fmt.Errorf("harness: fig12-right campaign missing cell %s/%s", bm.Name, s)
 			}
-			det, err := fault.Run(o.MakeCore(bm, s), o.Fault)
-			if err != nil {
-				return nil, err
-			}
-			sum += fault.PairCoverage(base, det).Coverage()
+			sum += cov
 		}
 		right.AddRow(string(s), pct(sum/float64(len(bms))))
 	}

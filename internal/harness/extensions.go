@@ -41,7 +41,7 @@ func ExtFilterSize(o Options) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		base, err := fault.Run(o.MakeCore(bm, Baseline), o.Fault)
+		base, err := o.runPaired(o.MakeCore(bm, Baseline), o.Fault)
 		if err != nil {
 			return nil, err
 		}
@@ -51,7 +51,7 @@ func ExtFilterSize(o Options) (*Table, error) {
 			cfg := core.DefaultConfig()
 			cfg.Addr.Entries = n
 			cfg.Value.Entries = n
-			det, err := fault.Run(func() *pipeline.Core {
+			det, err := o.runPaired(func() *pipeline.Core {
 				c, e := o.customFaultHound(bm, cfg, 1)
 				if e != nil {
 					panic(e)
@@ -86,7 +86,7 @@ func ExtStateDepth(o Options) (*Table, error) {
 		bms = bms[:3]
 	}
 	for _, bm := range bms {
-		base, err := fault.Run(o.MakeCore(bm, Baseline), o.Fault)
+		base, err := o.runPaired(o.MakeCore(bm, Baseline), o.Fault)
 		if err != nil {
 			return nil, err
 		}
@@ -97,7 +97,7 @@ func ExtStateDepth(o Options) (*Table, error) {
 			cfg := core.DefaultConfig()
 			cfg.Addr.Policy = pol
 			cfg.Value.Policy = pol
-			det, err := fault.Run(func() *pipeline.Core {
+			det, err := o.runPaired(func() *pipeline.Core {
 				c, e := o.customFaultHound(bm, cfg, 1)
 				if e != nil {
 					panic(e)

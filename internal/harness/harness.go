@@ -61,6 +61,9 @@ type Options struct {
 	Seed uint64
 	// Benchmarks restricts the run (nil = all of Table 1).
 	Benchmarks []string
+	// Workers sizes the fault-campaign worker pool (<= 0 means
+	// GOMAXPROCS). Campaign results are bit-identical for any value.
+	Workers int
 	// Replicates repeats each fault campaign with incremented seeds and
 	// averages (coverage experiments only); 0 or 1 means a single run.
 	Replicates int
