@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet race bench campaign experiments extensions quick clean
+.PHONY: all build test vet race bench campaign serve smoke-server experiments extensions quick clean
 
 all: vet test build
 
@@ -19,11 +19,21 @@ vet:
 
 race:
 	$(GO) test -race ./internal/workload/ ./internal/system/ ./internal/pipeline/ \
-		./internal/campaign/ ./internal/fault/
+		./internal/campaign/ ./internal/fault/ ./internal/server/...
 
 # Parallel, resumable fault-injection campaign with an artifact bundle.
 campaign:
 	$(GO) run ./cmd/fhcampaign -bench all -schemes faulthound -injections 600
+
+# Campaign-serving daemon (docs/SERVER.md). Submit with
+# `fhcampaign -addr localhost:8418` or plain curl.
+serve:
+	$(GO) run ./cmd/fhserved -addr :8418 -data results/server -v
+
+# Scripted daemon round trip: start fhserved on a scratch root, submit
+# a small campaign over HTTP, verify the bundle, drain cleanly.
+smoke-server:
+	./scripts/smoke_server.sh
 
 # One iteration of every paper-figure bench plus the ablations.
 bench:

@@ -9,10 +9,16 @@
 //	fhcampaign -bench bzip2,mcf -schemes faulthound -injections 1000 -workers 4
 //	fhcampaign -bench all -schemes pbfs,faulthound -out results/campaigns/sweep1
 //	fhcampaign -resume results/campaigns/sweep1
+//	fhcampaign -addr localhost:8418 -bench bzip2 -schemes faulthound
 //
 // Results are bit-identical for any -workers value, and an interrupted
 // campaign (Ctrl-C) resumes from its journal with -resume, reproducing
 // the uninterrupted bundle byte for byte.
+//
+// With -addr the campaign is submitted to a running fhserved daemon
+// instead of executing locally: identical specs deduplicate against
+// the daemon's spec-hash cache, and the rendered tables come from the
+// daemon's bundle. See docs/SERVER.md.
 package main
 
 import (
@@ -28,6 +34,7 @@ import (
 
 	"faulthound/internal/campaign"
 	"faulthound/internal/harness"
+	"faulthound/internal/server"
 	"faulthound/internal/workload"
 )
 
@@ -41,6 +48,7 @@ func main() {
 		runID      = flag.String("runid", "", "run identifier (default: UTC timestamp)")
 		out        = flag.String("out", "", "artifact bundle directory (default: results/campaigns/<runid>)")
 		resume     = flag.String("resume", "", "resume an interrupted campaign from its bundle directory")
+		addr       = flag.String("addr", "", "submit to a fhserved daemon at this address instead of running locally")
 		quick      = flag.Bool("quick", false, "scaled-down fault config for smoke testing")
 		verbose    = flag.Bool("v", false, "per-cell progress lines")
 	)
@@ -57,6 +65,9 @@ func main() {
 		spec campaign.Spec
 		dir  string
 	)
+	if *addr != "" && *resume != "" {
+		fatal(fmt.Errorf("-addr and -resume are incompatible (the daemon resumes its own jobs)"))
+	}
 	if *resume != "" {
 		man, err := campaign.ReadManifest(*resume)
 		if err != nil {
@@ -104,6 +115,11 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
+	if *addr != "" {
+		runRemote(ctx, *addr, spec)
+		return
+	}
+
 	eng := &campaign.Engine{
 		Spec:     spec,
 		Factory:  opts.CampaignFactory(),
@@ -119,7 +135,8 @@ func main() {
 	fmt.Fprintln(os.Stderr)
 	if err != nil {
 		if ctx.Err() != nil {
-			fmt.Fprintf(os.Stderr, "fhcampaign: interrupted; resume with:\n  fhcampaign -resume %s\n", dir)
+			fmt.Fprintf(os.Stderr, "fhcampaign: interrupted; completed injections are journaled at:\n  %s\nresume with:\n  fhcampaign -resume %s\n",
+				filepath.Join(dir, campaign.JournalName), dir)
 			os.Exit(130)
 		}
 		fatal(err)
@@ -146,6 +163,62 @@ func main() {
 	fmt.Printf("bundle: %s (%d cells, %d injections/cell, %d resumed, wall clock %s)\n",
 		dir, len(outcome.Cells), sum.Injections, outcome.Resumed, outcome.Elapsed.Round(time.Millisecond))
 	fmt.Printf("report: %s\n", filepath.Join(dir, campaign.ReportName))
+}
+
+// runRemote submits the spec to a fhserved daemon, follows the
+// progress stream, and renders the daemon's summary through the same
+// tables the local path uses.
+func runRemote(ctx context.Context, addr string, spec campaign.Spec) {
+	cl := server.NewClient(addr)
+	st, err := cl.Submit(ctx, spec)
+	if err != nil {
+		fatal(err)
+	}
+	if st.CacheHit {
+		fmt.Fprintf(os.Stderr, "fhcampaign: spec matches job %s (%s); attaching\n", st.ID, st.State)
+	} else {
+		fmt.Fprintf(os.Stderr, "fhcampaign: submitted job %s\n", st.ID)
+	}
+
+	progress := progressLine()
+	final, err := cl.Watch(ctx, st.ID, func(ev server.Event) {
+		if ev.Total > 0 {
+			progress(ev.Done, ev.Total)
+		}
+	})
+	fmt.Fprintln(os.Stderr)
+	if err != nil {
+		if ctx.Err() != nil {
+			fmt.Fprintf(os.Stderr, "fhcampaign: detached; the daemon keeps running job %s\n", st.ID)
+			os.Exit(130)
+		}
+		fatal(err)
+	}
+	if final.State != server.StateDone {
+		fatal(fmt.Errorf("job %s ended %s: %s", final.ID, final.State, final.Error))
+	}
+
+	sum, err := cl.Summary(ctx, final.ID)
+	if err != nil {
+		fatal(err)
+	}
+	benches := spec.Benchmarks
+	var schemeList []harness.Scheme
+	for _, c := range spec.Cells() {
+		if c.Bench == benches[0] && c.Scheme != campaign.BaselineScheme {
+			schemeList = append(schemeList, harness.Scheme(c.Scheme))
+		}
+	}
+	if len(schemeList) > 0 {
+		fmt.Println(harness.CoverageTableFromSummary("coverage",
+			"SDC coverage (fraction of would-be-SDC faults corrected or detected)",
+			sum, benches, schemeList).Render())
+		fmt.Println(harness.FPTableFromSummary("fp-rate",
+			"False-positive rate (golden-run detector actions per committed instruction)",
+			sum, benches, append([]harness.Scheme{campaign.BaselineScheme}, schemeList...)).Render())
+	}
+	fmt.Printf("job: %s (run %s, %d injections/cell)\n", final.ID, final.RunID, sum.Injections)
+	fmt.Printf("bundle: %s/v1/campaigns/%s/bundle/\n", cl.Base, final.ID)
 }
 
 // benchList resolves the -bench flag.

@@ -1,0 +1,108 @@
+// Command fhserved is the campaign-serving daemon: an HTTP front-end
+// over the campaign engine with a bounded job queue, a spec-hash
+// result cache, streaming progress, and Prometheus metrics.
+//
+// Usage:
+//
+//	fhserved -addr :8418 -data results/server -jobs 1
+//
+// Submit campaigns with cmd/fhcampaign's -addr flag or plain curl:
+//
+//	curl -d '{"benchmarks":["bzip2"],"schemes":["faulthound"]}' \
+//	    localhost:8418/v1/campaigns
+//
+// Identical specs deduplicate: a spec already queued or running
+// attaches to the in-flight job; one already completed is served from
+// the on-disk cache. On SIGTERM the daemon drains — running campaigns
+// cancel promptly, their journals stay on disk, and the next start
+// rescans -data and resumes every unfinished job. See docs/SERVER.md.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"faulthound/internal/harness"
+	"faulthound/internal/server"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", ":8418", "HTTP listen address")
+		data    = flag.String("data", "results/server", "data root: one directory per job, named by spec hash")
+		jobs    = flag.Int("jobs", 1, "campaigns executing concurrently")
+		workers = flag.Int("workers", 0, "injection workers per campaign (0 = GOMAXPROCS); results do not depend on it")
+		queue   = flag.Int("queue", 64, "pending-job queue depth (overflow is rejected with 503)")
+		maxInj  = flag.Int("max-injections", 0, "reject specs above this total injection count (0 = unlimited)")
+		quick   = flag.Bool("quick", false, "scaled-down default fault config for smoke testing")
+		verbose = flag.Bool("v", false, "log every job state transition")
+	)
+	flag.Parse()
+	log.SetPrefix("fhserved: ")
+	log.SetFlags(log.LstdFlags | log.Lmsgprefix)
+
+	opts := harness.DefaultOptions()
+	if *quick {
+		opts = harness.QuickOptions()
+	}
+	cfg := server.Config{
+		Root:          *data,
+		Factory:       opts.CampaignFactory(),
+		BaseFault:     opts.Fault,
+		Jobs:          *jobs,
+		Workers:       *workers,
+		QueueDepth:    *queue,
+		MaxInjections: *maxInj,
+	}
+	if *verbose {
+		cfg.Logf = log.Printf
+	}
+
+	s, err := server.New(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if un := s.Unfinished(); len(un) > 0 {
+		log.Printf("resuming %d unfinished job(s) from %s: %v", len(un), *data, un)
+	}
+	s.Start()
+
+	hs := &http.Server{Addr: *addr, Handler: s.Handler()}
+	errCh := make(chan error, 1)
+	go func() { errCh <- hs.ListenAndServe() }()
+	log.Printf("serving on %s (data root %s, %d job runner(s))", *addr, *data, *jobs)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	select {
+	case err := <-errCh:
+		log.Fatal(err)
+	case <-ctx.Done():
+	}
+	stop()
+	log.Printf("signal received; draining (in-flight campaigns journal and resume on next start)")
+
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := hs.Shutdown(shutdownCtx); err != nil {
+		log.Printf("http shutdown: %v", err)
+	}
+	if err := s.Drain(shutdownCtx); err != nil {
+		log.Printf("%v", err)
+	}
+	if un := s.Unfinished(); len(un) > 0 {
+		log.Printf("%d job(s) unfinished; restart fhserved with -data %s to resume: %v", len(un), *data, un)
+	}
+	if err := <-errCh; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fmt.Fprintln(os.Stderr, "fhserved:", err)
+		os.Exit(1)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"context"
 	"encoding/json"
 	"errors"
+	"fmt"
 	"os"
 	"path/filepath"
 	"strings"
@@ -236,6 +237,83 @@ func TestJournalTolerance(t *testing.T) {
 
 	if recs, err := campaign.ReadJournal(filepath.Join(dir, "missing.jsonl")); err != nil || recs != nil {
 		t.Fatalf("missing journal: recs=%v err=%v", recs, err)
+	}
+}
+
+// TestResumeTruncatedJournal is the regression test for a process
+// killed mid-append: the journal's trailing record is cut mid-JSON, and
+// -resume must warn, skip (and re-execute) that record, repair the
+// journal, and still reproduce the uninterrupted bundle byte for byte.
+// A second resume of the repaired journal must not see interior
+// corruption.
+func TestResumeTruncatedJournal(t *testing.T) {
+	spec, o := testSpec(t, 24)
+	spec.Workers = 2
+
+	// Uninterrupted reference run.
+	refDir := filepath.Join(t.TempDir(), "ref")
+	if _, err := runEngine(t, spec, o, refDir, false, nil); err != nil {
+		t.Fatal(err)
+	}
+
+	// Interrupted run, then truncate the journal mid-record.
+	dir := filepath.Join(t.TempDir(), "run")
+	ctx, cancel := context.WithCancel(context.Background())
+	eng := &campaign.Engine{
+		Spec:    spec,
+		Factory: o.CampaignFactory(),
+		Progress: func(done, total int) {
+			if done >= 8 {
+				cancel()
+			}
+		},
+	}
+	if _, err := eng.Run(ctx, dir, false); !errors.Is(err, context.Canceled) {
+		t.Fatalf("interrupted run returned %v, want context.Canceled", err)
+	}
+	jpath := filepath.Join(dir, campaign.JournalName)
+	raw := readFile(t, jpath)
+	if len(raw) < 40 {
+		t.Fatalf("journal too short to truncate: %d bytes", len(raw))
+	}
+	// Chop the final record roughly in half (strip the trailing newline
+	// first so the cut lands mid-JSON).
+	body := strings.TrimSuffix(string(raw), "\n")
+	last := strings.LastIndexByte(body, '\n') + 1
+	cut := last + (len(body)-last)/2
+	if err := os.WriteFile(jpath, []byte(body[:cut]), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	var warned []string
+	eng2 := &campaign.Engine{
+		Spec:    spec,
+		Factory: o.CampaignFactory(),
+		Warnf:   func(format string, args ...any) { warned = append(warned, fmt.Sprintf(format, args...)) },
+	}
+	out, err := eng2.Resume(context.Background(), dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(warned) == 0 || !strings.Contains(warned[0], "truncated") {
+		t.Fatalf("resume over a truncated journal should warn, got %q", warned)
+	}
+	if out.Resumed == 0 {
+		t.Fatal("resume replayed no journal records")
+	}
+	if string(readFile(t, filepath.Join(dir, campaign.ResultsName))) !=
+		string(readFile(t, filepath.Join(refDir, campaign.ResultsName))) {
+		t.Fatal("resumed results.csv differs from the uninterrupted run")
+	}
+	if string(readFile(t, filepath.Join(dir, campaign.SummaryName))) !=
+		string(readFile(t, filepath.Join(refDir, campaign.SummaryName))) {
+		t.Fatal("resumed summary.json differs from the uninterrupted run")
+	}
+
+	// The repaired journal must be fully parsable: the resume's appends
+	// started on a clean line boundary.
+	if _, err := campaign.ReadJournal(jpath); err != nil {
+		t.Fatalf("journal corrupted by resume appends: %v", err)
 	}
 }
 

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"faulthound/internal/fault"
+	"faulthound/internal/pipeline"
 )
 
 // ManifestName is the manifest's file name inside a run directory.
@@ -47,6 +48,23 @@ type Engine struct {
 	Progress func(done, total int)
 	// OnCell is called when a cell's golden-run preparation starts.
 	OnCell func(c Cell)
+	// Prepare overrides the golden-run preparation of a cell; nil means
+	// fault.Prepare. Long-lived callers (the campaign-serving daemon)
+	// route this through a fault.PreparedCache so jobs sharing a cell
+	// reuse one prepared golden core.
+	Prepare func(c Cell, mk func() *pipeline.Core, cfg fault.Config) (*fault.Prepared, error)
+	// Warnf receives non-fatal diagnostics (a truncated journal record
+	// skipped during resume); nil logs them to os.Stderr.
+	Warnf func(format string, args ...any)
+}
+
+// warnf routes a non-fatal diagnostic to Warnf or stderr.
+func (e *Engine) warnf(format string, args ...any) {
+	if e.Warnf != nil {
+		e.Warnf(format, args...)
+		return
+	}
+	fmt.Fprintf(os.Stderr, format+"\n", args...)
 }
 
 // Outcome is a finished campaign: the per-cell results in cell order,
@@ -76,6 +94,25 @@ type cellState struct {
 }
 
 type task struct{ cell, inj int }
+
+// Resume continues an interrupted campaign from dir: it loads the
+// manifest's spec into the engine (preserving a non-zero
+// e.Spec.Workers override — a resume may use a different pool size)
+// and replays the journal before executing the remainder. It is the
+// exported resume entry point shared by cmd/fhcampaign and the
+// campaign-serving daemon.
+func (e *Engine) Resume(ctx context.Context, dir string) (*Outcome, error) {
+	man, err := ReadManifest(dir)
+	if err != nil {
+		return nil, err
+	}
+	workers := e.Spec.Workers
+	e.Spec = man.Spec
+	if workers != 0 {
+		e.Spec.Workers = workers
+	}
+	return e.Run(ctx, dir, true)
+}
 
 // Run executes the campaign. With dir != "", the run journals into and
 // writes its artifact bundle under dir; with resume true, dir must hold
@@ -124,9 +161,20 @@ func (e *Engine) Run(ctx context.Context, dir string, resume bool) (*Outcome, er
 		if !e.Spec.equivalent(man.Spec) {
 			return nil, fmt.Errorf("campaign: spec does not match the manifest in %s (cells or fault config differ)", dir)
 		}
-		recs, err := ReadJournal(filepath.Join(dir, JournalName))
+		jpath := filepath.Join(dir, JournalName)
+		recs, truncAt, err := readJournalTolerant(jpath)
 		if err != nil {
 			return nil, err
+		}
+		if truncAt >= 0 {
+			// A process killed mid-append leaves a partial trailing
+			// record. Drop it (that injection simply re-executes) and
+			// cut the file there so our own appends start on a clean
+			// line boundary.
+			e.warnf("campaign: journal %s: skipping truncated trailing record (process killed mid-write); re-executing that injection", jpath)
+			if err := os.Truncate(jpath, truncAt); err != nil {
+				return nil, fmt.Errorf("campaign: repairing truncated journal: %w", err)
+			}
 		}
 		for _, r := range recs {
 			ci, ok := cellIdx[Cell{r.Bench, r.Scheme}]
@@ -222,7 +270,13 @@ func (e *Engine) Run(ctx context.Context, dir string, resume bool) (*Outcome, er
 				st.err = fmt.Errorf("campaign: %s: %w", c, err)
 				return
 			}
-			p, err := fault.Prepare(mk, e.Spec.Fault)
+			prep := e.Prepare
+			if prep == nil {
+				prep = func(_ Cell, mk func() *pipeline.Core, cfg fault.Config) (*fault.Prepared, error) {
+					return fault.Prepare(mk, cfg)
+				}
+			}
+			p, err := prep(c, mk, e.Spec.Fault)
 			if err != nil {
 				st.err = fmt.Errorf("campaign: %s: %w", c, err)
 				return
@@ -256,7 +310,13 @@ func (e *Engine) Run(ctx context.Context, dir string, resume bool) (*Outcome, er
 					fail(st.err)
 					return
 				}
-				res := st.prepared.RunOne(injs[t.inj])
+				// RunOneCtx polls runCtx inside the faulty run, so a
+				// drain (SIGTERM) aborts promptly even mid-injection;
+				// the partial injection is simply not journaled.
+				res, rerr := st.prepared.RunOneCtx(runCtx, injs[t.inj])
+				if rerr != nil {
+					return
+				}
 				results[t.cell][t.inj] = res
 				have[t.cell][t.inj] = true
 				if journal != nil {

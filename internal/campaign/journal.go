@@ -74,42 +74,60 @@ func (j *journalWriter) close() error {
 // being written when the process died) is ignored; malformed interior
 // lines are an error. A missing file yields no records.
 func ReadJournal(path string) ([]Record, error) {
+	recs, _, err := readJournalTolerant(path)
+	return recs, err
+}
+
+// readJournalTolerant is ReadJournal plus the byte offset at which a
+// truncated trailing record starts (-1 when the journal is clean).
+// Resume paths use the offset to warn and to truncate the journal
+// before appending — appending after a partial record would glue the
+// new record onto it and corrupt both, turning a tolerated trailing
+// truncation into a fatal interior one on the next resume.
+func readJournalTolerant(path string) ([]Record, int64, error) {
 	f, err := os.Open(path)
 	if os.IsNotExist(err) {
-		return nil, nil
+		return nil, -1, nil
 	}
 	if err != nil {
-		return nil, err
+		return nil, -1, err
 	}
 	defer f.Close()
 
 	var (
-		out  []Record
-		bad  int // line number of a malformed line, 1-based; 0 = none
-		line int
+		out    []Record
+		bad    int   // line number of a malformed line, 1-based; 0 = none
+		badAt  int64 // byte offset where the malformed line starts
+		line   int
+		offset int64
 	)
 	sc := bufio.NewScanner(f)
 	sc.Buffer(make([]byte, 0, 1<<16), 1<<22)
 	for sc.Scan() {
 		line++
+		start := offset
+		offset += int64(len(sc.Bytes())) + 1 // the journal writer always appends '\n'
 		if len(sc.Bytes()) == 0 {
 			continue
 		}
 		var r Record
 		if err := json.Unmarshal(sc.Bytes(), &r); err != nil {
 			if bad != 0 {
-				return nil, fmt.Errorf("campaign: journal %s: malformed line %d", path, bad)
+				return nil, -1, fmt.Errorf("campaign: journal %s: malformed line %d", path, bad)
 			}
-			bad = line // tolerated only if it turns out to be the last line
+			bad, badAt = line, start // tolerated only if it turns out to be the last line
 			continue
 		}
 		if bad != 0 {
-			return nil, fmt.Errorf("campaign: journal %s: malformed line %d", path, bad)
+			return nil, -1, fmt.Errorf("campaign: journal %s: malformed line %d", path, bad)
 		}
 		out = append(out, r)
 	}
 	if err := sc.Err(); err != nil {
-		return nil, err
+		return nil, -1, err
 	}
-	return out, nil
+	if bad == 0 {
+		badAt = -1
+	}
+	return out, badAt, nil
 }

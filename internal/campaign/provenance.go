@@ -28,7 +28,7 @@ func NewProvenance(runID string) Provenance {
 		RunID:     runID,
 		CreatedAt: time.Now().UTC().Format(time.RFC3339),
 		GoVersion: runtime.Version(),
-		GitCommit: gitCommit(),
+		GitCommit: GitCommit(),
 	}
 }
 
@@ -38,9 +38,11 @@ func DefaultRunID() string {
 	return time.Now().UTC().Format("2006-01-02T15-04-05Z")
 }
 
-// gitCommit resolves HEAD, or "unknown" when git or the checkout is
-// unavailable.
-func gitCommit() string {
+// GitCommit resolves HEAD, or "unknown" when git or the checkout is
+// unavailable. Besides provenance stamping, the campaign-serving
+// daemon folds it into spec hashes so cached results never cross
+// source revisions.
+func GitCommit() string {
 	out, err := exec.Command("git", "rev-parse", "HEAD").Output()
 	if err != nil {
 		return "unknown"

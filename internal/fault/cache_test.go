@@ -1,0 +1,67 @@
+package fault
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"faulthound/internal/pipeline"
+)
+
+// TestPreparedCacheSharesPreparation: one Prepare per key, the same
+// *Prepared pointer for every caller, distinct entries per key.
+func TestPreparedCacheSharesPreparation(t *testing.T) {
+	cache := NewPreparedCache()
+	cfg := smallConfig()
+	mk := mkCore(t, "bzip2", nil)
+	// Prepare calls the core constructor exactly once, so counting
+	// constructor calls counts golden-run preparations.
+	var builds atomic.Int32
+	counted := func() *pipeline.Core {
+		builds.Add(1)
+		return mk()
+	}
+
+	key := PreparedKey{Bench: "bzip2", Scheme: "baseline", Cfg: cfg}
+	const callers = 8
+	got := make([]*Prepared, callers)
+	var wg sync.WaitGroup
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			p, err := cache.Get(key, counted)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			got[i] = p
+		}(i)
+	}
+	wg.Wait()
+	for i := 1; i < callers; i++ {
+		if got[i] != got[0] {
+			t.Fatal("cache returned distinct Prepared values for one key")
+		}
+	}
+	if n := builds.Load(); n != 1 {
+		t.Fatalf("prepared %d times for one key, want 1", n)
+	}
+	if cache.Len() != 1 {
+		t.Fatalf("cache has %d entries, want 1", cache.Len())
+	}
+
+	// A different config is a different cell.
+	other := key
+	other.Cfg.Seed++
+	p2, err := cache.Get(other, mk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p2 == got[0] {
+		t.Fatal("different keys shared one Prepared")
+	}
+	if cache.Len() != 2 {
+		t.Fatalf("cache has %d entries, want 2", cache.Len())
+	}
+}

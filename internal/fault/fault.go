@@ -11,6 +11,7 @@
 package fault
 
 import (
+	"context"
 	"fmt"
 
 	"faulthound/internal/detect"
@@ -314,7 +315,17 @@ func (p *Prepared) FPRate() float64 { return p.fpRate }
 // advances to the injection cycle, flips the bit, runs the window, and
 // classifies. Safe to call from multiple goroutines.
 func (p *Prepared) RunOne(inj Injection) Result {
-	return runOne(p.golden, inj, p.cfg, p.hashes, p.background)
+	res, _ := runOne(nil, p.golden, inj, p.cfg, p.hashes, p.background)
+	return res
+}
+
+// RunOneCtx is RunOne with prompt cancellation: the faulty run polls
+// ctx every cancelPollSteps simulated cycles and aborts mid-injection
+// with ctx.Err() instead of running out the window (or the hang
+// watchdog) first. An uncancelled call returns exactly RunOne's result
+// — the poll is pure control flow.
+func (p *Prepared) RunOneCtx(ctx context.Context, inj Injection) (Result, error) {
+	return runOne(ctx, p.golden, inj, p.cfg, p.hashes, p.background)
 }
 
 // Run executes a campaign serially: mk must build a fresh,
@@ -333,13 +344,24 @@ func Run(mk func() *pipeline.Core, cfg Config) (*Campaign, error) {
 	return camp, nil
 }
 
+// cancelPollSteps is how many simulated cycles a faulty run advances
+// between context polls in runOne. Small enough that cancellation
+// lands well inside one injection (a hung run is MaxCyclesPerRun
+// cycles), large enough that the poll is free.
+const cancelPollSteps = 512
+
 // runOne clones the warmed golden core, advances to the injection
 // cycle, flips the bit, runs the window, and classifies. golden,
 // goldenHash, and background are read-only here: the clone is this
-// call's private mutable state.
-func runOne(golden *pipeline.Core, inj Injection, cfg Config, goldenHash map[uint64]uint64, background map[uint64]detect.Stats) Result {
+// call's private mutable state. A nil ctx disables cancellation.
+func runOne(ctx context.Context, golden *pipeline.Core, inj Injection, cfg Config, goldenHash map[uint64]uint64, background map[uint64]detect.Stats) (Result, error) {
 	f := golden.Clone()
 	for i := uint64(0); i < inj.CycleOffset; i++ {
+		if ctx != nil && i%cancelPollSteps == 0 {
+			if err := ctx.Err(); err != nil {
+				return Result{}, err
+			}
+		}
 		f.Step()
 	}
 	applyInjection(f, inj)
@@ -371,6 +393,11 @@ func runOne(golden *pipeline.Core, inj Injection, cfg Config, goldenHash map[uin
 		if f.Cycle()-start >= cfg.MaxCyclesPerRun || f.AllHalted() {
 			break
 		}
+		if ctx != nil && (f.Cycle()-start)%cancelPollSteps == 0 {
+			if err := ctx.Err(); err != nil {
+				return Result{}, err
+			}
+		}
 		f.Step()
 	}
 
@@ -399,12 +426,12 @@ func runOne(golden *pipeline.Core, inj Injection, cfg Config, goldenHash map[uin
 
 	if exc, _ := f.Excepted(0); exc {
 		res.Outcome = Noisy
-		return res
+		return res, nil
 	}
 	if !done {
 		res.Outcome = Noisy
 		res.Hung = true
-		return res
+		return res, nil
 	}
 	want, ok := goldenHash[target]
 	if ok && hash == want {
@@ -412,7 +439,7 @@ func runOne(golden *pipeline.Core, inj Injection, cfg Config, goldenHash map[uin
 	} else {
 		res.Outcome = SDC
 	}
-	return res
+	return res, nil
 }
 
 // noopInjections suppresses the actual flip (tandem-determinism test

@@ -41,7 +41,15 @@ func (p *Prepared) RunAll(ctx context.Context, workers int, progress func(done, 
 		go func() {
 			defer wg.Done()
 			for i := range idx {
-				results[i] = p.RunOne(p.injs[i])
+				// RunOneCtx polls ctx inside the faulty run, so a
+				// cancelled campaign returns promptly even when the
+				// current injection would otherwise hang until the
+				// watchdog (MaxCyclesPerRun cycles away).
+				res, err := p.RunOneCtx(ctx, p.injs[i])
+				if err != nil {
+					return
+				}
+				results[i] = res
 				mu.Lock()
 				done++
 				if progress != nil {
@@ -64,6 +72,11 @@ feed:
 	}
 	close(idx)
 	wg.Wait()
+	if err == nil {
+		// Cancellation can land after the last index was fed; the
+		// workers abort mid-injection and the feed loop never sees it.
+		err = ctx.Err()
+	}
 	if err != nil {
 		return nil, err
 	}

@@ -4,6 +4,7 @@ import (
 	"context"
 	"sync"
 	"testing"
+	"time"
 )
 
 // TestRunParallelMatchesSerial proves the worker pool is a pure
@@ -81,6 +82,53 @@ func TestRunAllCancel(t *testing.T) {
 	cancel()
 	if _, err := p.RunAll(ctx, 2, nil); err != context.Canceled {
 		t.Fatalf("RunAll on cancelled ctx = %v, want context.Canceled", err)
+	}
+}
+
+// TestRunOneCtxPromptCancel checks that cancellation lands inside a
+// single injection, not only at the next descriptor boundary: an
+// injection whose clone-advance phase would run for ~2^40 cycles must
+// abort within the poll interval once the context is cancelled.
+func TestRunOneCtxPromptCancel(t *testing.T) {
+	p, err := Prepare(mkCore(t, "bzip2", nil), smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	long := p.Injections()[0]
+	long.CycleOffset = 1 << 40 // days of simulation if not cancelled
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := p.RunOneCtx(ctx, long)
+		done <- err
+	}()
+	time.Sleep(50 * time.Millisecond) // let the run get deep into the injection
+	cancel()
+	select {
+	case err := <-done:
+		if err != context.Canceled {
+			t.Fatalf("RunOneCtx = %v, want context.Canceled", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("RunOneCtx did not return promptly after cancel")
+	}
+}
+
+// TestRunOneCtxMatchesRunOne: the cancellation poll is pure control
+// flow — an uncancelled RunOneCtx returns exactly RunOne's result.
+func TestRunOneCtxMatchesRunOne(t *testing.T) {
+	p, err := Prepare(mkCore(t, "bzip2", nil), smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, inj := range p.Injections()[:8] {
+		got, err := p.RunOneCtx(context.Background(), inj)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := p.RunOne(inj); got != want {
+			t.Fatalf("RunOneCtx = %+v, want %+v", got, want)
+		}
 	}
 }
 

@@ -1,0 +1,177 @@
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+
+	"faulthound/internal/campaign"
+)
+
+// Client talks to a campaign-serving daemon. It is the programmatic
+// form of the HTTP API; cmd/fhcampaign -addr is built on it.
+type Client struct {
+	// Base is the daemon's base URL, e.g. "http://localhost:8080".
+	Base string
+	// HTTP overrides the transport (nil means http.DefaultClient).
+	HTTP *http.Client
+}
+
+// NewClient normalizes addr ("host:port" or a full URL) into a Client.
+func NewClient(addr string) *Client {
+	if !strings.Contains(addr, "://") {
+		addr = "http://" + addr
+	}
+	return &Client{Base: strings.TrimRight(addr, "/")}
+}
+
+func (c *Client) http() *http.Client {
+	if c.HTTP != nil {
+		return c.HTTP
+	}
+	return http.DefaultClient
+}
+
+// apiError is a non-2xx daemon response.
+type apiError struct {
+	Code int
+	Msg  string
+}
+
+func (e *apiError) Error() string {
+	return fmt.Sprintf("server: HTTP %d: %s", e.Code, e.Msg)
+}
+
+func decodeError(resp *http.Response) error {
+	defer resp.Body.Close()
+	var body struct {
+		Error string `json:"error"`
+	}
+	b, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
+	if json.Unmarshal(b, &body) != nil || body.Error == "" {
+		body.Error = strings.TrimSpace(string(b))
+	}
+	return &apiError{Code: resp.StatusCode, Msg: body.Error}
+}
+
+// Submit posts a campaign spec and returns the created (or
+// deduplicated) job's status.
+func (c *Client) Submit(ctx context.Context, spec campaign.Spec) (*JobStatus, error) {
+	b, err := json.Marshal(spec)
+	if err != nil {
+		return nil, err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.Base+"/v1/campaigns", bytes.NewReader(b))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusAccepted {
+		return nil, decodeError(resp)
+	}
+	defer resp.Body.Close()
+	var st JobStatus
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return nil, err
+	}
+	return &st, nil
+}
+
+// Status fetches a job's current status.
+func (c *Client) Status(ctx context.Context, id string) (*JobStatus, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.Base+"/v1/campaigns/"+id, nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, decodeError(resp)
+	}
+	defer resp.Body.Close()
+	var st JobStatus
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return nil, err
+	}
+	return &st, nil
+}
+
+// Watch consumes the job's JSONL event stream, invoking onEvent per
+// line (nil is allowed), until the stream ends; it then returns the
+// job's final status.
+func (c *Client) Watch(ctx context.Context, id string, onEvent func(Event)) (*JobStatus, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.Base+"/v1/campaigns/"+id+"/events", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, decodeError(resp)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
+	for sc.Scan() {
+		if len(sc.Bytes()) == 0 {
+			continue
+		}
+		var ev Event
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			continue
+		}
+		if onEvent != nil {
+			onEvent(ev)
+		}
+	}
+	resp.Body.Close()
+	if err := sc.Err(); err != nil && ctx.Err() == nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return c.Status(ctx, id)
+}
+
+// BundleFile fetches one artifact file of a completed job.
+func (c *Client) BundleFile(ctx context.Context, id, name string) ([]byte, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.Base+"/v1/campaigns/"+id+"/bundle/"+name, nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, decodeError(resp)
+	}
+	defer resp.Body.Close()
+	return io.ReadAll(resp.Body)
+}
+
+// Summary fetches and parses a completed job's summary.json.
+func (c *Client) Summary(ctx context.Context, id string) (*campaign.Summary, error) {
+	b, err := c.BundleFile(ctx, id, campaign.SummaryName)
+	if err != nil {
+		return nil, err
+	}
+	var sum campaign.Summary
+	if err := json.Unmarshal(b, &sum); err != nil {
+		return nil, err
+	}
+	return &sum, nil
+}

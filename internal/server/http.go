@@ -1,0 +1,225 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"faulthound/internal/campaign"
+)
+
+// bundleFiles is the whitelist the bundle endpoint serves — exactly
+// the artifact set a campaign writes (plus the daemon's status file is
+// deliberately excluded).
+var bundleFiles = []string{
+	campaign.ManifestName,
+	campaign.JournalName,
+	campaign.ResultsName,
+	campaign.SummaryName,
+	campaign.ReportName,
+}
+
+// Handler returns the daemon's HTTP API:
+//
+//	POST /v1/campaigns              submit a spec (202 new, 200 dedup/cache hit)
+//	GET  /v1/campaigns              list jobs
+//	GET  /v1/campaigns/{id}         job status
+//	GET  /v1/campaigns/{id}/events  progress stream (JSONL, or SSE via Accept)
+//	GET  /v1/campaigns/{id}/bundle/ bundle file list; append a file name to fetch it
+//	GET  /metrics                   Prometheus text format
+//	GET  /healthz                   liveness
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/campaigns", s.handleSubmit)
+	mux.HandleFunc("GET /v1/campaigns", s.handleList)
+	mux.HandleFunc("GET /v1/campaigns/{id}", s.handleStatus)
+	mux.HandleFunc("GET /v1/campaigns/{id}/events", s.handleEvents)
+	mux.HandleFunc("GET /v1/campaigns/{id}/bundle/", s.handleBundleIndex)
+	mux.HandleFunc("GET /v1/campaigns/{id}/bundle/{file}", s.handleBundleFile)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		fmt.Fprintln(w, "ok")
+	})
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	b, err := campaign.MarshalJSON(v)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	w.Write(b)
+}
+
+func writeError(w http.ResponseWriter, code int, msg string) {
+	writeJSON(w, code, map[string]string{"error": msg})
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var spec campaign.Spec
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		writeError(w, http.StatusBadRequest, "bad spec JSON: "+err.Error())
+		return
+	}
+	j, hit, err := s.Submit(spec)
+	switch {
+	case err == nil:
+	case isBadSpec(err):
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	case isQueueFull(err):
+		w.Header().Set("Retry-After", "5")
+		writeError(w, http.StatusServiceUnavailable, err.Error())
+		return
+	default:
+		writeError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	st := j.status()
+	st.CacheHit = hit
+	code := http.StatusAccepted
+	if hit {
+		code = http.StatusOK
+	}
+	writeJSON(w, code, st)
+}
+
+func (s *Server) handleList(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"jobs": s.Jobs()})
+}
+
+func (s *Server) jobFor(w http.ResponseWriter, r *http.Request) *job {
+	j := s.Job(r.PathValue("id"))
+	if j == nil {
+		writeError(w, http.StatusNotFound, "no such job")
+	}
+	return j
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	if j := s.jobFor(w, r); j != nil {
+		writeJSON(w, http.StatusOK, j.status())
+	}
+}
+
+// handleEvents streams job progress until the job reaches a terminal
+// state (or the client goes away). Plain JSONL by default; SSE frames
+// when the client asks for text/event-stream.
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	j := s.jobFor(w, r)
+	if j == nil {
+		return
+	}
+	sse := strings.Contains(r.Header.Get("Accept"), "text/event-stream")
+	if sse {
+		w.Header().Set("Content-Type", "text/event-stream")
+		w.Header().Set("Cache-Control", "no-cache")
+	} else {
+		w.Header().Set("Content-Type", "application/x-ndjson")
+	}
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+
+	send := func(ev Event) bool {
+		b, err := json.Marshal(ev)
+		if err != nil {
+			return false
+		}
+		if sse {
+			_, err = fmt.Fprintf(w, "data: %s\n\n", b)
+		} else {
+			_, err = fmt.Fprintf(w, "%s\n", b)
+		}
+		if err != nil {
+			return false
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+		return true
+	}
+
+	ch, cancel := j.subscribe()
+	defer cancel()
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case ev := <-ch:
+			if !send(ev) {
+				return
+			}
+		case <-j.doneCh:
+			// Drain anything buffered, then emit the final snapshot so
+			// the last line a client reads is the terminal state even if
+			// lossy progress events were dropped.
+			for {
+				select {
+				case ev := <-ch:
+					if !send(ev) {
+						return
+					}
+					continue
+				default:
+				}
+				break
+			}
+			send(j.event("state"))
+			return
+		}
+	}
+}
+
+func (s *Server) handleBundleIndex(w http.ResponseWriter, r *http.Request) {
+	j := s.jobFor(w, r)
+	if j == nil {
+		return
+	}
+	var files []string
+	for _, f := range bundleFiles {
+		if _, err := os.Stat(filepath.Join(j.dir, f)); err == nil {
+			files = append(files, f)
+		}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"id": j.id, "files": files})
+}
+
+func (s *Server) handleBundleFile(w http.ResponseWriter, r *http.Request) {
+	j := s.jobFor(w, r)
+	if j == nil {
+		return
+	}
+	name := r.PathValue("file")
+	ok := false
+	for _, f := range bundleFiles {
+		if name == f {
+			ok = true
+			break
+		}
+	}
+	if !ok {
+		writeError(w, http.StatusNotFound, "not a bundle file")
+		return
+	}
+	path := filepath.Join(j.dir, name)
+	if _, err := os.Stat(path); err != nil {
+		writeError(w, http.StatusNotFound, "artifact not written yet")
+		return
+	}
+	http.ServeFile(w, r, path)
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	s.scrapeRate()
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.reg.WriteText(w)
+}

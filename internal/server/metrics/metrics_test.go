@@ -1,0 +1,69 @@
+package metrics
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestRegistryText(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("fh_jobs_done_total", "Completed jobs.").Add(3)
+	r.Gauge("fh_jobs_running", "Running jobs.").Set(2)
+	r.GaugeWith("fh_fp_rate", "Per-cell FP rate.", map[string]string{"scheme": "faulthound", "bench": "mcf"}).Set(0.25)
+	r.GaugeWith("fh_fp_rate", "Per-cell FP rate.", map[string]string{"scheme": "baseline", "bench": "mcf"}).Set(0)
+
+	var sb strings.Builder
+	if err := r.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	got := sb.String()
+	want := `# HELP fh_fp_rate Per-cell FP rate.
+# TYPE fh_fp_rate gauge
+fh_fp_rate{bench="mcf",scheme="baseline"} 0
+fh_fp_rate{bench="mcf",scheme="faulthound"} 0.25
+# HELP fh_jobs_done_total Completed jobs.
+# TYPE fh_jobs_done_total counter
+fh_jobs_done_total 3
+# HELP fh_jobs_running Running jobs.
+# TYPE fh_jobs_running gauge
+fh_jobs_running 2
+`
+	if got != want {
+		t.Fatalf("WriteText:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+func TestSeriesIdentityAndConcurrency(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("c_total", "")
+	if b := r.Counter("c_total", ""); a != b {
+		t.Fatal("same name resolved to distinct series")
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				a.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := a.Get(); got != 8000 {
+		t.Fatalf("counter = %v, want 8000", got)
+	}
+}
+
+func TestLabelEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.GaugeWith("g", "", map[string]string{"k": `a"b\c`}).Set(1)
+	var sb strings.Builder
+	if err := r.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), `g{k="a\"b\\c"} 1`) {
+		t.Fatalf("escaping wrong:\n%s", sb.String())
+	}
+}

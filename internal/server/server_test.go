@@ -1,0 +1,355 @@
+package server
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"faulthound/internal/campaign"
+	"faulthound/internal/harness"
+)
+
+// testConfig returns a server config over a fresh root with the quick
+// harness factory and a pinned git commit (so hashes are stable across
+// roots within one test).
+func testConfig(t *testing.T) Config {
+	t.Helper()
+	o := harness.QuickOptions()
+	return Config{
+		Root:      t.TempDir(),
+		Factory:   o.CampaignFactory(),
+		BaseFault: o.Fault,
+		GitCommit: "test-commit",
+	}
+}
+
+// testSpec is a deliberately messy submission: explicit baseline,
+// duplicate scheme, a RunID and worker count — everything
+// normalization must erase — over a small two-cell campaign.
+func testSpec(injections int) campaign.Spec {
+	o := harness.QuickOptions()
+	f := o.Fault
+	f.Injections = injections
+	return campaign.Spec{
+		RunID:      "client-chosen",
+		Benchmarks: []string{"bzip2"},
+		Schemes:    []string{"baseline", "faulthound", "faulthound"},
+		Workers:    2,
+		Fault:      f,
+	}
+}
+
+func waitDone(t *testing.T, j *job, timeout time.Duration) JobStatus {
+	t.Helper()
+	select {
+	case <-j.doneCh:
+	case <-time.After(timeout):
+		t.Fatalf("job %s did not finish within %s (state %s)", j.id, timeout, j.status().State)
+	}
+	return j.status()
+}
+
+// TestServerEndToEnd is the acceptance scenario: two identical specs
+// submitted concurrently over HTTP — one executes, the other is served
+// by the spec-hash cache; the bundle equals a cold run byte for byte;
+// /metrics reports exactly one executed job and one cache hit.
+func TestServerEndToEnd(t *testing.T) {
+	s, err := New(testConfig(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Drain(context.Background())
+	s.Start()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	cl := NewClient(ts.URL)
+	ctx := context.Background()
+
+	spec := testSpec(12)
+	var (
+		wg  sync.WaitGroup
+		sts [2]*JobStatus
+		ers [2]error
+	)
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sts[i], ers[i] = cl.Submit(ctx, spec)
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range ers {
+		if err != nil {
+			t.Fatalf("submit %d: %v", i, err)
+		}
+	}
+	if sts[0].ID != sts[1].ID {
+		t.Fatalf("identical specs got different job IDs: %s vs %s", sts[0].ID, sts[1].ID)
+	}
+	if sts[0].CacheHit == sts[1].CacheHit {
+		t.Fatalf("want exactly one cache hit, got %v and %v", sts[0].CacheHit, sts[1].CacheHit)
+	}
+	id := sts[0].ID
+
+	// Watch the event stream to completion.
+	var events []Event
+	final, err := cl.Watch(ctx, id, func(ev Event) { events = append(events, ev) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.State != StateDone {
+		t.Fatalf("final state %s (error %q)", final.State, final.Error)
+	}
+	if final.Total != 24 || final.Done != 24 {
+		t.Fatalf("final progress %d/%d, want 24/24", final.Done, final.Total)
+	}
+	if len(events) == 0 {
+		t.Fatal("event stream was empty")
+	}
+	last := events[len(events)-1]
+	if last.State != StateDone {
+		t.Fatalf("last streamed event state %s, want done", last.State)
+	}
+	prev := -1
+	for _, ev := range events {
+		if ev.Done < prev {
+			t.Fatalf("progress went backwards: %d after %d", ev.Done, prev)
+		}
+		prev = ev.Done
+	}
+
+	// A third submission is now a pure result-cache hit.
+	st3, err := cl.Submit(ctx, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st3.CacheHit || st3.State != StateDone {
+		t.Fatalf("post-completion submit: cache_hit=%v state=%s", st3.CacheHit, st3.State)
+	}
+
+	// The served bundle equals a cold run on a fresh server, byte for
+	// byte (results.csv and summary.json are deterministic artifacts).
+	gotCSV, err := cl.BundleFile(ctx, id, campaign.ResultsName)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotSum, err := cl.BundleFile(ctx, id, campaign.SummaryName)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gotCSV) == 0 {
+		t.Fatal("empty results.csv")
+	}
+
+	s2, err := New(testConfig(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Drain(context.Background())
+	s2.Start()
+	j2, hit, err := s2.Submit(spec)
+	if err != nil || hit {
+		t.Fatalf("cold submit: hit=%v err=%v", hit, err)
+	}
+	waitDone(t, j2, 2*time.Minute)
+	coldCSV := readFile(t, j2.dir+"/"+campaign.ResultsName)
+	coldSum := readFile(t, j2.dir+"/"+campaign.SummaryName)
+	if string(gotCSV) != string(coldCSV) {
+		t.Fatal("cached results.csv differs from a cold run")
+	}
+	if string(gotSum) != string(coldSum) {
+		t.Fatal("cached summary.json differs from a cold run")
+	}
+
+	// Metrics: exactly one executed job, exactly two cache hits (the
+	// concurrent duplicate plus the post-completion resubmit).
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := readAll(t, resp)
+	for _, want := range []string{
+		"fhserved_jobs_done_total 1",
+		"fhserved_cache_hits_total 2",
+		"fhserved_jobs_submitted_total 3",
+		"fhserved_jobs_failed_total 0",
+		`fhserved_bench_fp_rate{bench="bzip2",scheme="faulthound"}`,
+		"# TYPE fhserved_injections_per_second gauge",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("/metrics missing %q:\n%s", want, text)
+		}
+	}
+}
+
+// TestServerDrainResume is the SIGTERM half of the acceptance
+// scenario: drain mid-campaign journals the in-flight job, a restarted
+// server requeues and resumes it, and the final bundle is
+// byte-identical to an uninterrupted run.
+func TestServerDrainResume(t *testing.T) {
+	spec := testSpec(40)
+
+	// Uninterrupted reference run on its own root.
+	refCfg := testConfig(t)
+	ref, err := New(refCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref.Start()
+	refJob, _, err := ref.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitDone(t, refJob, 2*time.Minute)
+	ref.Drain(context.Background())
+	refCSV := readFile(t, refJob.dir+"/"+campaign.ResultsName)
+	refSum := readFile(t, refJob.dir+"/"+campaign.SummaryName)
+
+	// Interrupted run: drain once a few injections have completed.
+	cfg := testConfig(t)
+	s1, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1.Start()
+	j1, _, err := s1.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch, cancel := j1.subscribe()
+	progressed := false
+	deadline := time.After(2 * time.Minute)
+	for !progressed {
+		select {
+		case ev := <-ch:
+			if ev.Type == "progress" && ev.Done >= 8 {
+				progressed = true
+			} else if ev.State == StateDone {
+				t.Fatal("job finished before the drain could interrupt it")
+			}
+		case <-deadline:
+			t.Fatal("no progress before deadline")
+		}
+	}
+	cancel()
+	if err := s1.Drain(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if st := j1.status(); st.State != StateInterrupted {
+		t.Fatalf("post-drain state %s, want interrupted", st.State)
+	}
+	if got := s1.Unfinished(); len(got) != 1 || got[0] != j1.id {
+		t.Fatalf("unfinished = %v, want [%s]", got, j1.id)
+	}
+
+	// Restart over the same root: the job requeues as a resume and
+	// completes without resubmission.
+	s2, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j2 := s2.Job(j1.id)
+	if j2 == nil {
+		t.Fatal("restarted server lost the interrupted job")
+	}
+	if !j2.resume {
+		t.Fatal("requeued job is not marked for resume")
+	}
+	s2.Start()
+	st := waitDone(t, j2, 2*time.Minute)
+	s2.Drain(context.Background())
+	if st.State != StateDone {
+		t.Fatalf("resumed job state %s (error %q)", st.State, st.Error)
+	}
+	if st.Resumed == 0 {
+		t.Fatal("resumed job replayed no journal records")
+	}
+
+	if string(readFile(t, j2.dir+"/"+campaign.ResultsName)) != string(refCSV) {
+		t.Fatal("drained-and-resumed results.csv differs from the uninterrupted run")
+	}
+	if string(readFile(t, j2.dir+"/"+campaign.SummaryName)) != string(refSum) {
+		t.Fatal("drained-and-resumed summary.json differs from the uninterrupted run")
+	}
+}
+
+// TestServerRejections covers submit-time validation and the bounded
+// queue: unknown benchmarks and empty specs are 400s, an overflowing
+// queue is a 503, and bundle requests outside the whitelist are 404s.
+func TestServerRejections(t *testing.T) {
+	cfg := testConfig(t)
+	cfg.QueueDepth = 1
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Not started: jobs stay queued, so the second distinct spec
+	// overflows the depth-1 queue.
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	cl := NewClient(ts.URL)
+	ctx := context.Background()
+
+	if _, err := cl.Submit(ctx, campaign.Spec{Benchmarks: []string{"no-such-bench"}}); err == nil {
+		t.Fatal("unknown benchmark accepted")
+	} else if ae, ok := err.(*apiError); !ok || ae.Code != http.StatusBadRequest {
+		t.Fatalf("unknown benchmark: %v, want 400", err)
+	}
+	if _, err := cl.Submit(ctx, campaign.Spec{}); err == nil {
+		t.Fatal("empty spec accepted")
+	}
+
+	first := testSpec(8)
+	if _, err := cl.Submit(ctx, first); err != nil {
+		t.Fatal(err)
+	}
+	second := testSpec(8)
+	second.Fault.Seed++
+	if _, err := cl.Submit(ctx, second); err == nil {
+		t.Fatal("queue overflow accepted")
+	} else if ae, ok := err.(*apiError); !ok || ae.Code != http.StatusServiceUnavailable {
+		t.Fatalf("queue overflow: %v, want 503", err)
+	}
+	// Resubmitting the queued spec is a dedup hit, not an overflow.
+	if st, err := cl.Submit(ctx, first); err != nil || !st.CacheHit {
+		t.Fatalf("dedup against queued job: st=%+v err=%v", st, err)
+	}
+
+	if _, err := cl.Status(ctx, "does-not-exist"); err == nil {
+		t.Fatal("unknown job id returned a status")
+	}
+	id := s.Jobs()[0].ID
+	if _, err := cl.BundleFile(ctx, id, StatusName); err == nil {
+		t.Fatal("bundle endpoint served a non-bundle file")
+	}
+}
+
+func readFile(t *testing.T, path string) []byte {
+	t.Helper()
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func readAll(t *testing.T, resp *http.Response) string {
+	t.Helper()
+	defer resp.Body.Close()
+	var sb strings.Builder
+	buf := make([]byte, 4096)
+	for {
+		n, err := resp.Body.Read(buf)
+		sb.Write(buf[:n])
+		if err != nil {
+			break
+		}
+	}
+	return sb.String()
+}

@@ -1,0 +1,106 @@
+package server
+
+import (
+	"encoding/json"
+	"testing"
+
+	"faulthound/internal/campaign"
+	"faulthound/internal/fault"
+)
+
+func baseCfg() fault.Config {
+	cfg := fault.DefaultConfig()
+	cfg.Injections = 50
+	return cfg
+}
+
+// TestSpecHashCanonicalization: semantically identical specs hash
+// equal; anything that changes results hashes differently.
+func TestSpecHashCanonicalization(t *testing.T) {
+	base := baseCfg()
+	ref := campaign.Spec{
+		Benchmarks: []string{"bzip2", "mcf"},
+		Schemes:    []string{"faulthound"},
+		Fault:      base,
+	}
+	refHash := SpecHash(NormalizeSpec(ref, base), "commit-a")
+
+	same := []campaign.Spec{
+		// Explicit baseline and duplicate schemes collapse.
+		{Benchmarks: []string{"bzip2", "mcf"}, Schemes: []string{"baseline", "faulthound", "faulthound"}, Fault: base},
+		// Duplicate benchmarks collapse.
+		{Benchmarks: []string{"bzip2", "mcf", "bzip2"}, Schemes: []string{"faulthound"}, Fault: base},
+		// RunID and Workers are scheduling/labeling, not identity.
+		{RunID: "other", Benchmarks: []string{"bzip2", "mcf"}, Schemes: []string{"faulthound"}, Workers: 7, Fault: base},
+		// Zero-valued fault fields fill from the base config.
+		{Benchmarks: []string{"bzip2", "mcf"}, Schemes: []string{"faulthound"},
+			Fault: fault.Config{Injections: 50, Seed: base.Seed}},
+	}
+	for i, s := range same {
+		if h := SpecHash(NormalizeSpec(s, base), "commit-a"); h != refHash {
+			t.Errorf("spec %d: hash %s, want %s (should be identical)", i, h, refHash)
+		}
+	}
+
+	diffSeed, diffScheme, diffBench, diffInj := ref, ref, ref, ref
+	diffSeed.Fault.Seed++
+	diffScheme.Schemes = []string{"pbfs"}
+	diffBench.Benchmarks = []string{"mcf", "bzip2"} // row order is identity
+	diffInj.Fault.Injections = 51
+	for name, s := range map[string]campaign.Spec{
+		"seed": diffSeed, "scheme": diffScheme, "bench-order": diffBench, "injections": diffInj,
+	} {
+		if h := SpecHash(NormalizeSpec(s, base), "commit-a"); h == refHash {
+			t.Errorf("%s variant hashed identically", name)
+		}
+	}
+
+	// A different source revision is a different job.
+	if SpecHash(NormalizeSpec(ref, base), "commit-b") == refHash {
+		t.Error("different git commit hashed identically")
+	}
+}
+
+// TestSpecHashFieldOrder: JSON field order of the submitted document
+// does not affect the hash (both decode to one normalized spec).
+func TestSpecHashFieldOrder(t *testing.T) {
+	base := baseCfg()
+	a := `{"benchmarks":["bzip2"],"schemes":["faulthound"],"fault":{"Injections":50,"Seed":4}}`
+	b := `{"fault":{"Seed":4,"Injections":50},"schemes":["faulthound"],"benchmarks":["bzip2"]}`
+	var sa, sb campaign.Spec
+	if err := json.Unmarshal([]byte(a), &sa); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal([]byte(b), &sb); err != nil {
+		t.Fatal(err)
+	}
+	ha := SpecHash(NormalizeSpec(sa, base), "c")
+	hb := SpecHash(NormalizeSpec(sb, base), "c")
+	if ha != hb {
+		t.Fatalf("field order changed the hash: %s != %s", ha, hb)
+	}
+}
+
+// TestNormalizeSpec pins the canonical form itself.
+func TestNormalizeSpec(t *testing.T) {
+	base := baseCfg()
+	n := NormalizeSpec(campaign.Spec{
+		RunID:      "x",
+		Benchmarks: []string{"b", "a", "b"},
+		Schemes:    []string{"baseline", "s", "s"},
+		Workers:    3,
+		Fault:      fault.Config{Seed: 9},
+	}, base)
+	if n.RunID != "" || n.Workers != 0 {
+		t.Fatalf("RunID/Workers not erased: %+v", n)
+	}
+	if len(n.Benchmarks) != 2 || n.Benchmarks[0] != "b" || n.Benchmarks[1] != "a" {
+		t.Fatalf("benchmarks = %v", n.Benchmarks)
+	}
+	if len(n.Schemes) != 1 || n.Schemes[0] != "s" {
+		t.Fatalf("schemes = %v", n.Schemes)
+	}
+	if n.Fault.Seed != 9 || n.Fault.Injections != base.Injections || n.Fault.WindowInstr != base.WindowInstr {
+		t.Fatalf("fault not default-filled: %+v", n.Fault)
+	}
+}
