@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet race bench campaign serve smoke-server experiments extensions quick clean
+.PHONY: all build test vet race bench campaign serve smoke-server trace-demo experiments extensions quick clean
 
 all: vet test build
 
@@ -19,7 +19,7 @@ vet:
 
 race:
 	$(GO) test -race ./internal/workload/ ./internal/system/ ./internal/pipeline/ \
-		./internal/campaign/ ./internal/fault/ ./internal/server/...
+		./internal/campaign/ ./internal/fault/ ./internal/obs/... ./internal/server/...
 
 # Parallel, resumable fault-injection campaign with an artifact bundle.
 campaign:
@@ -34,6 +34,12 @@ serve:
 # a small campaign over HTTP, verify the bundle, drain cleanly.
 smoke-server:
 	./scripts/smoke_server.sh
+
+# Perfetto trace of a short simulation — load results/trace-demo.json
+# in ui.perfetto.dev (docs/OBSERVABILITY.md).
+trace-demo:
+	mkdir -p results
+	$(GO) run ./cmd/fhsim -bench bzip2 -scheme faulthound -trace results/trace-demo.json -trace-cycles 3000
 
 # One iteration of every paper-figure bench plus the ablations.
 bench:

@@ -34,6 +34,8 @@ import (
 
 	"faulthound/internal/campaign"
 	"faulthound/internal/harness"
+	"faulthound/internal/obs"
+	"faulthound/internal/obs/metrics"
 	"faulthound/internal/server"
 	"faulthound/internal/workload"
 )
@@ -49,6 +51,7 @@ func main() {
 		out        = flag.String("out", "", "artifact bundle directory (default: results/campaigns/<runid>)")
 		resume     = flag.String("resume", "", "resume an interrupted campaign from its bundle directory")
 		addr       = flag.String("addr", "", "submit to a fhserved daemon at this address instead of running locally")
+		traceDir   = flag.String("trace-dir", "", "write a Perfetto trace.json of the run's injection lifecycle into this directory")
 		quick      = flag.Bool("quick", false, "scaled-down fault config for smoke testing")
 		verbose    = flag.Bool("v", false, "per-cell progress lines")
 	)
@@ -120,10 +123,21 @@ func main() {
 		return
 	}
 
+	// The latency sink always rides along (it feeds the end-of-run
+	// summary line); the Perfetto exporter only with -trace-dir.
+	wallHist := metrics.NewHistogram(metrics.ExpBuckets(0.001, 2, 14))
+	var perf *obs.Perfetto
+	if *traceDir != "" {
+		perf = obs.NewPerfetto()
+		for w := 0; w < spec.WorkerCount(); w++ {
+			perf.NameTrack(w, fmt.Sprintf("worker-%d", w))
+		}
+	}
 	eng := &campaign.Engine{
 		Spec:     spec,
 		Factory:  opts.CampaignFactory(),
 		Progress: progressLine(),
+		Obs:      obs.Tee(latencySink{wallHist}, perfettoSink(perf)),
 	}
 	if *verbose {
 		eng.OnCell = func(c campaign.Cell) {
@@ -160,9 +174,47 @@ func main() {
 			"False-positive rate (golden-run detector actions per committed instruction)",
 			sum, benches, append([]harness.Scheme{campaign.BaselineScheme}, schemeList...)).Render())
 	}
+	if n := wallHist.Count(); n > 0 {
+		fmt.Printf("injection wall time: p50=%s p95=%s max=%s (n=%d)\n",
+			secs(wallHist.Quantile(0.5)), secs(wallHist.Quantile(0.95)), secs(wallHist.Max()), n)
+	}
+	if perf != nil {
+		if err := os.MkdirAll(*traceDir, 0o755); err != nil {
+			fatal(err)
+		}
+		tf := filepath.Join(*traceDir, "trace.json")
+		if err := perf.WriteFile(tf); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("trace:  %s (%d events; open in ui.perfetto.dev)\n", tf, perf.Len())
+	}
 	fmt.Printf("bundle: %s (%d cells, %d injections/cell, %d resumed, wall clock %s)\n",
 		dir, len(outcome.Cells), sum.Injections, outcome.Resumed, outcome.Elapsed.Round(time.Millisecond))
 	fmt.Printf("report: %s\n", filepath.Join(dir, campaign.ReportName))
+}
+
+// latencySink folds closed injection spans into a histogram for the
+// end-of-run wall-time summary line.
+type latencySink struct{ h *metrics.Histogram }
+
+func (l latencySink) Event(ev obs.Event) {
+	if ev.Kind == obs.KindEnd && ev.Name == "injection" && ev.Arg != "cancelled" {
+		l.h.Observe(ev.Dur.Seconds())
+	}
+}
+
+// perfettoSink adapts a possibly-nil *Perfetto to the nil-interface
+// convention obs.Tee expects.
+func perfettoSink(p *obs.Perfetto) obs.Sink {
+	if p == nil {
+		return nil
+	}
+	return p
+}
+
+// secs renders a quantile (in seconds) as a rounded duration.
+func secs(v float64) time.Duration {
+	return time.Duration(v * float64(time.Second)).Round(time.Microsecond)
 }
 
 // runRemote submits the spec to a fhserved daemon, follows the

@@ -15,7 +15,8 @@
 // attaches to the in-flight job; one already completed is served from
 // the on-disk cache. On SIGTERM the daemon drains — running campaigns
 // cancel promptly, their journals stay on disk, and the next start
-// rescans -data and resumes every unfinished job. See docs/SERVER.md.
+// rescans -data and resumes every unfinished job. See docs/SERVER.md
+// and docs/OBSERVABILITY.md.
 package main
 
 import (
@@ -23,8 +24,9 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -36,18 +38,22 @@ import (
 
 func main() {
 	var (
-		addr    = flag.String("addr", ":8418", "HTTP listen address")
-		data    = flag.String("data", "results/server", "data root: one directory per job, named by spec hash")
-		jobs    = flag.Int("jobs", 1, "campaigns executing concurrently")
-		workers = flag.Int("workers", 0, "injection workers per campaign (0 = GOMAXPROCS); results do not depend on it")
-		queue   = flag.Int("queue", 64, "pending-job queue depth (overflow is rejected with 503)")
-		maxInj  = flag.Int("max-injections", 0, "reject specs above this total injection count (0 = unlimited)")
-		quick   = flag.Bool("quick", false, "scaled-down default fault config for smoke testing")
-		verbose = flag.Bool("v", false, "log every job state transition")
+		addr      = flag.String("addr", ":8418", "HTTP listen address")
+		debugAddr = flag.String("debug-addr", "", "optional listen address for net/http/pprof (e.g. localhost:6060); empty disables it")
+		data      = flag.String("data", "results/server", "data root: one directory per job, named by spec hash")
+		jobs      = flag.Int("jobs", 1, "campaigns executing concurrently")
+		workers   = flag.Int("workers", 0, "injection workers per campaign (0 = GOMAXPROCS); results do not depend on it")
+		queue     = flag.Int("queue", 64, "pending-job queue depth (overflow is rejected with 503)")
+		maxInj    = flag.Int("max-injections", 0, "reject specs above this total injection count (0 = unlimited)")
+		quick     = flag.Bool("quick", false, "scaled-down default fault config for smoke testing")
+		verbose   = flag.Bool("v", false, "debug-level logging (every job state transition)")
 	)
 	flag.Parse()
-	log.SetPrefix("fhserved: ")
-	log.SetFlags(log.LstdFlags | log.Lmsgprefix)
+	level := slog.LevelInfo
+	if *verbose {
+		level = slog.LevelDebug
+	}
+	log := slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: level}))
 
 	opts := harness.DefaultOptions()
 	if *quick {
@@ -61,45 +67,57 @@ func main() {
 		Workers:       *workers,
 		QueueDepth:    *queue,
 		MaxInjections: *maxInj,
-	}
-	if *verbose {
-		cfg.Logf = log.Printf
+		Log:           log,
 	}
 
 	s, err := server.New(cfg)
 	if err != nil {
-		log.Fatal(err)
+		log.Error("startup failed", "err", err)
+		os.Exit(1)
 	}
 	if un := s.Unfinished(); len(un) > 0 {
-		log.Printf("resuming %d unfinished job(s) from %s: %v", len(un), *data, un)
+		log.Info("resuming unfinished jobs", "count", len(un), "data", *data, "jobs", un)
 	}
 	s.Start()
+
+	if *debugAddr != "" {
+		// The pprof handlers registered by the blank import live on
+		// http.DefaultServeMux; serve that mux on a separate, typically
+		// loopback-only, address so profiling never rides the public API.
+		go func() {
+			log.Info("pprof listening", "addr", *debugAddr)
+			if err := http.ListenAndServe(*debugAddr, nil); err != nil {
+				log.Error("pprof server failed", "err", err)
+			}
+		}()
+	}
 
 	hs := &http.Server{Addr: *addr, Handler: s.Handler()}
 	errCh := make(chan error, 1)
 	go func() { errCh <- hs.ListenAndServe() }()
-	log.Printf("serving on %s (data root %s, %d job runner(s))", *addr, *data, *jobs)
+	log.Info("serving", "addr", *addr, "data", *data, "runners", *jobs)
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	select {
 	case err := <-errCh:
-		log.Fatal(err)
+		log.Error("http server failed", "err", err)
+		os.Exit(1)
 	case <-ctx.Done():
 	}
 	stop()
-	log.Printf("signal received; draining (in-flight campaigns journal and resume on next start)")
+	log.Info("signal received; draining (in-flight campaigns journal and resume on next start)")
 
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 	defer cancel()
 	if err := hs.Shutdown(shutdownCtx); err != nil {
-		log.Printf("http shutdown: %v", err)
+		log.Warn("http shutdown", "err", err)
 	}
 	if err := s.Drain(shutdownCtx); err != nil {
-		log.Printf("%v", err)
+		log.Warn("drain", "err", err)
 	}
 	if un := s.Unfinished(); len(un) > 0 {
-		log.Printf("%d job(s) unfinished; restart fhserved with -data %s to resume: %v", len(un), *data, un)
+		log.Info("jobs unfinished; restart fhserved to resume", "count", len(un), "data", *data, "jobs", un)
 	}
 	if err := <-errCh; err != nil && !errors.Is(err, http.ErrServerClosed) {
 		fmt.Fprintln(os.Stderr, "fhserved:", err)

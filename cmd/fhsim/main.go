@@ -6,6 +6,7 @@
 //
 //	fhsim -bench mcf -scheme faulthound -commits 50000
 //	fhsim -bench apache -scheme pbfs-biased -threads 2
+//	fhsim -bench bzip2 -trace out.json -trace-cycles 3000   # Perfetto trace
 package main
 
 import (
@@ -19,6 +20,7 @@ import (
 	"faulthound/internal/energy"
 	"faulthound/internal/harness"
 	"faulthound/internal/mem"
+	"faulthound/internal/obs"
 	"faulthound/internal/pipeline"
 	"faulthound/internal/stats"
 	"faulthound/internal/workload"
@@ -31,8 +33,9 @@ func main() {
 		threads = flag.Int("threads", 2, "SMT contexts")
 		commits = flag.Uint64("commits", 30000, "per-thread committed instructions to simulate")
 		warmup  = flag.Uint64("warmup", 3000, "warmup cycles before measurement")
-		trace   = flag.String("trace", "", "comma-separated trace stages to print (fetch,dispatch,issue,complete,commit,squash,replay,rollback,singleton,exception)")
-		traceN  = flag.Uint64("trace-cycles", 200, "cycles to trace before running silently")
+		trace   = flag.String("trace", "", "write a Perfetto/Chrome trace-event JSON file of the first trace-cycles cycles (open in ui.perfetto.dev)")
+		stages  = flag.String("trace-stages", "", "comma-separated stage filter (fetch,dispatch,issue,complete,commit,squash,replay,rollback,singleton,exception); alone, prints a text trace")
+		traceN  = flag.Uint64("trace-cycles", 200, "cycles to trace (with -trace or -trace-stages)")
 		asJSON  = flag.Bool("json", false, "emit the full stats block as one JSON object (scriptable runs)")
 	)
 	flag.Parse()
@@ -51,8 +54,8 @@ func main() {
 	opts.MeasureCommits = *commits
 	opts.WarmupCycles = *warmup
 
-	if *trace != "" {
-		if err := runTraced(opts, bm, harness.Scheme(*scheme), *trace, *traceN); err != nil {
+	if *trace != "" || *stages != "" {
+		if err := runTraced(opts, bm, harness.Scheme(*scheme), *trace, *stages, *traceN); err != nil {
 			fmt.Fprintln(os.Stderr, "fhsim:", err)
 			os.Exit(1)
 		}
@@ -105,9 +108,11 @@ func main() {
 		b.LSQ, b.Caches, b.Commit, b.Static, b.Shadow, b.Detector)
 }
 
-// runTraced runs the first traceN cycles with a stage-filtered trace on
-// stdout.
-func runTraced(opts harness.Options, bm workload.Benchmark, scheme harness.Scheme, stages string, traceN uint64) error {
+// runTraced runs the first traceN cycles under a tracer: with outFile
+// set, a Perfetto/Chrome trace-event JSON file (one track per SMT
+// thread, timestamps in cycles); otherwise a stage-filtered text trace
+// on stdout.
+func runTraced(opts harness.Options, bm workload.Benchmark, scheme harness.Scheme, outFile, stages string, traceN uint64) error {
 	c, err := opts.BuildCore(bm, scheme, opts.Threads)
 	if err != nil {
 		return err
@@ -120,17 +125,40 @@ func runTraced(opts harness.Options, bm workload.Benchmark, scheme harness.Schem
 		"singleton": pipeline.TraceSingleton, "exception": pipeline.TraceException,
 	}
 	var want []pipeline.TraceStage
-	for _, s := range strings.Split(stages, ",") {
-		st, ok := names[strings.TrimSpace(s)]
-		if !ok {
-			return fmt.Errorf("unknown trace stage %q", s)
+	if stages != "" {
+		for _, s := range strings.Split(stages, ",") {
+			st, ok := names[strings.TrimSpace(s)]
+			if !ok {
+				return fmt.Errorf("unknown trace stage %q", s)
+			}
+			want = append(want, st)
 		}
-		want = append(want, st)
 	}
-	c.SetTracer(c.NewWriterTracer(os.Stdout, want...))
+	if outFile == "" {
+		c.SetTracer(c.NewWriterTracer(os.Stdout, want...))
+		for i := uint64(0); i < traceN && !c.AllHalted(); i++ {
+			c.Step()
+		}
+		return nil
+	}
+	if len(want) == 0 {
+		// Default to the events that stay legible at full speed; a
+		// per-uop fetch/issue firehose is opt-in via -trace-stages.
+		want = []pipeline.TraceStage{pipeline.TraceCommit, pipeline.TraceSquash,
+			pipeline.TraceReplay, pipeline.TraceRollback, pipeline.TraceSingleton}
+	}
+	p := obs.NewPerfetto()
+	for t := 0; t < opts.Threads; t++ {
+		p.NameTrack(t, fmt.Sprintf("smt-%d", t))
+	}
+	c.SetTracer(p.PipelineTracer(want...))
 	for i := uint64(0); i < traceN && !c.AllHalted(); i++ {
 		c.Step()
 	}
+	if err := p.WriteFile(outFile); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "fhsim: wrote %d trace events to %s (open in ui.perfetto.dev)\n", p.Len(), outFile)
 	return nil
 }
 

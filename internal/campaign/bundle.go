@@ -81,7 +81,7 @@ func Report(out *Outcome, man *Manifest) string {
 	fmt.Fprintf(&sb, "- Go: `%s`\n", man.Provenance.GoVersion)
 	fmt.Fprintf(&sb, "- Commit: `%s`\n", man.Provenance.GitCommit)
 	fmt.Fprintf(&sb, "- Seed: `%#x`\n", out.Spec.Fault.Seed)
-	fmt.Fprintf(&sb, "- Workers: `%d`\n", out.Spec.workers())
+	fmt.Fprintf(&sb, "- Workers: `%d`\n", out.Spec.WorkerCount())
 	fmt.Fprintf(&sb, "- Wall clock: `%s`\n", out.Elapsed.Round(time.Millisecond))
 	fmt.Fprintf(&sb, "- Injections per cell: `%d`\n", sum.Injections)
 	fmt.Fprintf(&sb, "- Cells: `%d` (%d benchmarks x %d schemes incl. baseline)\n",

@@ -77,8 +77,10 @@ func (s Spec) Cells() []Cell {
 	return out
 }
 
-// workers resolves the effective pool size.
-func (s Spec) workers() int {
+// WorkerCount resolves the effective pool size: the spec's Workers, or
+// GOMAXPROCS when unset. Trace consumers use it to pre-name the
+// engine's per-worker tracks.
+func (s Spec) WorkerCount() int {
 	if s.Workers <= 0 {
 		return runtime.GOMAXPROCS(0)
 	}

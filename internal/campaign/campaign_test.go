@@ -13,6 +13,7 @@ import (
 	"faulthound/internal/campaign"
 	"faulthound/internal/fault"
 	"faulthound/internal/harness"
+	"faulthound/internal/obs"
 )
 
 // testSpec returns a small two-cell campaign (bzip2 x baseline +
@@ -350,5 +351,60 @@ func TestCellSeedDecorrelation(t *testing.T) {
 	}
 	if a != campaign.CellSeed(1, campaign.Cell{Bench: "bzip2", Scheme: "faulthound"}) {
 		t.Fatal("cell seed not stable")
+	}
+}
+
+// TestEngineObs runs a multi-worker campaign with a recording sink and
+// checks the lifecycle stream: every track has matched begin/end span
+// pairs, every injection span ends with a valid outcome, tracks stay
+// within the worker pool, and the span count matches the campaign size.
+func TestEngineObs(t *testing.T) {
+	spec, o := testSpec(t, 16)
+	spec.Workers = 4
+	var rec obs.Collector
+	eng := &campaign.Engine{Spec: spec, Factory: o.CampaignFactory(), Obs: &rec}
+	out, err := eng.Run(context.Background(), "", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := len(out.Cells) * spec.Fault.Injections
+
+	valid := map[string]bool{"masked": true, "noisy": true, "sdc": true}
+	open := map[int][]string{}
+	injections, prepares := 0, 0
+	for i, ev := range rec.Events() {
+		if ev.Track < 0 || ev.Track >= spec.Workers {
+			t.Fatalf("event %d on track %d, worker pool is %d", i, ev.Track, spec.Workers)
+		}
+		switch ev.Kind {
+		case obs.KindBegin:
+			open[ev.Track] = append(open[ev.Track], ev.Name)
+		case obs.KindEnd:
+			stack := open[ev.Track]
+			if len(stack) == 0 || stack[len(stack)-1] != ev.Name {
+				t.Fatalf("event %d: end %q does not match track %d stack %v", i, ev.Name, ev.Track, stack)
+			}
+			open[ev.Track] = stack[:len(stack)-1]
+			switch ev.Name {
+			case "injection":
+				injections++
+				if !valid[ev.Arg] {
+					t.Fatalf("injection span ended with outcome %q", ev.Arg)
+				}
+			case "prepare":
+				prepares++
+			}
+		}
+	}
+	for tr, stack := range open {
+		if len(stack) != 0 {
+			t.Fatalf("track %d left spans open: %v", tr, stack)
+		}
+	}
+	if injections != total {
+		t.Fatalf("saw %d injection spans, want %d", injections, total)
+	}
+	if prepares != len(out.Cells) {
+		t.Fatalf("saw %d prepare spans, want %d", prepares, len(out.Cells))
 	}
 }

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"faulthound/internal/fault"
+	"faulthound/internal/obs"
 	"faulthound/internal/pipeline"
 )
 
@@ -56,6 +57,13 @@ type Engine struct {
 	// Warnf receives non-fatal diagnostics (a truncated journal record
 	// skipped during resume); nil logs them to os.Stderr.
 	Warnf func(format string, args ...any)
+	// Obs receives injection-lifecycle events: a "prepare" span around
+	// each cell's golden phase, an "injection" span around every faulty
+	// run (End carries the outcome, or "cancelled" on abort), and the
+	// per-run instants emitted by fault.RunOneObs ("inject", detector
+	// actions, "detect"). Events are stamped with the worker index as
+	// their track. Nil disables instrumentation entirely.
+	Obs obs.Sink
 }
 
 // warnf routes a non-fatal diagnostic to Warnf or stderr.
@@ -255,11 +263,14 @@ func (e *Engine) Run(ctx context.Context, dir string, resume bool) (*Outcome, er
 	}
 
 	// prepare runs a cell's golden phase exactly once and journals its
-	// fault-free FP rate.
-	prepare := func(ci int) *cellState {
+	// fault-free FP rate. The span lands on the track of whichever
+	// worker won the once — the one that actually paid the golden run.
+	prepare := func(ci int, sink obs.Sink) *cellState {
 		st := states[ci]
 		st.once.Do(func() {
 			c := cells[ci]
+			began := obs.Begin(sink, "prepare", c.String())
+			defer func() { obs.End(sink, "prepare", began, "") }()
 			if e.OnCell != nil {
 				mu.Lock()
 				e.OnCell(c)
@@ -294,7 +305,7 @@ func (e *Engine) Run(ctx context.Context, dir string, resume bool) (*Outcome, er
 		return st
 	}
 
-	workers := e.Spec.workers()
+	workers := e.Spec.WorkerCount()
 	if workers > len(tasks) && len(tasks) > 0 {
 		workers = len(tasks)
 	}
@@ -302,21 +313,25 @@ func (e *Engine) Run(ctx context.Context, dir string, resume bool) (*Outcome, er
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(w int) {
 			defer wg.Done()
+			wsink := obs.WithTrack(e.Obs, w)
 			for t := range taskCh {
-				st := prepare(t.cell)
+				st := prepare(t.cell, wsink)
 				if st.err != nil {
 					fail(st.err)
 					return
 				}
-				// RunOneCtx polls runCtx inside the faulty run, so a
+				// RunOneObs polls runCtx inside the faulty run, so a
 				// drain (SIGTERM) aborts promptly even mid-injection;
 				// the partial injection is simply not journaled.
-				res, rerr := st.prepared.RunOneCtx(runCtx, injs[t.inj])
+				began := obs.Begin(wsink, "injection", cells[t.cell].String())
+				res, rerr := st.prepared.RunOneObs(runCtx, injs[t.inj], wsink)
 				if rerr != nil {
+					obs.End(wsink, "injection", began, "cancelled")
 					return
 				}
+				obs.End(wsink, "injection", began, res.Outcome.String())
 				results[t.cell][t.inj] = res
 				have[t.cell][t.inj] = true
 				if journal != nil {
@@ -333,7 +348,7 @@ func (e *Engine) Run(ctx context.Context, dir string, resume bool) (*Outcome, er
 				}
 				mu.Unlock()
 			}
-		}()
+		}(w)
 	}
 
 feed:

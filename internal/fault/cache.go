@@ -2,6 +2,7 @@ package fault
 
 import (
 	"sync"
+	"sync/atomic"
 
 	"faulthound/internal/pipeline"
 )
@@ -27,6 +28,12 @@ type PreparedKey struct {
 type PreparedCache struct {
 	mu sync.Mutex
 	m  map[PreparedKey]*preparedEntry
+
+	// hits and misses count Get outcomes: a miss is the call that
+	// creates a key's entry (and runs Prepare), a hit any later call
+	// that reuses it — including callers that block on a preparation
+	// still in flight. The daemon exports both on /metrics.
+	hits, misses atomic.Uint64
 }
 
 type preparedEntry struct {
@@ -50,6 +57,9 @@ func (c *PreparedCache) Get(key PreparedKey, mk func() *pipeline.Core) (*Prepare
 	if e == nil {
 		e = &preparedEntry{}
 		c.m[key] = e
+		c.misses.Add(1)
+	} else {
+		c.hits.Add(1)
 	}
 	c.mu.Unlock()
 	e.once.Do(func() {
@@ -63,4 +73,9 @@ func (c *PreparedCache) Len() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return len(c.m)
+}
+
+// Stats reports the cumulative Get hit and miss counts.
+func (c *PreparedCache) Stats() (hits, misses uint64) {
+	return c.hits.Load(), c.misses.Load()
 }

@@ -50,6 +50,10 @@ func TestPreparedCacheSharesPreparation(t *testing.T) {
 	if cache.Len() != 1 {
 		t.Fatalf("cache has %d entries, want 1", cache.Len())
 	}
+	// Exactly one caller created the entry; the other seven reused it.
+	if hits, misses := cache.Stats(); hits != callers-1 || misses != 1 {
+		t.Fatalf("stats = %d hits / %d misses, want %d / 1", hits, misses, callers-1)
+	}
 
 	// A different config is a different cell.
 	other := key
@@ -63,5 +67,16 @@ func TestPreparedCacheSharesPreparation(t *testing.T) {
 	}
 	if cache.Len() != 2 {
 		t.Fatalf("cache has %d entries, want 2", cache.Len())
+	}
+	if hits, misses := cache.Stats(); hits != callers-1 || misses != 2 {
+		t.Fatalf("stats after second key = %d hits / %d misses, want %d / 2", hits, misses, callers-1)
+	}
+
+	// A repeat Get on the second key is a pure hit.
+	if _, err := cache.Get(other, mk); err != nil {
+		t.Fatal(err)
+	}
+	if hits, misses := cache.Stats(); hits != callers || misses != 2 {
+		t.Fatalf("stats after repeat = %d hits / %d misses, want %d / 2", hits, misses, callers)
 	}
 }

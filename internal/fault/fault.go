@@ -16,6 +16,7 @@ import (
 
 	"faulthound/internal/detect"
 	"faulthound/internal/isa"
+	"faulthound/internal/obs"
 	"faulthound/internal/pipeline"
 	"faulthound/internal/stats"
 )
@@ -315,7 +316,7 @@ func (p *Prepared) FPRate() float64 { return p.fpRate }
 // advances to the injection cycle, flips the bit, runs the window, and
 // classifies. Safe to call from multiple goroutines.
 func (p *Prepared) RunOne(inj Injection) Result {
-	res, _ := runOne(nil, p.golden, inj, p.cfg, p.hashes, p.background)
+	res, _ := runOne(nil, p.golden, inj, p.cfg, p.hashes, p.background, nil)
 	return res
 }
 
@@ -325,7 +326,19 @@ func (p *Prepared) RunOne(inj Injection) Result {
 // watchdog) first. An uncancelled call returns exactly RunOne's result
 // — the poll is pure control flow.
 func (p *Prepared) RunOneCtx(ctx context.Context, inj Injection) (Result, error) {
-	return runOne(ctx, p.golden, inj, p.cfg, p.hashes, p.background)
+	return runOne(ctx, p.golden, inj, p.cfg, p.hashes, p.background, nil)
+}
+
+// RunOneObs is RunOneCtx with injection-lifecycle observability: when
+// sink is non-nil the faulty run emits structured events — an
+// "inject" instant at the flip (Cycle = injection cycle, Arg = the
+// structure), an instant per detector action in the window ("replay",
+// "rollback", "singleton"), and a "detect" instant at the first such
+// action (Arg = the action kind), from which sinks derive detection
+// latency in cycles. A nil sink is exactly RunOneCtx — the disabled
+// path costs one pointer test.
+func (p *Prepared) RunOneObs(ctx context.Context, inj Injection, sink obs.Sink) (Result, error) {
+	return runOne(ctx, p.golden, inj, p.cfg, p.hashes, p.background, sink)
 }
 
 // Run executes a campaign serially: mk must build a fresh,
@@ -350,11 +363,36 @@ func Run(mk func() *pipeline.Core, cfg Config) (*Campaign, error) {
 // cycles), large enough that the poll is free.
 const cancelPollSteps = 512
 
+// actionTracer forwards the faulty run's detector actions (replay,
+// rollback, singleton) to an obs sink and marks the first one — the
+// detection point — with a "detect" instant. It is attached to the
+// clone only when a sink is present, so untraced runs never pay for
+// it.
+type actionTracer struct {
+	sink     obs.Sink
+	detected bool
+}
+
+// Trace implements pipeline.Tracer.
+func (t *actionTracer) Trace(ev pipeline.TraceEvent) {
+	switch ev.Stage {
+	case pipeline.TraceReplay, pipeline.TraceRollback, pipeline.TraceSingleton:
+	default:
+		return
+	}
+	obs.Instant(t.sink, ev.Stage.String(), ev.Cycle, "")
+	if !t.detected {
+		t.detected = true
+		obs.Instant(t.sink, "detect", ev.Cycle, ev.Stage.String())
+	}
+}
+
 // runOne clones the warmed golden core, advances to the injection
 // cycle, flips the bit, runs the window, and classifies. golden,
 // goldenHash, and background are read-only here: the clone is this
-// call's private mutable state. A nil ctx disables cancellation.
-func runOne(ctx context.Context, golden *pipeline.Core, inj Injection, cfg Config, goldenHash map[uint64]uint64, background map[uint64]detect.Stats) (Result, error) {
+// call's private mutable state. A nil ctx disables cancellation; a nil
+// sink disables lifecycle events.
+func runOne(ctx context.Context, golden *pipeline.Core, inj Injection, cfg Config, goldenHash map[uint64]uint64, background map[uint64]detect.Stats, sink obs.Sink) (Result, error) {
 	f := golden.Clone()
 	for i := uint64(0); i < inj.CycleOffset; i++ {
 		if ctx != nil && i%cancelPollSteps == 0 {
@@ -365,6 +403,10 @@ func runOne(ctx context.Context, golden *pipeline.Core, inj Injection, cfg Confi
 		f.Step()
 	}
 	applyInjection(f, inj)
+	if sink != nil {
+		obs.Instant(sink, "inject", f.Cycle(), inj.Structure.String())
+		f.SetTracer(&actionTracer{sink: sink})
+	}
 
 	var ds0 detect.Stats
 	if d := f.Detector(); d != nil {

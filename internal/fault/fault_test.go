@@ -1,9 +1,11 @@
 package fault
 
 import (
+	"context"
 	"testing"
 
 	"faulthound/internal/core"
+	"faulthound/internal/obs"
 	"faulthound/internal/pipeline"
 	"faulthound/internal/prog"
 	"faulthound/internal/workload"
@@ -187,5 +189,57 @@ func TestStructureAndOutcomeStrings(t *testing.T) {
 		if b.String() == "?" {
 			t.Fatal("unnamed bin")
 		}
+	}
+}
+
+// TestRunOneObsLifecycle checks the instrumented run path: the result
+// matches the plain RunOne of the same injection (a nil sink and a live
+// sink must not diverge), and the sink sees the "inject" instant with
+// the injection's cycle and structure. When the run is detected, the
+// one-time "detect" instant must carry the cycle of the first detector
+// action.
+func TestRunOneObsLifecycle(t *testing.T) {
+	cfg := smallConfig()
+	cfg.Injections = 24
+	fhCfg := core.DefaultConfig()
+	p, err := Prepare(mkCore(t, "bzip2", &fhCfg), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sawDetect := false
+	for _, inj := range p.Injections() {
+		want := p.RunOne(inj)
+		var c obs.Collector
+		got, err := p.RunOneObs(context.Background(), inj, &c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("instrumented run diverged: got %+v, want %+v", got, want)
+		}
+		evs := c.Events()
+		if len(evs) == 0 || evs[0].Name != "inject" || evs[0].Kind != obs.KindInstant {
+			t.Fatalf("first event = %+v, want inject instant", evs)
+		}
+		injectCycle := evs[0].Cycle
+		if injectCycle < cfg.WarmupCycles || evs[0].Arg != inj.Structure.String() {
+			t.Fatalf("inject instant %+v does not match injection %+v", evs[0], inj)
+		}
+		var detects int
+		for _, ev := range evs[1:] {
+			if ev.Name == "detect" {
+				detects++
+				sawDetect = true
+				if ev.Cycle < injectCycle {
+					t.Fatalf("detect at cycle %d before injection at %d", ev.Cycle, injectCycle)
+				}
+			}
+		}
+		if detects > 1 {
+			t.Fatalf("%d detect instants for one run, want at most 1", detects)
+		}
+	}
+	if !sawDetect {
+		t.Log("no injection was detected in this draw (latency path unexercised)")
 	}
 }

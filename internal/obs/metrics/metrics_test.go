@@ -1,0 +1,241 @@
+package metrics
+
+import (
+	"math"
+	"regexp"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestRegistryText(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("fh_jobs_done_total", "Completed jobs.").Add(3)
+	r.Gauge("fh_jobs_running", "Running jobs.").Set(2)
+	r.GaugeWith("fh_fp_rate", "Per-cell FP rate.", map[string]string{"scheme": "faulthound", "bench": "mcf"}).Set(0.25)
+	r.GaugeWith("fh_fp_rate", "Per-cell FP rate.", map[string]string{"scheme": "baseline", "bench": "mcf"}).Set(0)
+
+	var sb strings.Builder
+	if err := r.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	got := sb.String()
+	want := `# HELP fh_fp_rate Per-cell FP rate.
+# TYPE fh_fp_rate gauge
+fh_fp_rate{bench="mcf",scheme="baseline"} 0
+fh_fp_rate{bench="mcf",scheme="faulthound"} 0.25
+# HELP fh_jobs_done_total Completed jobs.
+# TYPE fh_jobs_done_total counter
+fh_jobs_done_total 3
+# HELP fh_jobs_running Running jobs.
+# TYPE fh_jobs_running gauge
+fh_jobs_running 2
+`
+	if got != want {
+		t.Fatalf("WriteText:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+func TestSeriesIdentityAndConcurrency(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("c_total", "")
+	if b := r.Counter("c_total", ""); a != b {
+		t.Fatal("same name resolved to distinct series")
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				a.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := a.Get(); got != 8000 {
+		t.Fatalf("counter = %v, want 8000", got)
+	}
+}
+
+func TestLabelEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.GaugeWith("g", "", map[string]string{"k": `a"b\c`}).Set(1)
+	var sb strings.Builder
+	if err := r.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), `g{k="a\"b\\c"} 1`) {
+		t.Fatalf("escaping wrong:\n%s", sb.String())
+	}
+}
+
+func TestHistogramText(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat_seconds", "Latency.", []float64{0.5, 1, 10})
+	for _, v := range []float64{0.25, 0.5, 0.5, 5, 50} {
+		h.Observe(v)
+	}
+	var sb strings.Builder
+	if err := r.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP lat_seconds Latency.
+# TYPE lat_seconds histogram
+lat_seconds_bucket{le="0.5"} 3
+lat_seconds_bucket{le="1"} 3
+lat_seconds_bucket{le="10"} 4
+lat_seconds_bucket{le="+Inf"} 5
+lat_seconds_sum 56.25
+lat_seconds_count 5
+`
+	if got := sb.String(); got != want {
+		t.Fatalf("histogram text:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+func TestHistogramLabeled(t *testing.T) {
+	r := NewRegistry()
+	a := r.HistogramWith("inj_seconds", "Per-injection wall time.", []float64{1, 2}, map[string]string{"bench": "mcf"})
+	// Eagerly created series render zero-count buckets before any
+	// observation — the daemon relies on this for scrape visibility.
+	r.HistogramWith("inj_seconds", "Per-injection wall time.", []float64{1, 2}, map[string]string{"bench": "bzip2"})
+	a.Observe(1.5)
+	var sb strings.Builder
+	if err := r.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	got := sb.String()
+	for _, want := range []string{
+		`inj_seconds_bucket{bench="bzip2",le="+Inf"} 0`,
+		`inj_seconds_count{bench="bzip2"} 0`,
+		`inj_seconds_bucket{bench="mcf",le="1"} 0`,
+		`inj_seconds_bucket{bench="mcf",le="2"} 1`,
+		`inj_seconds_bucket{bench="mcf",le="+Inf"} 1`,
+		`inj_seconds_sum{bench="mcf"} 1.5`,
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("missing %q in:\n%s", want, got)
+		}
+	}
+}
+
+func TestHistogramQuantileAndMax(t *testing.T) {
+	h := NewHistogram(ExpBuckets(1, 2, 10)) // 1..512
+	for i := 1; i <= 100; i++ {
+		h.Observe(float64(i))
+	}
+	if got := h.Count(); got != 100 {
+		t.Fatalf("count = %d", got)
+	}
+	if got := h.Max(); got != 100 {
+		t.Fatalf("max = %v", got)
+	}
+	p50 := h.Quantile(0.5)
+	if p50 < 32 || p50 > 64 {
+		t.Fatalf("p50 = %v, want within owning bucket (32, 64]", p50)
+	}
+	p95 := h.Quantile(0.95)
+	if p95 < 64 || p95 > 100 {
+		t.Fatalf("p95 = %v, want within (64, 100]", p95)
+	}
+	if got := h.Quantile(1); got > h.Max() {
+		t.Fatalf("q1 = %v exceeds max %v", got, h.Max())
+	}
+	empty := NewHistogram([]float64{1})
+	if empty.Quantile(0.5) != 0 || empty.Max() != 0 {
+		t.Fatal("empty histogram should report zeros")
+	}
+}
+
+func TestHistogramConcurrency(t *testing.T) {
+	h := NewHistogram([]float64{10, 100})
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				h.Observe(float64(w*i) / 7)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := h.Count(); got != 8000 {
+		t.Fatalf("count = %d, want 8000", got)
+	}
+	var cum uint64
+	for i := range h.counts {
+		cum += h.counts[i].Load()
+	}
+	if cum != 8000 {
+		t.Fatalf("bucket sum = %d, want 8000", cum)
+	}
+	if math.IsInf(h.Max(), -1) {
+		t.Fatal("max never updated")
+	}
+}
+
+// TestExpositionSortedParseable pins the rendering contract the
+// /metrics endpoint depends on: every line parses as a comment or a
+// sample, families appear in sorted name order, labels within a sample
+// are sorted, and sample values are valid floats.
+func TestExpositionSortedParseable(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("zz_total", "Last family.").Inc()
+	r.GaugeWith("aa_gauge", "First family.", map[string]string{"z": "1", "a": "2"}).Set(3)
+	r.HistogramWith("mm_seconds", "Middle family.", []float64{0.5, 5}, map[string]string{"bench": "mcf", "scheme": "fh"}).Observe(0.7)
+	r.Histogram("mm2_seconds", "Unlabeled histogram.", []float64{1}).Observe(2)
+
+	var sb strings.Builder
+	if err := r.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	validateExposition(t, sb.String())
+}
+
+var sampleRe = regexp.MustCompile(`^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{([^}]*)\})? (-?[0-9.eE+-]+|NaN|[+-]Inf)$`)
+
+// validateExposition is a miniature parser for the Prometheus text
+// format: it fails the test on any malformed line, unsorted family, or
+// unsorted label set.
+func validateExposition(t *testing.T, text string) {
+	t.Helper()
+	var lastFamily string
+	for _, line := range strings.Split(strings.TrimSuffix(text, "\n"), "\n") {
+		if strings.HasPrefix(line, "# HELP ") || strings.HasPrefix(line, "# TYPE ") {
+			parts := strings.SplitN(line, " ", 4)
+			if len(parts) < 3 {
+				t.Fatalf("malformed comment line %q", line)
+			}
+			if parts[1] == "TYPE" {
+				if parts[2] < lastFamily {
+					t.Errorf("family %q out of order after %q", parts[2], lastFamily)
+				}
+				lastFamily = parts[2]
+			}
+			continue
+		}
+		m := sampleRe.FindStringSubmatch(line)
+		if m == nil {
+			t.Fatalf("unparseable sample line %q", line)
+		}
+		if !strings.HasPrefix(m[1], lastFamily) {
+			t.Errorf("sample %q does not belong to family %q", m[1], lastFamily)
+		}
+		if m[3] != "" {
+			var keys []string
+			for _, kv := range strings.Split(m[3], ",") {
+				k, _, ok := strings.Cut(kv, "=")
+				if !ok {
+					t.Fatalf("malformed label %q in %q", kv, line)
+				}
+				keys = append(keys, k)
+			}
+			if !sort.StringsAreSorted(keys) {
+				t.Errorf("labels not sorted in %q", line)
+			}
+		}
+	}
+}

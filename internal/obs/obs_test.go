@@ -1,0 +1,79 @@
+package obs_test
+
+import (
+	"testing"
+	"time"
+
+	"faulthound/internal/obs"
+)
+
+func TestTeeAndWithTrack(t *testing.T) {
+	var a, b obs.Collector
+	sink := obs.Tee(&a, nil, &b)
+	if sink == nil {
+		t.Fatal("Tee dropped non-nil sinks")
+	}
+	tracked := obs.WithTrack(sink, 7)
+	obs.Instant(tracked, "inject", 42, "regfile")
+	began := obs.Begin(tracked, "injection", "bzip2/faulthound")
+	obs.End(tracked, "injection", began, "masked")
+
+	for _, c := range []*obs.Collector{&a, &b} {
+		evs := c.Events()
+		if len(evs) != 3 {
+			t.Fatalf("got %d events, want 3", len(evs))
+		}
+		for _, e := range evs {
+			if e.Track != 7 {
+				t.Errorf("event %s track = %d, want 7", e.Name, e.Track)
+			}
+			if e.Wall.IsZero() {
+				t.Errorf("event %s has no wall stamp", e.Name)
+			}
+		}
+		if evs[0].Kind != obs.KindInstant || evs[0].Cycle != 42 {
+			t.Errorf("instant malformed: %+v", evs[0])
+		}
+		if evs[2].Kind != obs.KindEnd || evs[2].Dur < 0 {
+			t.Errorf("end malformed: %+v", evs[2])
+		}
+	}
+
+	if obs.Tee(nil, nil) != nil {
+		t.Fatal("Tee of nils should be nil")
+	}
+	if obs.WithTrack(nil, 3) != nil {
+		t.Fatal("WithTrack(nil) should be nil")
+	}
+}
+
+func TestCollectorConcurrent(t *testing.T) {
+	var c obs.Collector
+	done := make(chan struct{})
+	for w := 0; w < 4; w++ {
+		go func(w int) {
+			defer func() { done <- struct{}{} }()
+			s := obs.WithTrack(&c, w)
+			for i := 0; i < 100; i++ {
+				obs.Instant(s, "tick", uint64(i), "")
+			}
+		}(w)
+	}
+	for w := 0; w < 4; w++ {
+		<-done
+	}
+	if got := len(c.Events()); got != 400 {
+		t.Fatalf("collected %d events, want 400", got)
+	}
+}
+
+func TestEndMeasuresDuration(t *testing.T) {
+	var c obs.Collector
+	began := obs.Begin(&c, "span", "")
+	time.Sleep(2 * time.Millisecond)
+	obs.End(&c, "span", began, "done")
+	evs := c.Events()
+	if evs[1].Dur < time.Millisecond {
+		t.Fatalf("span duration %v implausibly short", evs[1].Dur)
+	}
+}

@@ -1,0 +1,191 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"sync"
+	"time"
+
+	"faulthound/internal/pipeline"
+)
+
+// Perfetto accumulates events in the Chrome trace-event JSON format,
+// which ui.perfetto.dev (and chrome://tracing) load directly. It is
+// both an obs.Sink (injection-lifecycle events on the wall clock) and
+// a pipeline.Tracer (per-cycle pipeline events on the simulated
+// clock), so a single exporter serves fhsim pipeline traces and
+// fhcampaign lifecycle traces.
+//
+// Timestamps: trace-event ts is microseconds. Lifecycle events map
+// wall time relative to the writer's epoch; pipeline events map one
+// simulated cycle to one microsecond, which renders cycle-accurate
+// timelines in the UI. The two domains should not be mixed in one
+// file.
+type Perfetto struct {
+	mu    sync.Mutex
+	epoch time.Time
+	evs   []chromeEvent
+	names map[int]string // track (tid) display names
+}
+
+// NewPerfetto returns an empty trace whose wall epoch is now.
+func NewPerfetto() *Perfetto {
+	return &Perfetto{epoch: time.Now(), names: make(map[int]string)}
+}
+
+// chromeEvent is one element of the traceEvents array.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	TS   float64        `json:"ts"`
+	PID  int            `json:"pid"`
+	TID  int            `json:"tid"`
+	S    string         `json:"s,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// NameTrack sets the display name of a track (a worker or SMT
+// thread); it renders as a thread_name metadata event.
+func (p *Perfetto) NameTrack(track int, name string) {
+	p.mu.Lock()
+	p.names[track] = name
+	p.mu.Unlock()
+}
+
+// Event implements Sink: lifecycle events on the wall-clock timeline.
+func (p *Perfetto) Event(e Event) {
+	ce := chromeEvent{Name: e.Name, TID: e.Track}
+	if !e.Wall.IsZero() {
+		ce.TS = float64(e.Wall.Sub(p.epoch).Nanoseconds()) / 1e3
+	} else {
+		ce.TS = float64(e.Cycle)
+	}
+	switch e.Kind {
+	case KindBegin:
+		ce.Ph = "B"
+	case KindEnd:
+		ce.Ph = "E"
+	default:
+		ce.Ph = "i"
+		ce.S = "t"
+	}
+	if e.Arg != "" || e.Cycle != 0 {
+		ce.Args = make(map[string]any, 2)
+		if e.Arg != "" {
+			ce.Args["arg"] = e.Arg
+		}
+		if e.Cycle != 0 {
+			ce.Args["cycle"] = e.Cycle
+		}
+	}
+	p.mu.Lock()
+	p.evs = append(p.evs, ce)
+	p.mu.Unlock()
+}
+
+// Trace implements pipeline.Tracer: every pipeline event becomes an
+// instant on its thread's track at ts = cycle.
+func (p *Perfetto) Trace(ev pipeline.TraceEvent) {
+	ce := chromeEvent{
+		Name: ev.Stage.String(),
+		Ph:   "i",
+		S:    "t",
+		TS:   float64(ev.Cycle),
+		TID:  ev.Thread,
+		Args: map[string]any{"pc": ev.PC, "seq": ev.Seq},
+	}
+	if ev.Detail != "" {
+		ce.Args["detail"] = ev.Detail
+	}
+	p.mu.Lock()
+	p.evs = append(p.evs, ce)
+	p.mu.Unlock()
+}
+
+// PipelineTracer returns a stage-filtered pipeline.Tracer view of the
+// writer (no stages means everything), mirroring
+// pipeline.WriterTracer's filter.
+func (p *Perfetto) PipelineTracer(stages ...pipeline.TraceStage) pipeline.Tracer {
+	if len(stages) == 0 {
+		return p
+	}
+	filter := make(map[pipeline.TraceStage]bool, len(stages))
+	for _, s := range stages {
+		filter[s] = true
+	}
+	return filteredTracer{p: p, stages: filter}
+}
+
+type filteredTracer struct {
+	p      *Perfetto
+	stages map[pipeline.TraceStage]bool
+}
+
+// Trace implements pipeline.Tracer.
+func (f filteredTracer) Trace(ev pipeline.TraceEvent) {
+	if f.stages[ev.Stage] {
+		f.p.Trace(ev)
+	}
+}
+
+// Len reports the number of buffered events.
+func (p *Perfetto) Len() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.evs)
+}
+
+// WriteTo renders the trace as one JSON object. Events are stably
+// sorted by timestamp, which preserves per-track emission order (each
+// track emits monotonically) while giving the file a single monotonic
+// timeline.
+func (p *Perfetto) WriteTo(w io.Writer) (int64, error) {
+	p.mu.Lock()
+	evs := append([]chromeEvent(nil), p.evs...)
+	tracks := make([]int, 0, len(p.names))
+	for track := range p.names {
+		tracks = append(tracks, track)
+	}
+	sort.Ints(tracks)
+	for _, track := range tracks {
+		evs = append(evs, chromeEvent{
+			Name: "thread_name",
+			Ph:   "M",
+			TID:  track,
+			Args: map[string]any{"name": p.names[track]},
+		})
+	}
+	p.mu.Unlock()
+	sort.SliceStable(evs, func(i, j int) bool {
+		if evs[i].Ph == "M" || evs[j].Ph == "M" {
+			return evs[i].Ph == "M" && evs[j].Ph != "M" // metadata first
+		}
+		return evs[i].TS < evs[j].TS
+	})
+	out := struct {
+		TraceEvents []chromeEvent `json:"traceEvents"`
+	}{TraceEvents: evs}
+	b, err := json.MarshalIndent(out, "", " ")
+	if err != nil {
+		return 0, err
+	}
+	b = append(b, '\n')
+	n, err := w.Write(b)
+	return int64(n), err
+}
+
+// WriteFile writes the trace to path.
+func (p *Perfetto) WriteFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if _, err := p.WriteTo(f); err != nil {
+		f.Close()
+		return fmt.Errorf("obs: writing trace %s: %w", path, err)
+	}
+	return f.Close()
+}

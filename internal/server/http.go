@@ -219,7 +219,7 @@ func (s *Server) handleBundleFile(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
-	s.scrapeRate()
+	s.scrape()
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	s.reg.WriteText(w)
 }

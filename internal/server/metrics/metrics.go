@@ -1,155 +1,27 @@
-// Package metrics is a minimal Prometheus-text-format registry for the
-// campaign-serving daemon: counters and gauges, optionally labeled,
-// rendered deterministically (families sorted by name, series by label
-// string) so /metrics output is stable and testable. It is stdlib-only
-// by design — the repo bakes in no dependencies — and implements just
-// the exposition-format subset the daemon needs.
+// Package metrics is a thin alias of faulthound/internal/obs/metrics,
+// kept so existing imports (and external scrape tooling documentation
+// referencing this path) keep working after the registry moved into
+// the shared observability layer. New code should import
+// internal/obs/metrics directly.
 package metrics
 
-import (
-	"fmt"
-	"io"
-	"math"
-	"sort"
-	"strconv"
-	"strings"
-	"sync"
-	"sync/atomic"
+import "faulthound/internal/obs/metrics"
+
+// Aliased types: a *Registry from either import path is the same type.
+type (
+	Registry  = metrics.Registry
+	Value     = metrics.Value
+	Histogram = metrics.Histogram
 )
 
-// Value is one metric series: a float64 updated atomically. Counters
-// and gauges share the representation; the family's type only changes
-// how it is rendered and which mutators are idiomatic.
-type Value struct {
-	bits atomic.Uint64
-}
-
-// Add increments the series by d.
-func (v *Value) Add(d float64) {
-	for {
-		old := v.bits.Load()
-		cur := math.Float64frombits(old)
-		if v.bits.CompareAndSwap(old, math.Float64bits(cur+d)) {
-			return
-		}
-	}
-}
-
-// Inc increments the series by one.
-func (v *Value) Inc() { v.Add(1) }
-
-// Set replaces the series value (gauge semantics).
-func (v *Value) Set(f float64) { v.bits.Store(math.Float64bits(f)) }
-
-// Get returns the current value.
-func (v *Value) Get() float64 { return math.Float64frombits(v.bits.Load()) }
-
-// family is one metric name: its TYPE/HELP metadata and all label
-// series under it.
-type family struct {
-	typ    string // "counter" | "gauge"
-	help   string
-	series map[string]*Value // keyed by rendered label string ("" = unlabeled)
-}
-
-// Registry holds the daemon's metric families.
-type Registry struct {
-	mu       sync.Mutex
-	families map[string]*family
-}
-
 // NewRegistry returns an empty registry.
-func NewRegistry() *Registry {
-	return &Registry{families: make(map[string]*family)}
-}
+func NewRegistry() *Registry { return metrics.NewRegistry() }
 
-// Counter returns (creating if needed) the unlabeled counter name.
-func (r *Registry) Counter(name, help string) *Value {
-	return r.get(name, "counter", help, nil)
-}
+// NewHistogram returns a standalone histogram with the given ascending
+// upper bounds.
+func NewHistogram(bounds []float64) *Histogram { return metrics.NewHistogram(bounds) }
 
-// Gauge returns (creating if needed) the unlabeled gauge name.
-func (r *Registry) Gauge(name, help string) *Value {
-	return r.get(name, "gauge", help, nil)
-}
-
-// GaugeWith returns (creating if needed) the labeled gauge series.
-func (r *Registry) GaugeWith(name, help string, labels map[string]string) *Value {
-	return r.get(name, "gauge", help, labels)
-}
-
-// CounterWith returns (creating if needed) the labeled counter series.
-func (r *Registry) CounterWith(name, help string, labels map[string]string) *Value {
-	return r.get(name, "counter", help, labels)
-}
-
-func (r *Registry) get(name, typ, help string, labels map[string]string) *Value {
-	key := renderLabels(labels)
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	f := r.families[name]
-	if f == nil {
-		f = &family{typ: typ, help: help, series: make(map[string]*Value)}
-		r.families[name] = f
-	}
-	v := f.series[key]
-	if v == nil {
-		v = &Value{}
-		f.series[key] = v
-	}
-	return v
-}
-
-// renderLabels produces the canonical {k="v",...} suffix, keys sorted,
-// values escaped per the exposition format ("" for no labels).
-func renderLabels(labels map[string]string) string {
-	if len(labels) == 0 {
-		return ""
-	}
-	keys := make([]string, 0, len(labels))
-	for k := range labels {
-		keys = append(keys, k)
-	}
-	sort.Strings(keys)
-	var sb strings.Builder
-	sb.WriteByte('{')
-	for i, k := range keys {
-		if i > 0 {
-			sb.WriteByte(',')
-		}
-		esc := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`).Replace(labels[k])
-		fmt.Fprintf(&sb, `%s="%s"`, k, esc)
-	}
-	sb.WriteByte('}')
-	return sb.String()
-}
-
-// WriteText renders the registry in the Prometheus text exposition
-// format, deterministically ordered.
-func (r *Registry) WriteText(w io.Writer) error {
-	r.mu.Lock()
-	names := make([]string, 0, len(r.families))
-	for n := range r.families {
-		names = append(names, n)
-	}
-	sort.Strings(names)
-	var out strings.Builder
-	for _, n := range names {
-		f := r.families[n]
-		if f.help != "" {
-			fmt.Fprintf(&out, "# HELP %s %s\n", n, f.help)
-		}
-		fmt.Fprintf(&out, "# TYPE %s %s\n", n, f.typ)
-		keys := make([]string, 0, len(f.series))
-		for k := range f.series {
-			keys = append(keys, k)
-		}
-		sort.Strings(keys)
-		for _, k := range keys {
-			fmt.Fprintf(&out, "%s%s %s\n", n, k, strconv.FormatFloat(f.series[k].Get(), 'g', -1, 64))
-		}
-	}
-	r.mu.Unlock()
-	_, err := io.WriteString(w, out.String())
-	return err
+// ExpBuckets returns n exponentially spaced upper bounds.
+func ExpBuckets(start, factor float64, n int) []float64 {
+	return metrics.ExpBuckets(start, factor, n)
 }

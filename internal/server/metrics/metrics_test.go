@@ -1,69 +1,48 @@
 package metrics
 
 import (
+	"sort"
 	"strings"
-	"sync"
 	"testing"
 )
 
-func TestRegistryText(t *testing.T) {
+// TestAliasRegistryRenders pins the compatibility contract of this
+// package: the aliased registry behaves identically to
+// internal/obs/metrics — deterministic, sorted, parseable text — so
+// the daemon's /metrics endpoint did not change when the registry
+// moved. The exhaustive rendering tests live with the implementation
+// in internal/obs/metrics.
+func TestAliasRegistryRenders(t *testing.T) {
 	r := NewRegistry()
-	r.Counter("fh_jobs_done_total", "Completed jobs.").Add(3)
-	r.Gauge("fh_jobs_running", "Running jobs.").Set(2)
-	r.GaugeWith("fh_fp_rate", "Per-cell FP rate.", map[string]string{"scheme": "faulthound", "bench": "mcf"}).Set(0.25)
-	r.GaugeWith("fh_fp_rate", "Per-cell FP rate.", map[string]string{"scheme": "baseline", "bench": "mcf"}).Set(0)
+	r.Counter("fhserved_jobs_done_total", "Completed jobs.").Add(2)
+	r.GaugeWith("fhserved_bench_fp_rate", "FP rate.", map[string]string{"scheme": "faulthound", "bench": "mcf"}).Set(0.25)
+	r.Histogram("fhserved_injection_duration_seconds", "Wall time.", ExpBuckets(0.001, 2, 3)).Observe(0.003)
 
 	var sb strings.Builder
 	if err := r.WriteText(&sb); err != nil {
 		t.Fatal(err)
 	}
 	got := sb.String()
-	want := `# HELP fh_fp_rate Per-cell FP rate.
-# TYPE fh_fp_rate gauge
-fh_fp_rate{bench="mcf",scheme="baseline"} 0
-fh_fp_rate{bench="mcf",scheme="faulthound"} 0.25
-# HELP fh_jobs_done_total Completed jobs.
-# TYPE fh_jobs_done_total counter
-fh_jobs_done_total 3
-# HELP fh_jobs_running Running jobs.
-# TYPE fh_jobs_running gauge
-fh_jobs_running 2
-`
-	if got != want {
-		t.Fatalf("WriteText:\n%s\nwant:\n%s", got, want)
+	for _, want := range []string{
+		`fhserved_bench_fp_rate{bench="mcf",scheme="faulthound"} 0.25`,
+		"fhserved_jobs_done_total 2",
+		`fhserved_injection_duration_seconds_bucket{le="+Inf"} 1`,
+		"fhserved_injection_duration_seconds_count 1",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("missing %q in:\n%s", want, got)
+		}
 	}
-}
 
-func TestSeriesIdentityAndConcurrency(t *testing.T) {
-	r := NewRegistry()
-	a := r.Counter("c_total", "")
-	if b := r.Counter("c_total", ""); a != b {
-		t.Fatal("same name resolved to distinct series")
+	// Family (# TYPE) order must stay sorted — scrapers and the smoke
+	// script rely on a stable, parseable exposition.
+	var families []string
+	for _, line := range strings.Split(got, "\n") {
+		if strings.HasPrefix(line, "# TYPE ") {
+			families = append(families, strings.Fields(line)[2])
+		}
 	}
-	var wg sync.WaitGroup
-	for w := 0; w < 8; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := 0; i < 1000; i++ {
-				a.Inc()
-			}
-		}()
-	}
-	wg.Wait()
-	if got := a.Get(); got != 8000 {
-		t.Fatalf("counter = %v, want 8000", got)
-	}
-}
-
-func TestLabelEscaping(t *testing.T) {
-	r := NewRegistry()
-	r.GaugeWith("g", "", map[string]string{"k": `a"b\c`}).Set(1)
-	var sb strings.Builder
-	if err := r.WriteText(&sb); err != nil {
-		t.Fatal(err)
-	}
-	if !strings.Contains(sb.String(), `g{k="a\"b\\c"} 1`) {
-		t.Fatalf("escaping wrong:\n%s", sb.String())
+	if !sort.StringsAreSorted(families) {
+		t.Errorf("families not sorted: %v", families)
 	}
 }

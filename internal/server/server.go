@@ -19,6 +19,8 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"io"
+	"log/slog"
 	"os"
 	"path/filepath"
 	"sort"
@@ -71,14 +73,16 @@ type Config struct {
 	MaxInjections int
 	// GitCommit stamps spec hashes; empty means the checkout's HEAD.
 	GitCommit string
-	// Logf receives operational log lines; nil discards them.
-	Logf func(format string, args ...any)
+	// Log receives structured operational logs (job state transitions
+	// at Debug/Info, anomalies at Warn/Error); nil discards them.
+	Log *slog.Logger
 }
 
 // Server is the campaign-serving daemon's engine-facing half; Handler
 // exposes it over HTTP.
 type Server struct {
 	cfg      Config
+	log      *slog.Logger
 	reg      *metrics.Registry
 	prepared *fault.PreparedCache
 
@@ -104,6 +108,10 @@ type Server struct {
 	mResumedJobs *metrics.Value
 	mInjections  *metrics.Value
 	mInjRate     *metrics.Value
+	mInflight    *metrics.Value
+	mPrepHits    *metrics.Value
+	mPrepMisses  *metrics.Value
+	mQueueWait   *metrics.Histogram
 
 	// injections-per-second window state (guarded by rateMu).
 	rateMu       sync.Mutex
@@ -133,9 +141,14 @@ func New(cfg Config) (*Server, error) {
 	if err := os.MkdirAll(cfg.Root, 0o755); err != nil {
 		return nil, err
 	}
+	log := cfg.Log
+	if log == nil {
+		log = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
 	ctx, cancel := context.WithCancel(context.Background())
 	s := &Server{
 		cfg:      cfg,
+		log:      log,
 		reg:      metrics.NewRegistry(),
 		prepared: fault.NewPreparedCache(),
 		jobs:     make(map[string]*job),
@@ -152,6 +165,11 @@ func New(cfg Config) (*Server, error) {
 	s.mResumedJobs = s.reg.Counter("fhserved_jobs_resumed_total", "Jobs requeued from journals at startup.")
 	s.mInjections = s.reg.Counter("fhserved_injections_total", "Injections executed (journal replays excluded).")
 	s.mInjRate = s.reg.Gauge("fhserved_injections_per_second", "Injection throughput since the previous /metrics scrape.")
+	s.mInflight = s.reg.Gauge("fhserved_injections_inflight", "Faulty runs executing right now, across all jobs.")
+	s.mPrepHits = s.reg.Counter("fhserved_prepared_cache_hits_total", "Golden-run preparations reused from the prepared cache.")
+	s.mPrepMisses = s.reg.Counter("fhserved_prepared_cache_misses_total", "Golden-run preparations executed (cache fills).")
+	s.mQueueWait = s.reg.Histogram("fhserved_job_queue_wait_seconds",
+		"Seconds a job waited between submission and execution start.", metrics.ExpBuckets(0.01, 2, 16))
 	s.rateLastTime = s.start
 
 	if err := s.rescan(); err != nil {
@@ -194,11 +212,11 @@ func (s *Server) rescan() error {
 		var ps persistedStatus
 		b, err := os.ReadFile(filepath.Join(dir, StatusName))
 		if err != nil {
-			s.logf("server: %s: no readable %s, skipping: %v", name, StatusName, err)
+			s.log.Warn("skipping job dir: unreadable status file", "dir", name, "err", err)
 			continue
 		}
 		if err := json.Unmarshal(b, &ps); err != nil || ps.SpecHash == "" {
-			s.logf("server: %s: bad %s, skipping", name, StatusName)
+			s.log.Warn("skipping job dir: malformed status file", "dir", name)
 			continue
 		}
 		j := newJob(ps.SpecHash, ps.Spec, dir)
@@ -209,7 +227,7 @@ func (s *Server) rescan() error {
 				j.done = j.total
 				j.setState(StateDone, nil) // close doneCh for waiters
 			} else {
-				s.logf("server: %s: marked done but bundle incomplete; requeueing", name)
+				s.log.Warn("job marked done but bundle incomplete; requeueing", "job", name)
 				j.state = StateQueued
 				j.resume = hasManifest(dir)
 			}
@@ -224,7 +242,7 @@ func (s *Server) rescan() error {
 			j.resume = hasManifest(dir)
 			if j.resume {
 				s.mResumedJobs.Inc()
-				s.logf("server: requeueing unfinished job %s (resume from journal)", ps.SpecHash)
+				s.log.Info("requeueing unfinished job", "job", ps.SpecHash, "resume", true)
 			}
 		}
 		s.jobs[j.id] = j
@@ -415,10 +433,23 @@ func (s *Server) runJob(j *job) {
 	s.mQueued.Add(-1)
 	s.mRunning.Add(1)
 	defer s.mRunning.Add(-1)
+	s.mQueueWait.Observe(time.Since(j.created).Seconds())
 	j.setState(StateRunning, nil)
 	s.persist(j)
-	s.logf("server: job %s: starting (%d cells x %d injections, resume=%v)",
-		j.id, len(j.spec.Cells()), j.spec.Fault.Injections, j.resume)
+	s.log.Debug("job starting", "job", j.id,
+		"cells", len(j.spec.Cells()), "injections", j.spec.Fault.Injections, "resume", j.resume)
+
+	// Register the job's labeled series up front so a scrape during the
+	// run (or after a run with zero detections) still renders them.
+	for _, c := range j.spec.Cells() {
+		labels := map[string]string{"bench": c.Bench, "scheme": c.Scheme}
+		s.reg.HistogramWith(injDurName, injDurHelp, injDurBuckets(), labels)
+		s.reg.HistogramWith(detLatName, detLatHelp, detLatBuckets(), labels)
+		for _, o := range []string{"masked", "noisy", "sdc"} {
+			s.reg.CounterWith(outcomeName, outcomeHelp,
+				map[string]string{"bench": c.Bench, "scheme": c.Scheme, "outcome": o})
+		}
+	}
 
 	eng := &campaign.Engine{
 		Spec:    j.spec,
@@ -430,7 +461,8 @@ func (s *Server) runJob(j *job) {
 		Prepare: func(c campaign.Cell, mk func() *pipeline.Core, cfg fault.Config) (*fault.Prepared, error) {
 			return s.prepared.Get(fault.PreparedKey{Bench: c.Bench, Scheme: c.Scheme, Cfg: cfg}, mk)
 		},
-		Warnf: func(format string, args ...any) { s.logf(format, args...) },
+		Warnf: func(format string, args ...any) { s.log.Warn(fmt.Sprintf(format, args...)) },
+		Obs:   newMetricsSink(s.reg, s.mInflight),
 	}
 
 	var (
@@ -448,12 +480,12 @@ func (s *Server) runJob(j *job) {
 		// restarted daemon requeues this job as a resume.
 		j.setState(StateInterrupted, nil)
 		s.persist(j)
-		s.logf("server: job %s: interrupted by drain; journal at %s", j.id, filepath.Join(j.dir, campaign.JournalName))
+		s.log.Info("job interrupted by drain", "job", j.id, "journal", filepath.Join(j.dir, campaign.JournalName))
 	case err != nil:
 		s.mFailed.Inc()
 		j.setState(StateFailed, err)
 		s.persist(j)
-		s.logf("server: job %s: failed: %v", j.id, err)
+		s.log.Error("job failed", "job", j.id, "err", err)
 	default:
 		j.mu.Lock()
 		j.resumed = out.Resumed
@@ -463,7 +495,7 @@ func (s *Server) runJob(j *job) {
 		s.recordSummary(out.Summary)
 		j.setState(StateDone, nil)
 		s.persist(j)
-		s.logf("server: job %s: done in %s (%d resumed)", j.id, out.Elapsed.Round(time.Millisecond), out.Resumed)
+		s.log.Info("job done", "job", j.id, "elapsed", out.Elapsed.Round(time.Millisecond), "resumed", out.Resumed)
 	}
 }
 
@@ -499,15 +531,20 @@ func (s *Server) persist(j *job) error {
 	dir := j.dir
 	j.mu.Unlock()
 	if err := campaign.WriteJSONFile(filepath.Join(dir, StatusName), ps); err != nil {
-		s.logf("server: job %s: writing %s: %v", ps.SpecHash, StatusName, err)
+		s.log.Warn("writing status file failed", "job", ps.SpecHash, "err", err)
 		return err
 	}
 	return nil
 }
 
-// scrapeRate updates the injections-per-second gauge from the counter
-// delta since the previous scrape.
-func (s *Server) scrapeRate() {
+// scrape refreshes the derived series the /metrics handler serves:
+// the injections-per-second gauge from the counter delta since the
+// previous scrape, and the prepared-cache counters from the cache's
+// own tallies.
+func (s *Server) scrape() {
+	hits, misses := s.prepared.Stats()
+	s.mPrepHits.Set(float64(hits))
+	s.mPrepMisses.Set(float64(misses))
 	s.rateMu.Lock()
 	defer s.rateMu.Unlock()
 	now := time.Now()
@@ -516,12 +553,6 @@ func (s *Server) scrapeRate() {
 		s.mInjRate.Set((cur - s.rateLastInj) / dt)
 	}
 	s.rateLastTime, s.rateLastInj = now, cur
-}
-
-func (s *Server) logf(format string, args ...any) {
-	if s.cfg.Logf != nil {
-		s.cfg.Logf(format, args...)
-	}
 }
 
 // bundleComplete reports whether dir holds every post-run artifact.

@@ -181,6 +181,15 @@ func TestServerEndToEnd(t *testing.T) {
 		"fhserved_jobs_failed_total 0",
 		`fhserved_bench_fp_rate{bench="bzip2",scheme="faulthound"}`,
 		"# TYPE fhserved_injections_per_second gauge",
+		// Instrumentation layer: per-injection histograms and labeled
+		// outcome counters, plus prepared-cache tallies at scrape time.
+		"# TYPE fhserved_injection_duration_seconds histogram",
+		`fhserved_injection_duration_seconds_bucket{bench="bzip2",le="+Inf",scheme="faulthound"}`,
+		`fhserved_detection_latency_cycles_bucket{bench="bzip2",le="+Inf",scheme="faulthound"}`,
+		`fhserved_injection_outcomes_total{bench="bzip2",outcome="masked",scheme="faulthound"}`,
+		"fhserved_prepared_cache_misses_total 2",
+		"fhserved_injections_inflight 0",
+		"# TYPE fhserved_job_queue_wait_seconds histogram",
 	} {
 		if !strings.Contains(text, want) {
 			t.Errorf("/metrics missing %q:\n%s", want, text)

@@ -36,10 +36,23 @@ for f in manifest.json results.csv summary.json report.md; do
     curl -sf "http://$ADDR/v1/campaigns/$ID/bundle/$f" >/dev/null \
         || { echo "bundle file $f not served"; exit 1; }
 done
-curl -sf "http://$ADDR/metrics" | grep -q "fhserved_jobs_done_total 1" \
-    || { echo "metrics missing executed-job count"; exit 1; }
-curl -sf "http://$ADDR/metrics" | grep -q "fhserved_cache_hits_total 1" \
-    || { echo "metrics missing cache-hit count"; exit 1; }
+echo "== scraping /metrics =="
+curl -sf "http://$ADDR/metrics" >"$TMP/metrics.txt"
+# Counters, gauges, and the instrumentation layer's histograms
+# (docs/OBSERVABILITY.md) must all render after one round trip.
+for series in \
+    "fhserved_jobs_done_total 1" \
+    "fhserved_cache_hits_total 1" \
+    "fhserved_injection_outcomes_total" \
+    "fhserved_injection_duration_seconds_bucket" \
+    "fhserved_detection_latency_cycles_bucket" \
+    "fhserved_job_queue_wait_seconds_bucket" \
+    "fhserved_prepared_cache_misses_total" \
+    "fhserved_injections_inflight" \
+; do
+    grep -q "$series" "$TMP/metrics.txt" \
+        || { echo "metrics missing series: $series"; cat "$TMP/metrics.txt"; exit 1; }
+done
 
 echo "== draining =="
 kill -TERM "$SERVED_PID"
