@@ -1,0 +1,77 @@
+package fault
+
+import (
+	"runtime"
+	"testing"
+
+	"faulthound/internal/core"
+	"faulthound/internal/pipeline"
+	"faulthound/internal/prog"
+	"faulthound/internal/workload"
+)
+
+// Guard benchmarks for the injection engine's hot path: the per-run
+// snapshot (clone) plus the faulty window. Campaign wall time is
+// dominated by these, so they are tracked in BENCH_simcore.json via
+// scripts/bench.sh (docs/PERFORMANCE.md).
+
+// benchPrepared builds a warmed FaultHound campaign once per benchmark.
+func benchPrepared(b *testing.B) *Prepared {
+	b.Helper()
+	bm, err := workload.Get("bzip2")
+	if err != nil {
+		b.Fatal(err)
+	}
+	p := bm.Build(prog.DefaultDataBase, 3)
+	fhCfg := core.DefaultConfig()
+	mk := func() *pipeline.Core {
+		c, err := pipeline.New(pipeline.DefaultConfig(1), []*prog.Program{p}, core.New(fhCfg))
+		if err != nil {
+			b.Fatal(err)
+		}
+		return c
+	}
+	cfg := DefaultConfig()
+	cfg.WarmupCycles = 20000
+	cfg.DetectorWarmupInstr = 100000
+	cfg.MaxCyclesPerRun = 30000
+	prep, err := Prepare(mk, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return prep
+}
+
+// BenchmarkRunOne measures one complete injection — snapshot of the
+// golden core, advance to the fault cycle, flip, run the window,
+// classify — exactly as a campaign worker executes it. allocs/op here
+// is the per-injection snapshot overhead the CoW/arena path removes.
+func BenchmarkRunOne(b *testing.B) {
+	p := benchPrepared(b)
+	injs := p.Injections()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = p.RunOne(injs[i%len(injs)])
+	}
+}
+
+// BenchmarkPreparedParallel measures sustained injections/sec with a
+// full GOMAXPROCS worker pool over one prepared golden run — the
+// steady-state regime of fhcampaign and fhserved.
+func BenchmarkPreparedParallel(b *testing.B) {
+	p := benchPrepared(b)
+	injs := p.Injections()
+	workers := runtime.GOMAXPROCS(0)
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			_ = p.RunOne(injs[i%len(injs)])
+			i++
+		}
+	})
+	b.StopTimer()
+	_ = workers
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "inj/s")
+}

@@ -14,7 +14,15 @@ func (c *Core) Clone() *Core {
 // — the multicore construction, where the system clones the shared
 // memory once and every core clone references it.
 func (c *Core) CloneWithMemory(shared *mem.Memory) *Core {
-	seen := make(map[*uop]*uop)
+	// Every live uop is reachable from a thread's ROB or fetch queue
+	// (the IQ, LSQ, delay buffer, and executing set alias into those),
+	// so current occupancy bounds the bookkeeping exactly and the map
+	// never rehashes mid-clone.
+	occupancy := 0
+	for _, t := range c.threads {
+		occupancy += len(t.rob) + len(t.fetchQ)
+	}
+	seen := make(map[*uop]*uop, occupancy)
 	cp := func(u *uop) *uop {
 		if u == nil {
 			return nil
