@@ -19,7 +19,8 @@ vet:
 
 race:
 	$(GO) test -race ./internal/workload/ ./internal/system/ ./internal/pipeline/ \
-		./internal/campaign/ ./internal/fault/ ./internal/obs/... ./internal/server/...
+		./internal/mem/ ./internal/campaign/ ./internal/fault/ ./internal/obs/... \
+		./internal/server/...
 
 # Parallel, resumable fault-injection campaign with an artifact bundle.
 campaign:

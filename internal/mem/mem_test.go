@@ -1,6 +1,7 @@
 package mem
 
 import (
+	"sync"
 	"testing"
 	"testing/quick"
 )
@@ -238,6 +239,162 @@ func TestMemoryRoundTripProperty(t *testing.T) {
 		}
 		got, err := m.Read(addr)
 		return err == nil && got == v
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOverlayIndependence(t *testing.T) {
+	base := NewMemory(0x1000, 0x100, map[uint64]uint64{0x1000: 1, 0x1008: 2})
+	ov := base.Overlay()
+	// Overlay starts identical to the base.
+	if !ov.Equal(base) || ov.Hash() != base.Hash() {
+		t.Fatal("fresh overlay should equal its base")
+	}
+	if v, _ := ov.Read(0x1008); v != 2 {
+		t.Fatalf("overlay read-through = %d, want 2", v)
+	}
+	// Writes through the overlay never reach the base.
+	ov.Write(0x1000, 99)
+	ov.Write(0x1010, 7)
+	if v, _ := base.Read(0x1000); v != 1 {
+		t.Fatal("overlay write leaked into base")
+	}
+	if v, _ := base.Read(0x1010); v != 0 {
+		t.Fatal("overlay write to fresh word leaked into base")
+	}
+	if v, _ := ov.Read(0x1000); v != 99 {
+		t.Fatal("overlay lost its own write")
+	}
+	if ov.Equal(base) || ov.Hash() == base.Hash() {
+		t.Fatal("diverged overlay should not equal base")
+	}
+	// Base writes made before the overlay diverges on an address are
+	// visible through it; the overlay's dirty words shadow the rest.
+	// (The fault runner never does this — the golden base is immutable
+	// while overlays are live — but lookup semantics must still hold.)
+	// Rewriting the shadowed word in the overlay back to the base value
+	// restores equality.
+	ov.Write(0x1000, 1)
+	ov.Write(0x1010, 0)
+	if !ov.Equal(base) || ov.Hash() != base.Hash() {
+		t.Fatal("overlay rewritten to base values should equal base")
+	}
+}
+
+func TestOverlayCloneMatchesEagerClone(t *testing.T) {
+	base := NewMemory(0x1000, 0x1000, map[uint64]uint64{0x1000: 3, 0x1100: 4})
+	eager := base.Clone()
+	ov := base.Overlay()
+	// Apply the same write sequence to the eager clone and the overlay.
+	writes := []struct{ a, v uint64 }{
+		{0x1000, 10}, {0x1200, 11}, {0x1100, 0}, {0x1000, 3}, {0x1ff8, 5},
+	}
+	for _, w := range writes {
+		if err := eager.Write(w.a, w.v); err != nil {
+			t.Fatal(err)
+		}
+		if err := ov.Write(w.a, w.v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if ov.Hash() != eager.Hash() {
+		t.Fatalf("overlay hash %#x != eager clone hash %#x", ov.Hash(), eager.Hash())
+	}
+	if !ov.Equal(eager) || !eager.Equal(ov) {
+		t.Fatal("overlay and eager clone should be Equal (both directions)")
+	}
+	// Flattening the overlay produces a root memory with the same
+	// contents and hash.
+	flat := ov.Clone()
+	if flat.parent != nil {
+		t.Fatal("Clone of an overlay should be a root memory")
+	}
+	if flat.Hash() != eager.Hash() || !flat.Equal(eager) {
+		t.Fatal("flattened overlay should equal eager clone")
+	}
+}
+
+func TestOverlayReset(t *testing.T) {
+	base := NewMemory(0x1000, 0x100, map[uint64]uint64{0x1000: 1})
+	ov := base.Overlay()
+	ov.Write(0x1000, 2)
+	ov.Write(0x1008, 3)
+	ov.Reset()
+	if !ov.Equal(base) || ov.Hash() != base.Hash() {
+		t.Fatal("Reset should restore the overlay to its base")
+	}
+	if len(ov.words) != 0 {
+		t.Fatal("Reset should empty the dirty map")
+	}
+	if !ov.IsOverlayOf(base) {
+		t.Fatal("Reset overlay should still belong to its base")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Reset on a root memory should panic")
+		}
+	}()
+	base.Reset()
+}
+
+// Many goroutines each run a private overlay over one shared immutable
+// base — the campaign worker regime. Run with -race to check that
+// read-through lookups are safe under concurrency.
+func TestOverlayConcurrentOverSharedBase(t *testing.T) {
+	image := make(map[uint64]uint64)
+	for i := uint64(0); i < 512; i++ {
+		image[0x10000+i*8] = i * 3
+	}
+	base := NewMemory(0x10000, 1<<20, image)
+	wantHash := base.Hash()
+	var wg sync.WaitGroup
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			ov := base.Overlay()
+			for iter := 0; iter < 4; iter++ {
+				for i := uint64(0); i < 512; i++ {
+					a := 0x10000 + i*8
+					v, err := ov.Read(a)
+					if err != nil || (iter == 0 && v != i*3) {
+						t.Errorf("g%d read %#x = %d, %v", g, a, v, err)
+						return
+					}
+					ov.Write(a, v+uint64(g)+1)
+				}
+				ov.Reset()
+			}
+			if ov.Hash() != wantHash || !ov.Equal(base) {
+				t.Errorf("g%d: overlay diverged from base after Reset", g)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if base.Hash() != wantHash {
+		t.Fatal("base hash changed under concurrent overlays")
+	}
+}
+
+// Property: an overlay and an eager clone given the same random write
+// sequence agree on Hash and Equal.
+func TestOverlayEquivalenceProperty(t *testing.T) {
+	f := func(offs []uint16, vals []uint64) bool {
+		base := NewMemory(0x10000, 1<<20, map[uint64]uint64{0x10000: 42})
+		eager := base.Clone()
+		ov := base.Overlay()
+		n := len(offs)
+		if len(vals) < n {
+			n = len(vals)
+		}
+		for i := 0; i < n; i++ {
+			a := 0x10000 + uint64(offs[i])*8
+			eager.Write(a, vals[i])
+			ov.Write(a, vals[i])
+		}
+		return ov.Hash() == eager.Hash() && ov.Equal(eager) && eager.Equal(ov)
 	}
 	if err := quick.Check(f, nil); err != nil {
 		t.Fatal(err)

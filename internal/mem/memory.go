@@ -18,6 +18,14 @@ type Memory struct {
 	// mix(addr, value) over all nonzero words (commutative, so updates
 	// are O(1)).
 	hash uint64
+	// parent makes this memory a copy-on-write overlay: reads fall
+	// through to parent for words not in the local dirty map, writes
+	// land in the local map only. nil for an ordinary (root) memory.
+	// While an overlay is live its parent must not be written — the
+	// tandem fault runner guarantees this by never stepping the golden
+	// core after Prepare. Parent reads are lock-free, so any number of
+	// overlays may run concurrently over one immutable base.
+	parent *Memory
 }
 
 // NewMemory creates a memory with one mapped segment [base, base+size)
@@ -55,52 +63,132 @@ func (m *Memory) Mapped(addr uint64) bool {
 	return addr%8 == 0 && addr >= m.base && addr+8 <= m.base+m.size
 }
 
+// lookup returns the effective word at addr, walking the overlay chain
+// (the nearest dirty copy wins; a word dirty nowhere reads as zero).
+func (m *Memory) lookup(addr uint64) uint64 {
+	for cur := m; cur != nil; cur = cur.parent {
+		if v, ok := cur.words[addr]; ok {
+			return v
+		}
+	}
+	return 0
+}
+
 // Read returns the word at addr.
 func (m *Memory) Read(addr uint64) (uint64, error) {
 	if !m.Mapped(addr) {
 		return 0, fmt.Errorf("mem: translation exception reading %#x", addr)
 	}
-	return m.words[addr], nil
+	if m.parent == nil {
+		return m.words[addr], nil
+	}
+	return m.lookup(addr), nil
 }
 
-// Write stores v at addr.
+// Write stores v at addr. On an overlay the write shadows the parent's
+// word without touching it.
 func (m *Memory) Write(addr, v uint64) error {
 	if !m.Mapped(addr) {
 		return fmt.Errorf("mem: translation exception writing %#x", addr)
 	}
-	m.hash += mix(addr, v) - mix(addr, m.words[addr])
+	var old uint64
+	if m.parent == nil {
+		old = m.words[addr]
+	} else {
+		old = m.lookup(addr)
+	}
+	m.hash += mix(addr, v) - mix(addr, old)
 	m.words[addr] = v
 	return nil
 }
 
 // Clone returns an independent deep copy (used by the tandem fault
-// injection runner to snapshot state).
+// injection runner to snapshot state). Cloning an overlay flattens the
+// chain: the copy is a root memory with the overlay's effective
+// contents and hash.
 func (m *Memory) Clone() *Memory {
-	w := make(map[uint64]uint64, len(m.words))
+	w := make(map[uint64]uint64, m.Footprint())
+	m.flattenInto(w)
+	return &Memory{base: m.base, size: m.size, words: w, hash: m.hash}
+}
+
+// flattenInto writes the chain's effective contents into w, oldest
+// layer first so nearer dirty copies win.
+func (m *Memory) flattenInto(w map[uint64]uint64) {
+	if m.parent != nil {
+		m.parent.flattenInto(w)
+	}
 	for a, v := range m.words {
 		w[a] = v
 	}
-	return &Memory{base: m.base, size: m.size, words: w, hash: m.hash}
+}
+
+// Footprint returns an upper bound on the number of distinct words the
+// chain holds (layers may shadow each other, so the effective count can
+// be lower).
+func (m *Memory) Footprint() int {
+	n := 0
+	for cur := m; cur != nil; cur = cur.parent {
+		n += len(cur.words)
+	}
+	return n
+}
+
+// Overlay returns a copy-on-write view of m: reads fall through to m,
+// writes stay in the overlay's private dirty map, and the incremental
+// hash carries over so Hash stays O(1). An overlay snapshot replaces a
+// full Clone in the per-injection hot path — cost is one small map
+// instead of a copy of the whole image. m must not be written while the
+// overlay is in use; m may be read concurrently by any number of
+// overlays (each overlay itself is single-goroutine, like Memory).
+func (m *Memory) Overlay() *Memory {
+	return &Memory{
+		base:   m.base,
+		size:   m.size,
+		words:  make(map[uint64]uint64),
+		hash:   m.hash,
+		parent: m,
+	}
+}
+
+// IsOverlayOf reports whether m is an overlay directly on base (the
+// snapshot arena uses this to decide between resetting and rebuilding).
+func (m *Memory) IsOverlayOf(base *Memory) bool { return m.parent == base }
+
+// Reset discards every overlay write, returning the overlay to its
+// parent's exact contents (and hash) without reallocating the dirty
+// map. It panics on a root memory.
+func (m *Memory) Reset() {
+	if m.parent == nil {
+		panic("mem: Reset on a non-overlay memory")
+	}
+	clear(m.words)
+	m.hash = m.parent.hash
 }
 
 // Hash returns a 64-bit fingerprint of the memory contents for tandem
 // state comparison. It is maintained incrementally, so this is O(1).
 func (m *Memory) Hash() uint64 { return m.hash }
 
-// Equal reports whether two memories have identical contents (treating
-// never-written words as zero).
+// Equal reports whether two memories have identical effective contents
+// (treating never-written words as zero), regardless of how either
+// side's overlay chain layers them.
 func (m *Memory) Equal(o *Memory) bool {
 	if m.base != o.base || m.size != o.size {
 		return false
 	}
-	for a, v := range m.words {
-		if o.words[a] != v {
-			return false
+	for cur := m; cur != nil; cur = cur.parent {
+		for a := range cur.words {
+			if m.lookup(a) != o.lookup(a) {
+				return false
+			}
 		}
 	}
-	for a, v := range o.words {
-		if m.words[a] != v {
-			return false
+	for cur := o; cur != nil; cur = cur.parent {
+		for a := range cur.words {
+			if m.lookup(a) != o.lookup(a) {
+				return false
+			}
 		}
 	}
 	return true
