@@ -265,3 +265,21 @@ func (f *FaultHound) Clone() detect.Detector {
 	}
 	return c
 }
+
+// CloneInto implements detect.InPlaceCloner: overwrite dst (a previous
+// Clone of this detector) reusing its filter-bank storage.
+func (f *FaultHound) CloneInto(dst detect.Detector) bool {
+	c, ok := dst.(*FaultHound)
+	if !ok || c.cfg.NoCluster != f.cfg.NoCluster {
+		return false
+	}
+	c.cfg, c.learnOnly, c.stats = f.cfg, f.learnOnly, f.stats
+	if f.cfg.NoCluster {
+		f.addrTab.CloneInto(c.addrTab)
+		f.valueTab.CloneInto(c.valueTab)
+	} else {
+		f.addr.CloneInto(c.addr)
+		f.value.CloneInto(c.value)
+	}
+	return true
+}

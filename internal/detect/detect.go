@@ -107,3 +107,13 @@ type Detector interface {
 	// Clone returns an independent deep copy.
 	Clone() Detector
 }
+
+// InPlaceCloner is an optional Detector extension for the snapshot
+// arena: CloneInto overwrites dst (a detector of the same concrete type
+// and geometry, typically a previous Clone of the same source) with a
+// deep copy of the receiver, reusing dst's storage. It reports false —
+// without modifying dst — when dst is not a compatible target, in which
+// case the caller falls back to Clone.
+type InPlaceCloner interface {
+	CloneInto(dst Detector) bool
+}

@@ -66,6 +66,13 @@ func New(policy Policy, v uint64) *Filter {
 	return &Filter{policy: policy, prev: v}
 }
 
+// Make is New as a value: the TCAM and filter table store filters in
+// flat value slices, so a bank of filters is one allocation and a bank
+// clone is one bulk copy.
+func Make(policy Policy, v uint64) Filter {
+	return Filter{policy: policy, prev: v}
+}
+
 // Policy returns the filter's state machine policy.
 func (f *Filter) Policy() Policy { return f.policy }
 

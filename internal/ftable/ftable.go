@@ -47,7 +47,7 @@ type Stats struct {
 // Table is one PC-indexed filter table.
 type Table struct {
 	cfg     Config
-	filters []*filter.Filter
+	filters []filter.Filter
 	used    []bool
 	stats   Stats
 }
@@ -59,11 +59,11 @@ func New(cfg Config) *Table {
 	}
 	t := &Table{
 		cfg:     cfg,
-		filters: make([]*filter.Filter, cfg.Entries),
+		filters: make([]filter.Filter, cfg.Entries),
 		used:    make([]bool, cfg.Entries),
 	}
 	for i := range t.filters {
-		t.filters[i] = filter.New(cfg.Policy, 0)
+		t.filters[i] = filter.Make(cfg.Policy, 0)
 	}
 	return t
 }
@@ -83,7 +83,7 @@ func (t *Table) Lookup(pc, v uint64) (trigger bool, mismatch uint64) {
 		t.FlashClear()
 	}
 	i := int(pc % uint64(t.cfg.Entries))
-	f := t.filters[i]
+	f := &t.filters[i]
 	if !t.used[i] {
 		f.Reset(v)
 		t.used[i] = true
@@ -102,24 +102,30 @@ func (t *Table) Lookup(pc, v uint64) (trigger bool, mismatch uint64) {
 // FlashClear resets every filter's bits to "unchanging", keeping
 // previous values (PBFS's periodic clear).
 func (t *Table) FlashClear() {
-	for i, f := range t.filters {
+	for i := range t.filters {
 		if t.used[i] {
-			f.FlashClear()
+			t.filters[i].FlashClear()
 		}
 	}
 	t.stats.FlashClears++
 }
 
-// Clone returns an independent deep copy.
+// Clone returns an independent deep copy. The filter bank is a value
+// slice, so this is two bulk copies and no per-entry allocation.
 func (t *Table) Clone() *Table {
-	c := &Table{
+	return &Table{
 		cfg:     t.cfg,
-		filters: make([]*filter.Filter, len(t.filters)),
+		filters: append([]filter.Filter(nil), t.filters...),
 		used:    append([]bool(nil), t.used...),
 		stats:   t.stats,
 	}
-	for i, f := range t.filters {
-		c.filters[i] = f.Clone()
-	}
-	return c
+}
+
+// CloneInto overwrites dst with a deep copy of t, reusing dst's slice
+// capacity when the geometry matches — the per-injection snapshot path.
+func (t *Table) CloneInto(dst *Table) {
+	filters, used := dst.filters, dst.used
+	*dst = *t
+	dst.filters = append(filters[:0], t.filters...)
+	dst.used = append(used[:0], t.used...)
 }

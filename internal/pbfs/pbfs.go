@@ -95,3 +95,16 @@ func (p *PBFS) Clone() detect.Detector {
 		stats:     p.stats,
 	}
 }
+
+// CloneInto implements detect.InPlaceCloner: overwrite dst (a previous
+// Clone of this detector) reusing its filter-table storage.
+func (p *PBFS) CloneInto(dst detect.Detector) bool {
+	c, ok := dst.(*PBFS)
+	if !ok {
+		return false
+	}
+	c.cfg, c.learnOnly, c.stats = p.cfg, p.learnOnly, p.stats
+	p.addr.CloneInto(c.addr)
+	p.value.CloneInto(c.value)
+	return true
+}

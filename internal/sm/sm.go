@@ -175,6 +175,20 @@ func NewSuppressor(n int) *Suppressor {
 	return &Suppressor{states: n}
 }
 
+// NewSuppressors returns a bank of n suppressors with the given state
+// count as one flat allocation — the TCAM stores its second-level and
+// squash machines this way so cloning a detector is a bulk copy.
+func NewSuppressors(n, states int) []Suppressor {
+	if states < 2 {
+		panic("sm: Suppressor needs at least 2 states")
+	}
+	bank := make([]Suppressor, n)
+	for i := range bank {
+		bank[i].states = states
+	}
+	return bank
+}
+
 // Observe records one trigger-time observation and reports whether a
 // participation is allowed through (i.e., not suppressed). For
 // participated=false it always returns false.

@@ -100,46 +100,48 @@ type Stats struct {
 	LearnLookups uint64 // lookups during replay (learn-only)
 }
 
-// TCAM is one counting ternary CAM of bit-mask filters.
+// TCAM is one counting ternary CAM of bit-mask filters. All mutable
+// state lives in flat value slices plus a used bitmask, so the TCAM is
+// cloned with a few bulk copies and the search loops skip cold entries
+// without a branch per slot — Lookup and Probe run on every load,
+// store, and store-value check, and detector clones run once per
+// injection.
 type TCAM struct {
 	cfg     Config
-	filters []*filter.Filter
-	used    []bool
-	age     []uint64 // last-touch stamp per entry for LRU replacement
+	filters []filter.Filter
+	used    uint64 // bit i set = entry i holds a live filter
+	age     []uint64
 	stamp   uint64
-	second  []*sm.Suppressor // one per bit position
-	squash  []*sm.Suppressor // one per entry
+	second  []sm.Suppressor // one per bit position
+	squash  []sm.Suppressor // one per entry
 	stats   Stats
 	// learnOnly suppresses trigger actions while filters keep learning
 	// (FaultHound ignores triggers during replay, Section 3.3).
 	learnOnly bool
 }
 
-// New creates a TCAM from cfg.
+// New creates a TCAM from cfg. Entries is capped at 64 by the used
+// bitmask; the paper's design space tops out at 32 (Table 2).
 func New(cfg Config) *TCAM {
 	if cfg.Entries <= 0 {
 		panic("tcam: need at least one entry")
 	}
+	if cfg.Entries > 64 {
+		panic("tcam: at most 64 entries (used bitmask)")
+	}
 	t := &TCAM{
 		cfg:     cfg,
-		filters: make([]*filter.Filter, cfg.Entries),
-		used:    make([]bool, cfg.Entries),
+		filters: make([]filter.Filter, cfg.Entries),
 		age:     make([]uint64, cfg.Entries),
 	}
 	for i := range t.filters {
-		t.filters[i] = filter.New(cfg.Policy, 0)
+		t.filters[i] = filter.Make(cfg.Policy, 0)
 	}
 	if cfg.SecondLevel {
-		t.second = make([]*sm.Suppressor, 64)
-		for i := range t.second {
-			t.second[i] = sm.NewSuppressor(cfg.SecondLevelStates)
-		}
+		t.second = sm.NewSuppressors(64, cfg.SecondLevelStates)
 	}
 	if cfg.SquashMachines {
-		t.squash = make([]*sm.Suppressor, cfg.Entries)
-		for i := range t.squash {
-			t.squash[i] = sm.NewSuppressor(cfg.SquashStates)
-		}
+		t.squash = sm.NewSuppressors(cfg.Entries, cfg.SquashStates)
 	}
 	return t
 }
@@ -166,31 +168,35 @@ func (t *TCAM) Lookup(v uint64) Result {
 	}
 	t.stamp++
 
-	// Counting-TCAM search: find the closest-matching filter and, if
-	// requested, the union of mismatching bits.
+	// Cold start: install the value in a free entry, no trigger.
+	if t.used == 0 {
+		t.install(v)
+		return Result{BestIndex: 0}
+	}
+
+	// Counting-TCAM search over the live entries only (the used mask
+	// walks set bits, so cold slots cost nothing) for the
+	// closest-matching filter and, if requested, the union of
+	// mismatching bits. An exact match ends the search early: no later
+	// entry can beat count zero, ties keep the first minimal entry
+	// either way, and the union mask is only ever consumed on the
+	// trigger path, which an exact match never takes.
 	best, bestCount := -1, 65
 	bestMask := uint64(0)
 	var unionMask uint64
-	anyUsed := false
-	for i, f := range t.filters {
-		if !t.used[i] {
-			continue
-		}
-		anyUsed = true
-		mask := f.Match(v)
+	for m := t.used; m != 0; m &= m - 1 {
+		i := bits.TrailingZeros64(m)
+		mask := t.filters[i].Match(v)
 		if t.cfg.SecondLevelUnion {
 			unionMask |= mask
 		}
 		n := bits.OnesCount64(mask)
 		if n < bestCount {
 			best, bestCount, bestMask = i, n, mask
+			if n == 0 {
+				break
+			}
 		}
-	}
-
-	// Cold start: install the value in a free entry, no trigger.
-	if !anyUsed {
-		t.install(v)
-		return Result{BestIndex: 0}
 	}
 
 	if bestCount == 0 {
@@ -210,7 +216,7 @@ func (t *TCAM) Lookup(v uint64) Result {
 		t.stats.Loosened++
 	} else if free := t.freeEntry(); free >= 0 {
 		t.filters[free].Reset(v)
-		t.used[free] = true
+		t.used |= 1 << uint(free)
 		t.age[free] = t.stamp
 		res.Replaced = true
 		res.BestIndex = free
@@ -248,7 +254,7 @@ func (t *TCAM) Lookup(v uint64) Result {
 			trainMask = unionMask
 		}
 		quiet, total := 0, 0
-		for b := 0; b < 64; b++ {
+		for b := range t.second {
 			participated := trainMask>>uint(b)&1 == 1
 			allowed := t.second[b].Observe(participated)
 			if participated {
@@ -294,17 +300,16 @@ func (t *TCAM) Lookup(v uint64) Result {
 
 func (t *TCAM) install(v uint64) {
 	t.filters[0].Reset(v)
-	t.used[0] = true
+	t.used |= 1
 	t.age[0] = t.stamp
 }
 
 func (t *TCAM) freeEntry() int {
-	for i, u := range t.used {
-		if !u {
-			return i
-		}
+	i := bits.TrailingZeros64(^t.used)
+	if i >= len(t.filters) {
+		return -1
 	}
-	return -1
+	return i
 }
 
 func (t *TCAM) lruEntry() int {
@@ -325,31 +330,29 @@ func (t *TCAM) lruEntry() int {
 // commit would double-count every stable observation and skew the
 // delinquent-bit suppressors).
 func (t *TCAM) Probe(v uint64) (trigger, suppressed bool) {
+	if t.used == 0 || t.learnOnly {
+		return false, false
+	}
 	bestCount := 65
 	bestMask := uint64(0)
-	anyUsed := false
-	for i, f := range t.filters {
-		if !t.used[i] {
-			continue
-		}
-		anyUsed = true
-		mask := f.Match(v)
+	for m := t.used; m != 0; m &= m - 1 {
+		i := bits.TrailingZeros64(m)
+		mask := t.filters[i].Match(v)
 		n := bits.OnesCount64(mask)
 		if n < bestCount {
 			bestCount, bestMask = n, mask
+			if n == 0 {
+				// Exact match: no trigger, nothing else to consult.
+				return false, false
+			}
 		}
-	}
-	if !anyUsed || bestCount == 0 || t.learnOnly {
-		return false, false
 	}
 	if t.second != nil {
 		quiet, total := 0, 0
-		for b := 0; b < 64; b++ {
-			if bestMask>>uint(b)&1 == 1 {
-				total++
-				if t.second[b].Quiet() {
-					quiet++
-				}
+		for m := bestMask; m != 0; m &= m - 1 {
+			total++
+			if t.second[bits.TrailingZeros64(m)].Quiet() {
+				quiet++
 			}
 		}
 		if quiet*2 <= total {
@@ -362,46 +365,41 @@ func (t *TCAM) Probe(v uint64) (trigger, suppressed bool) {
 // FlashClear returns every filter's bits to "unchanging" (keeping
 // previous values), PBFS-style.
 func (t *TCAM) FlashClear() {
-	for i, f := range t.filters {
-		if t.used[i] {
-			f.FlashClear()
-		}
+	for m := t.used; m != 0; m &= m - 1 {
+		t.filters[bits.TrailingZeros64(m)].FlashClear()
 	}
 	t.stats.FlashClears++
 }
 
-// Entry exposes filter i for diagnostics and tests.
+// Entry exposes filter i for diagnostics and tests. The pointer is into
+// the TCAM's filter bank and is invalidated by Clone/CloneInto.
 func (t *TCAM) Entry(i int) (f *filter.Filter, used bool) {
-	return t.filters[i], t.used[i]
+	return &t.filters[i], t.used>>uint(i)&1 == 1
 }
 
-// Clone returns an independent deep copy.
+// Clone returns an independent deep copy. With all state in value
+// slices this is four bulk copies and no per-entry allocation.
 func (t *TCAM) Clone() *TCAM {
-	c := &TCAM{
+	return &TCAM{
 		cfg:       t.cfg,
-		filters:   make([]*filter.Filter, len(t.filters)),
-		used:      append([]bool(nil), t.used...),
+		filters:   append([]filter.Filter(nil), t.filters...),
+		used:      t.used,
 		age:       append([]uint64(nil), t.age...),
 		stamp:     t.stamp,
+		second:    append([]sm.Suppressor(nil), t.second...),
+		squash:    append([]sm.Suppressor(nil), t.squash...),
 		stats:     t.stats,
 		learnOnly: t.learnOnly,
 	}
-	for i, f := range t.filters {
-		c.filters[i] = f.Clone()
-	}
-	if t.second != nil {
-		c.second = make([]*sm.Suppressor, len(t.second))
-		for i, s := range t.second {
-			cp := *s
-			c.second[i] = &cp
-		}
-	}
-	if t.squash != nil {
-		c.squash = make([]*sm.Suppressor, len(t.squash))
-		for i, s := range t.squash {
-			cp := *s
-			c.squash[i] = &cp
-		}
-	}
-	return c
+}
+
+// CloneInto overwrites dst with a deep copy of t, reusing dst's slice
+// capacity when the geometry matches — the per-injection snapshot path.
+func (t *TCAM) CloneInto(dst *TCAM) {
+	filters, age, second, squash := dst.filters, dst.age, dst.second, dst.squash
+	*dst = *t
+	dst.filters = append(filters[:0], t.filters...)
+	dst.age = append(age[:0], t.age...)
+	dst.second = append(second[:0], t.second...)
+	dst.squash = append(squash[:0], t.squash...)
 }
