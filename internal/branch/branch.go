@@ -172,6 +172,16 @@ func (p *Predictor) Clone() *Predictor {
 	return &d
 }
 
+// CloneInto overwrites d with a deep copy of p, reusing d's table
+// storage when the geometry matches (the snapshot-arena path).
+func (p *Predictor) CloneInto(d *Predictor) {
+	pht, btb, ras := d.pht, d.btb, d.ras
+	*d = *p
+	d.pht = append(pht[:0], p.pht...)
+	d.btb = append(btb[:0], p.btb...)
+	d.ras = append(ras[:0], p.ras...)
+}
+
 func b2u(b bool) uint64 {
 	if b {
 		return 1

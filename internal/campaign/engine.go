@@ -316,17 +316,23 @@ func (e *Engine) Run(ctx context.Context, dir string, resume bool) (*Outcome, er
 		go func(w int) {
 			defer wg.Done()
 			wsink := obs.WithTrack(e.Obs, w)
+			// One snapshot arena per worker: successive injections
+			// rebuild the faulty core in the arena instead of deep-cloning
+			// the golden state. Results and journal output are
+			// bit-identical; the arena survives cell switches (mismatched
+			// golden state just falls back to fresh allocation once).
+			arena := pipeline.NewSnapshotArena()
 			for t := range taskCh {
 				st := prepare(t.cell, wsink)
 				if st.err != nil {
 					fail(st.err)
 					return
 				}
-				// RunOneObs polls runCtx inside the faulty run, so a
+				// RunOneObsArena polls runCtx inside the faulty run, so a
 				// drain (SIGTERM) aborts promptly even mid-injection;
 				// the partial injection is simply not journaled.
 				began := obs.Begin(wsink, "injection", cells[t.cell].String())
-				res, rerr := st.prepared.RunOneObs(runCtx, injs[t.inj], wsink)
+				res, rerr := st.prepared.RunOneObsArena(runCtx, injs[t.inj], wsink, arena)
 				if rerr != nil {
 					obs.End(wsink, "injection", began, "cancelled")
 					return

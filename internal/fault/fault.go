@@ -312,11 +312,22 @@ func (p *Prepared) Injections() []Injection { return p.injs }
 // traced window.
 func (p *Prepared) FPRate() float64 { return p.fpRate }
 
+// NewArena returns a snapshot arena for this campaign's golden core.
+// An arena makes successive runs on the same goroutine nearly
+// allocation-free: the faulty core's containers, detector tables, and
+// cache tags are rebuilt in place, and its memory is a copy-on-write
+// overlay over the immutable golden image instead of an eager copy.
+// Each arena serves one goroutine at a time; give every worker its
+// own.
+func (p *Prepared) NewArena() *pipeline.SnapshotArena {
+	return pipeline.NewSnapshotArena()
+}
+
 // RunOne executes one injection: it clones the shared golden core,
 // advances to the injection cycle, flips the bit, runs the window, and
 // classifies. Safe to call from multiple goroutines.
 func (p *Prepared) RunOne(inj Injection) Result {
-	res, _ := runOne(nil, p.golden, inj, p.cfg, p.hashes, p.background, nil)
+	res, _ := runOne(nil, p.golden, inj, p.cfg, p.hashes, p.background, nil, nil)
 	return res
 }
 
@@ -326,7 +337,7 @@ func (p *Prepared) RunOne(inj Injection) Result {
 // watchdog) first. An uncancelled call returns exactly RunOne's result
 // — the poll is pure control flow.
 func (p *Prepared) RunOneCtx(ctx context.Context, inj Injection) (Result, error) {
-	return runOne(ctx, p.golden, inj, p.cfg, p.hashes, p.background, nil)
+	return runOne(ctx, p.golden, inj, p.cfg, p.hashes, p.background, nil, nil)
 }
 
 // RunOneObs is RunOneCtx with injection-lifecycle observability: when
@@ -338,7 +349,22 @@ func (p *Prepared) RunOneCtx(ctx context.Context, inj Injection) (Result, error)
 // latency in cycles. A nil sink is exactly RunOneCtx — the disabled
 // path costs one pointer test.
 func (p *Prepared) RunOneObs(ctx context.Context, inj Injection, sink obs.Sink) (Result, error) {
-	return runOne(ctx, p.golden, inj, p.cfg, p.hashes, p.background, sink)
+	return runOne(ctx, p.golden, inj, p.cfg, p.hashes, p.background, sink, nil)
+}
+
+// RunOneArena is RunOneCtx drawing the faulty core from arena instead
+// of a fresh deep clone. Results are bit-identical; only the
+// allocation profile changes. The arena must not be shared with a
+// concurrent call — one arena per goroutine. A nil arena falls back to
+// a deep clone.
+func (p *Prepared) RunOneArena(ctx context.Context, inj Injection, arena *pipeline.SnapshotArena) (Result, error) {
+	return runOne(ctx, p.golden, inj, p.cfg, p.hashes, p.background, nil, arena)
+}
+
+// RunOneObsArena is RunOneObs drawing the faulty core from arena; see
+// RunOneArena for the sharing rule.
+func (p *Prepared) RunOneObsArena(ctx context.Context, inj Injection, sink obs.Sink, arena *pipeline.SnapshotArena) (Result, error) {
+	return runOne(ctx, p.golden, inj, p.cfg, p.hashes, p.background, sink, arena)
 }
 
 // Run executes a campaign serially: mk must build a fresh,
@@ -391,9 +417,10 @@ func (t *actionTracer) Trace(ev pipeline.TraceEvent) {
 // cycle, flips the bit, runs the window, and classifies. golden,
 // goldenHash, and background are read-only here: the clone is this
 // call's private mutable state. A nil ctx disables cancellation; a nil
-// sink disables lifecycle events.
-func runOne(ctx context.Context, golden *pipeline.Core, inj Injection, cfg Config, goldenHash map[uint64]uint64, background map[uint64]detect.Stats, sink obs.Sink) (Result, error) {
-	f := golden.Clone()
+// sink disables lifecycle events; a non-nil arena reuses its storage
+// for the faulty core (Snapshot falls back to a deep clone when nil).
+func runOne(ctx context.Context, golden *pipeline.Core, inj Injection, cfg Config, goldenHash map[uint64]uint64, background map[uint64]detect.Stats, sink obs.Sink, arena *pipeline.SnapshotArena) (Result, error) {
+	f := golden.Snapshot(arena)
 	for i := uint64(0); i < inj.CycleOffset; i++ {
 		if ctx != nil && i%cancelPollSteps == 0 {
 			if err := ctx.Err(); err != nil {

@@ -40,12 +40,17 @@ func (p *Prepared) RunAll(ctx context.Context, workers int, progress func(done, 
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			// One snapshot arena per worker: successive injections on
+			// this goroutine rebuild the faulty core in place instead of
+			// deep-cloning the golden state each time. Results stay
+			// bit-identical (Snapshot is semantically a clone).
+			arena := p.NewArena()
 			for i := range idx {
-				// RunOneCtx polls ctx inside the faulty run, so a
+				// RunOneArena polls ctx inside the faulty run, so a
 				// cancelled campaign returns promptly even when the
 				// current injection would otherwise hang until the
 				// watchdog (MaxCyclesPerRun cycles away).
-				res, err := p.RunOneCtx(ctx, p.injs[i])
+				res, err := p.RunOneArena(ctx, p.injs[i], arena)
 				if err != nil {
 					return
 				}

@@ -5,6 +5,8 @@ import (
 	"sync"
 	"testing"
 	"time"
+
+	"faulthound/internal/core"
 )
 
 // TestRunParallelMatchesSerial proves the worker pool is a pure
@@ -142,5 +144,58 @@ func TestPreparedFPRate(t *testing.T) {
 	}
 	if p.FPRate() != 0 {
 		t.Fatalf("baseline FP rate = %v, want 0", p.FPRate())
+	}
+}
+
+// TestRunOneArenaMatchesRunOne proves the snapshot arena is a pure
+// allocation-profile change: a reused arena must reproduce the
+// deep-clone results bit-for-bit across many injections, including a
+// detector-equipped campaign (exercising the in-place detector clone).
+func TestRunOneArenaMatchesRunOne(t *testing.T) {
+	fh := core.DefaultConfig()
+	for _, det := range []*core.Config{nil, &fh} {
+		p, err := Prepare(mkCore(t, "bzip2", det), smallConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		arena := p.NewArena()
+		for i, inj := range p.Injections()[:24] {
+			got, err := p.RunOneArena(context.Background(), inj, arena)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if want := p.RunOne(inj); got != want {
+				t.Fatalf("det=%v inj %d: arena = %+v, want %+v", det != nil, i, got, want)
+			}
+		}
+	}
+}
+
+// TestArenaSurvivesCampaignSwitch: a campaign worker's arena outlives
+// cell boundaries — reusing one arena across two different prepared
+// golden runs (different benchmark, detector present vs absent) must
+// fall back to fresh allocation, not corrupt results.
+func TestArenaSurvivesCampaignSwitch(t *testing.T) {
+	fh := core.DefaultConfig()
+	pa, err := Prepare(mkCore(t, "bzip2", &fh), smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pb, err := Prepare(mkCore(t, "mcf", nil), smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	arena := pa.NewArena()
+	for round := 0; round < 3; round++ {
+		for _, p := range []*Prepared{pa, pb} {
+			inj := p.Injections()[round]
+			got, err := p.RunOneArena(context.Background(), inj, arena)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if want := p.RunOne(inj); got != want {
+				t.Fatalf("round %d: arena after switch = %+v, want %+v", round, got, want)
+			}
+		}
 	}
 }

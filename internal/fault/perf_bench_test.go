@@ -44,9 +44,24 @@ func benchPrepared(b *testing.B) *Prepared {
 
 // BenchmarkRunOne measures one complete injection — snapshot of the
 // golden core, advance to the fault cycle, flip, run the window,
-// classify — exactly as a campaign worker executes it. allocs/op here
-// is the per-injection snapshot overhead the CoW/arena path removes.
+// classify — exactly as a campaign worker executes it, per-worker
+// snapshot arena included. allocs/op here is the per-injection
+// overhead that remains after the CoW/arena path.
 func BenchmarkRunOne(b *testing.B) {
+	p := benchPrepared(b)
+	injs := p.Injections()
+	arena := p.NewArena()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, _ = p.RunOneArena(nil, injs[i%len(injs)], arena)
+	}
+}
+
+// BenchmarkRunOneDeepClone is BenchmarkRunOne without the arena — the
+// eager deep-clone path — kept as the baseline the arena numbers are
+// compared against.
+func BenchmarkRunOneDeepClone(b *testing.B) {
 	p := benchPrepared(b)
 	injs := p.Injections()
 	b.ReportAllocs()
@@ -58,16 +73,18 @@ func BenchmarkRunOne(b *testing.B) {
 
 // BenchmarkPreparedParallel measures sustained injections/sec with a
 // full GOMAXPROCS worker pool over one prepared golden run — the
-// steady-state regime of fhcampaign and fhserved.
+// steady-state regime of fhcampaign and fhserved, one snapshot arena
+// per worker goroutine as in fault.RunAll.
 func BenchmarkPreparedParallel(b *testing.B) {
 	p := benchPrepared(b)
 	injs := p.Injections()
 	workers := runtime.GOMAXPROCS(0)
 	b.ResetTimer()
 	b.RunParallel(func(pb *testing.PB) {
+		arena := p.NewArena()
 		i := 0
 		for pb.Next() {
-			_ = p.RunOne(injs[i%len(injs)])
+			_, _ = p.RunOneArena(nil, injs[i%len(injs)], arena)
 			i++
 		}
 	})

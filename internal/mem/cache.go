@@ -98,6 +98,17 @@ func (c *Cache) Clone() *Cache {
 	return &d
 }
 
+// CloneInto overwrites d with a deep copy of c, reusing d's tag arrays
+// when the geometry matches (the snapshot-arena path; the L2 alone is
+// over half a megabyte of tag state, so reuse matters).
+func (c *Cache) CloneInto(d *Cache) {
+	tags, valid, age := d.tags, d.valid, d.age
+	*d = *c
+	d.tags = append(tags[:0], c.tags...)
+	d.valid = append(valid[:0], c.valid...)
+	d.age = append(age[:0], c.age...)
+}
+
 // TLB is a small fully-associative LRU translation buffer, timing-only.
 type TLB struct {
 	entries  int
@@ -161,4 +172,13 @@ func (t *TLB) Clone() *TLB {
 	d.valid = append([]bool(nil), t.valid...)
 	d.age = append([]uint64(nil), t.age...)
 	return &d
+}
+
+// CloneInto overwrites d with a deep copy of t, reusing d's storage.
+func (t *TLB) CloneInto(d *TLB) {
+	pages, valid, age := d.pages, d.valid, d.age
+	*d = *t
+	d.pages = append(pages[:0], t.pages...)
+	d.valid = append(valid[:0], t.valid...)
+	d.age = append(age[:0], t.age...)
 }

@@ -132,3 +132,14 @@ func (h *Hierarchy) Clone() *Hierarchy {
 		dtlb: h.dtlb.Clone(),
 	}
 }
+
+// CloneInto overwrites dst with a deep copy of h, reusing dst's tag
+// storage. dst is typically a previous Clone of the same hierarchy.
+func (h *Hierarchy) CloneInto(dst *Hierarchy) {
+	dst.cfg = h.cfg
+	h.l1i.CloneInto(dst.l1i)
+	h.l1d.CloneInto(dst.l1d)
+	h.l2.CloneInto(dst.l2)
+	h.itlb.CloneInto(dst.itlb)
+	h.dtlb.CloneInto(dst.dtlb)
+}

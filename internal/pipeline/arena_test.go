@@ -1,0 +1,102 @@
+package pipeline
+
+import (
+	"testing"
+
+	"faulthound/internal/prog"
+)
+
+// midRunCore builds a memLoop core stepped into a busy mid-run state
+// (full ROB, in-flight loads/stores, live delay buffer) so snapshots
+// must copy every container faithfully.
+func midRunCore(t *testing.T) *Core {
+	t.Helper()
+	p := buildMemLoop(64)
+	core, err := New(DefaultConfig(1), []*prog.Program{p}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 500; i++ {
+		core.Step()
+	}
+	return core
+}
+
+// A snapshot built in an arena must behave exactly like a deep clone:
+// same cycles, commits, and architectural hash over a long future — and
+// running it must not touch the golden core (its memory is a CoW
+// overlay over the golden image).
+func TestSnapshotMatchesCloneFuture(t *testing.T) {
+	golden := midRunCore(t)
+	goldenHash := golden.ArchHash(0)
+
+	deep := golden.Clone()
+	arena := NewSnapshotArena()
+	snap := golden.Snapshot(arena)
+
+	for i := 0; i < 2000; i++ {
+		deep.Step()
+		snap.Step()
+		if deep.ArchHash(0) != snap.ArchHash(0) {
+			t.Fatalf("cycle %d: snapshot diverged from deep clone", i)
+		}
+	}
+	if deep.Cycle() != snap.Cycle() || deep.Committed(0) != snap.Committed(0) {
+		t.Fatalf("cycles %d/%d commits %d/%d", deep.Cycle(), snap.Cycle(), deep.Committed(0), snap.Committed(0))
+	}
+	if deep.Stats() != snap.Stats() {
+		t.Fatalf("stats diverged:\n deep %+v\n snap %+v", deep.Stats(), snap.Stats())
+	}
+	if golden.ArchHash(0) != goldenHash {
+		t.Fatal("running the snapshot mutated the golden core")
+	}
+}
+
+// Reusing one arena for many snapshots must give each run a fresh,
+// faithful copy regardless of what the previous run did to the shared
+// storage.
+func TestSnapshotArenaReuse(t *testing.T) {
+	golden := midRunCore(t)
+	goldenHash := golden.ArchHash(0)
+	arena := NewSnapshotArena()
+
+	for round := 0; round < 5; round++ {
+		deep := golden.Clone()
+		snap := golden.Snapshot(arena)
+		// Run each round a different distance so the arena's buffers are
+		// left in varied states (advanced slice headers, grown queues,
+		// run-allocated uops) before the next snapshot.
+		steps := 400 * (round + 1)
+		for i := 0; i < steps; i++ {
+			deep.Step()
+			snap.Step()
+		}
+		if deep.ArchHash(0) != snap.ArchHash(0) || deep.Stats() != snap.Stats() {
+			t.Fatalf("round %d: arena snapshot diverged from deep clone", round)
+		}
+		if golden.ArchHash(0) != goldenHash {
+			t.Fatalf("round %d: snapshot run mutated the golden core", round)
+		}
+	}
+}
+
+// A snapshot that runs to completion must produce the same final
+// architectural state as the golden program would (the memLoop result),
+// proving overlay reads fall through to the golden image correctly.
+func TestSnapshotRunsToCompletion(t *testing.T) {
+	golden := midRunCore(t)
+	ref := golden.Clone()
+	ref.Run(1_000_000)
+	if !ref.Halted(0) {
+		t.Fatal("reference clone did not halt")
+	}
+
+	snap := golden.Snapshot(NewSnapshotArena())
+	snap.Run(1_000_000)
+	if !snap.Halted(0) {
+		t.Fatal("snapshot did not halt")
+	}
+	if ref.ArchHash(0) != snap.ArchHash(0) {
+		t.Fatal("snapshot finished with different architectural state")
+	}
+}

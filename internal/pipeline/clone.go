@@ -1,97 +1,315 @@
 package pipeline
 
-import "faulthound/internal/mem"
+import (
+	"sort"
+
+	"faulthound/internal/detect"
+	"faulthound/internal/mem"
+)
 
 // Clone returns an independent deep copy of the core, preserving uop
 // identity across all internal queues. The tandem fault-injection
 // runner clones a warmed-up core once per injection instead of
 // replaying the warmup.
 func (c *Core) Clone() *Core {
-	return c.CloneWithMemory(c.memory.Clone())
+	return c.cloneWith(c.memory.Clone(), nil)
 }
 
 // CloneWithMemory is Clone with the data memory supplied by the caller
 // — the multicore construction, where the system clones the shared
 // memory once and every core clone references it.
 func (c *Core) CloneWithMemory(shared *mem.Memory) *Core {
-	// Every live uop is reachable from a thread's ROB or fetch queue
-	// (the IQ, LSQ, delay buffer, and executing set alias into those),
-	// so current occupancy bounds the bookkeeping exactly and the map
-	// never rehashes mid-clone.
-	occupancy := 0
-	for _, t := range c.threads {
-		occupancy += len(t.rob) + len(t.fetchQ)
+	return c.cloneWith(shared, nil)
+}
+
+// SnapshotArena owns the reusable storage for repeated snapshots of one
+// golden core: the destination core itself, a flat uop slab, a RAT
+// checkpoint slab, and the pointer slices of every queue. A campaign
+// worker keeps one arena and calls Snapshot once per injection;
+// everything a snapshot needs after the first is already allocated, so
+// a snapshot degenerates to bulk copies. Each Snapshot invalidates the
+// previous one (they share storage), and an arena must not be shared
+// across goroutines.
+type SnapshotArena struct {
+	dst     *Core
+	slab    []uop
+	ckpt    []physID
+	segs    []cloneSeg
+	ptrBufs [][]*uop
+	ptrUsed int
+}
+
+// NewSnapshotArena returns an empty arena; storage is grown on first
+// use and reused afterwards.
+func NewSnapshotArena() *SnapshotArena { return &SnapshotArena{} }
+
+// cloneSeg records where one thread's ROB and fetch queue landed in the
+// slab, for remapping the queues that alias into them.
+type cloneSeg struct {
+	robSrc, fqSrc []*uop
+	robDst, fqDst []uop
+}
+
+// Snapshot returns a copy of c built inside the arena. The copy's data
+// memory is a copy-on-write overlay over c's memory (reused and Reset
+// when the arena already holds one), so c must stay immutable while the
+// snapshot is in use — the fault runner's Prepared contract. The
+// returned core is valid until the next Snapshot on the same arena.
+func (c *Core) Snapshot(a *SnapshotArena) *Core {
+	if a == nil {
+		return c.Clone()
 	}
-	seen := make(map[*uop]*uop, occupancy)
-	cp := func(u *uop) *uop {
+	var m *mem.Memory
+	if a.dst != nil && a.dst.memory != nil && a.dst.memory.IsOverlayOf(c.memory) {
+		m = a.dst.memory
+		m.Reset()
+	} else {
+		m = c.memory.Overlay()
+	}
+	return c.cloneWith(m, a)
+}
+
+// ensureLen returns buf resized to n, reallocating only when the
+// capacity is insufficient.
+func ensureLen[T any](buf *[]T, n int) []T {
+	if cap(*buf) < n {
+		*buf = make([]T, n)
+	}
+	*buf = (*buf)[:n]
+	return *buf
+}
+
+// cloneWith builds the deep copy. With a nil arena every piece is
+// freshly allocated (Clone/CloneWithMemory); with an arena the
+// destination core and all its storage are reused.
+//
+// The copy leans on two container invariants of the pipeline:
+//
+//   - Every live uop is reachable from its thread's ROB or fetch queue
+//     (dispatchOne moves uops from the fetch queue into the ROB and is
+//     the only path into the IQ/LSQ; the delay buffer and executing set
+//     hold only dispatched uops). So one slab sized by ROB+fetchQ
+//     occupancy holds every uop, with no discovery pass.
+//   - ROB and fetch queue are strictly ascending in the globally-unique
+//     seq tag, so the aliasing queues (IQ, LSQ, delay buffer, executing
+//     set) are remapped by binary search on seq instead of a map.
+func (c *Core) cloneWith(shared *mem.Memory, a *SnapshotArena) *Core {
+	nUops, nCkpt := 0, 0
+	for _, t := range c.threads {
+		nUops += len(t.rob) + len(t.fetchQ)
+		for _, u := range t.rob {
+			nCkpt += len(u.ratCkpt)
+		}
+		for _, u := range t.fetchQ {
+			nCkpt += len(u.ratCkpt)
+		}
+	}
+
+	var (
+		d    *Core
+		slab []uop
+		ckpt []physID
+		segs []cloneSeg
+	)
+	if a != nil {
+		if a.dst == nil {
+			a.dst = &Core{}
+		}
+		d = a.dst
+		a.ptrUsed = 0
+		slab = ensureLen(&a.slab, nUops)
+		ckpt = ensureLen(&a.ckpt, nCkpt)
+		segs = ensureLen(&a.segs, len(c.threads))
+	} else {
+		d = &Core{}
+		slab = make([]uop, nUops)
+		ckpt = make([]physID, nCkpt)
+		segs = make([]cloneSeg, len(c.threads))
+	}
+
+	// ptrSlice hands out pointer-slice storage; the arena recycles its
+	// buffers in call order, which is deterministic because the golden
+	// core (and hence the container layout) is fixed between snapshots.
+	ptrSlice := func(n int) []*uop {
+		if a == nil {
+			return make([]*uop, n)
+		}
+		if a.ptrUsed < len(a.ptrBufs) {
+			b := a.ptrBufs[a.ptrUsed]
+			if cap(b) < n {
+				b = make([]*uop, n)
+				a.ptrBufs[a.ptrUsed] = b
+			}
+			a.ptrUsed++
+			return b[:n]
+		}
+		b := make([]*uop, n)
+		a.ptrBufs = append(a.ptrBufs, b)
+		a.ptrUsed++
+		return b[:n]
+	}
+
+	// Pass 1: bulk-copy every thread's ROB and fetch queue into the slab
+	// (all uops), carving RAT checkpoints out of the checkpoint slab.
+	slabOff, ckptOff := 0, 0
+	cloneRun := func(src []*uop) []uop {
+		dst := slab[slabOff : slabOff+len(src)]
+		slabOff += len(src)
+		for i, u := range src {
+			dst[i] = *u
+			if u.ratCkpt != nil {
+				ck := ckpt[ckptOff : ckptOff+len(u.ratCkpt)]
+				ckptOff += len(u.ratCkpt)
+				copy(ck, u.ratCkpt)
+				dst[i].ratCkpt = ck
+			}
+		}
+		return dst
+	}
+	for i, t := range c.threads {
+		segs[i] = cloneSeg{
+			robSrc: t.rob, robDst: cloneRun(t.rob),
+			fqSrc: t.fetchQ, fqDst: cloneRun(t.fetchQ),
+		}
+	}
+
+	// Pass 2: remap the aliasing queues onto the slab copies.
+	remap := func(u *uop) *uop {
 		if u == nil {
 			return nil
 		}
-		if d, ok := seen[u]; ok {
-			return d
+		s := &segs[u.thread]
+		if i := searchSeq(s.robSrc, u.seq); i >= 0 && s.robSrc[i] == u {
+			return &s.robDst[i]
 		}
-		d := new(uop)
-		*d = *u
+		if i := searchSeq(s.fqSrc, u.seq); i >= 0 && s.fqSrc[i] == u {
+			return &s.fqDst[i]
+		}
+		// Unreachable under the container invariant; copy defensively so
+		// a future aliasing change degrades to a slower clone, not a
+		// shared-mutable-uop bug.
+		e := new(uop)
+		*e = *u
 		if u.ratCkpt != nil {
-			d.ratCkpt = append([]physID(nil), u.ratCkpt...)
+			e.ratCkpt = append([]physID(nil), u.ratCkpt...)
 		}
-		seen[u] = d
-		return d
+		return e
 	}
-	cpSlice := func(us []*uop) []*uop {
-		if us == nil {
+	remapSlice := func(src []*uop) []*uop {
+		if src == nil {
 			return nil
 		}
-		out := make([]*uop, len(us))
-		for i, u := range us {
-			out[i] = cp(u)
+		out := ptrSlice(len(src))
+		for i, u := range src {
+			out[i] = remap(u)
+		}
+		return out
+	}
+	ptrsInto := func(seg []uop) []*uop {
+		out := ptrSlice(len(seg))
+		for i := range seg {
+			out[i] = &seg[i]
 		}
 		return out
 	}
 
-	d := &Core{
-		cfg:           c.cfg,
-		cycle:         c.cycle,
-		seq:           c.seq,
-		rf:            c.rf.clone(),
-		iq:            cpSlice(c.iq),
-		iqUsed:        c.iqUsed,
-		inFlight:      cpSlice(c.inFlight),
-		delayBuf:      cpSlice(c.delayBuf),
-		mshrFree:      append([]uint64(nil), c.mshrFree...),
-		memory:        shared,
-		hier:          c.hier.Clone(),
-		replayPending: c.replayPending,
-		commitStall:   c.commitStall,
-		shadowAcc:     c.shadowAcc,
-		shadowPending: c.shadowPending,
-		stats:         c.stats,
+	d.cfg = c.cfg
+	d.cycle = c.cycle
+	d.seq = c.seq
+	if d.rf != nil {
+		c.rf.cloneInto(d.rf)
+	} else {
+		d.rf = c.rf.clone()
 	}
-	if c.detector != nil {
+	d.iq = remapSlice(c.iq)
+	d.iqUsed = c.iqUsed
+	d.inFlight = remapSlice(c.inFlight)
+	d.delayBuf = remapSlice(c.delayBuf)
+	if c.mshrFree == nil {
+		d.mshrFree = nil
+	} else if a != nil {
+		d.mshrFree = append(d.mshrFree[:0], c.mshrFree...)
+	} else {
+		d.mshrFree = append([]uint64(nil), c.mshrFree...)
+	}
+	d.memory = shared
+	if d.hier != nil {
+		c.hier.CloneInto(d.hier)
+	} else {
+		d.hier = c.hier.Clone()
+	}
+	if c.detector == nil {
+		d.detector = nil
+	} else if ip, ok := c.detector.(detect.InPlaceCloner); ok && d.detector != nil && ip.CloneInto(d.detector) {
+		// reused in place
+	} else {
 		d.detector = c.detector.Clone()
 	}
-	for _, t := range c.threads {
-		d.threads = append(d.threads, &threadState{
+	// Observation hooks never carry over: the fault runner installs its
+	// own per-run hooks on the copy.
+	d.probe = nil
+	d.tracer = nil
+	d.commitHook = nil
+	d.replayPending = c.replayPending
+	d.commitStall = c.commitStall
+	d.shadowAcc = c.shadowAcc
+	d.shadowPending = c.shadowPending
+	d.stats = c.stats
+	d.issueScratch = d.issueScratch[:0]
+	d.doneScratch = d.doneScratch[:0]
+	d.replayScratch = d.replayScratch[:0]
+
+	if cap(d.threads) < len(c.threads) {
+		d.threads = make([]*threadState, 0, len(c.threads))
+	}
+	reuse := d.threads
+	d.threads = d.threads[:0]
+	for i, t := range c.threads {
+		var dt *threadState
+		if i < len(reuse) && reuse[i] != nil {
+			dt = reuse[i]
+		} else {
+			dt = &threadState{}
+		}
+		rat := append(dt.rat[:0], t.rat...)
+		aRAT := append(dt.aRAT[:0], t.aRAT...)
+		pred := dt.pred
+		if pred != nil {
+			t.pred.CloneInto(pred)
+		} else {
+			pred = t.pred.Clone()
+		}
+		*dt = threadState{
 			id:                t.id,
 			prog:              t.prog, // immutable after build
 			pc:                t.pc,
-			rat:               append([]physID(nil), t.rat...),
-			aRAT:              append([]physID(nil), t.aRAT...),
+			rat:               rat,
+			aRAT:              aRAT,
 			aPC:               t.aPC,
-			pred:              t.pred.Clone(),
+			pred:              pred,
 			halted:            t.halted,
 			fetchStopped:      t.fetchStopped,
 			excepted:          t.excepted,
 			exceptMsg:         t.exceptMsg,
-			fetchQ:            cpSlice(t.fetchQ),
-			rob:               cpSlice(t.rob),
-			lsq:               cpSlice(t.lsq),
+			fetchQ:            ptrsInto(segs[i].fqDst),
+			rob:               ptrsInto(segs[i].robDst),
+			lsq:               remapSlice(t.lsq),
 			committed:         t.committed,
 			writtenRegs:       t.writtenRegs,
 			archHistory:       t.archHistory,
 			exemptUntil:       t.exemptUntil,
 			fetchBlockedUntil: t.fetchBlockedUntil,
-		})
+		}
+		d.threads = append(d.threads, dt)
 	}
 	return d
+}
+
+// searchSeq finds the index of seq in a seq-ascending uop slice, or -1.
+func searchSeq(us []*uop, seq uint64) int {
+	i := sort.Search(len(us), func(i int) bool { return us[i].seq >= seq })
+	if i < len(us) && us[i].seq == seq {
+		return i
+	}
+	return -1
 }

@@ -162,9 +162,9 @@ func (c *Core) checkCommit(u *uop) detect.Action {
 	if t := c.threads[u.thread]; t.committed+1 <= t.exemptUntil {
 		return detect.None // deemed final (rollback re-execution)
 	}
-	act := detect.None
-	for _, ev := range c.memEvents(u) {
-		if a := c.detector.OnCommit(ev); a > act {
+	act := c.detector.OnCommit(loadOrStoreAddrEvent(u))
+	if u.isStore() {
+		if a := c.detector.OnCommit(storeValueEvent(u)); a > act {
 			act = a
 		}
 	}

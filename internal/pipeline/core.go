@@ -89,6 +89,13 @@ type Core struct {
 	shadowAcc     float64
 	shadowPending int
 
+	// Per-cycle scratch buffers, reused so the issue/complete/replay
+	// loops allocate nothing in steady state. Never cloned: each core
+	// owns its own, and their contents are dead between cycles.
+	issueScratch  []*uop
+	doneScratch   []*uop
+	replayScratch []*uop
+
 	stats Stats
 }
 

@@ -1,18 +1,32 @@
 package pipeline
 
 import (
-	"sort"
-
 	"faulthound/internal/detect"
 	"faulthound/internal/isa"
 )
+
+// sortBySeq orders uops by their globally-unique age tag with an
+// insertion sort: the per-cycle candidate and completion sets are small
+// and nearly sorted already (gathered in rough age order), and unlike
+// sort.Slice this allocates nothing.
+func sortBySeq(us []*uop) {
+	for i := 1; i < len(us); i++ {
+		u := us[i]
+		j := i - 1
+		for j >= 0 && us[j].seq > u.seq {
+			us[j+1] = us[j]
+			j--
+		}
+		us[j+1] = u
+	}
+}
 
 // issue selects up to IssueWidth ready instructions (oldest first),
 // reads their operands, executes them functionally, and schedules their
 // completion. Leftover issue slots drain pending SRT-iso shadow ops.
 func (c *Core) issue() {
 	// Gather ready candidates from the IQ in age order.
-	var cand []*uop
+	cand := c.issueScratch[:0]
 	for _, u := range c.iq {
 		if u == nil || u.state != stDispatched {
 			continue
@@ -33,7 +47,8 @@ func (c *Core) issue() {
 		}
 		cand = append(cand, u)
 	}
-	sort.Slice(cand, func(i, j int) bool { return cand[i].seq < cand[j].seq })
+	c.issueScratch = cand
+	sortBySeq(cand)
 
 	budget := c.cfg.IssueWidth
 	// SRT-iso trailing copies contend for issue bandwidth as co-equal
@@ -251,7 +266,7 @@ func (c *Core) complete() {
 	if len(c.inFlight) == 0 {
 		return
 	}
-	var done []*uop
+	done := c.doneScratch[:0]
 	rest := c.inFlight[:0]
 	for _, u := range c.inFlight {
 		if u.state == stSquashed {
@@ -264,7 +279,8 @@ func (c *Core) complete() {
 		}
 	}
 	c.inFlight = rest
-	sort.Slice(done, func(i, j int) bool { return done[i].seq < done[j].seq })
+	c.doneScratch = done
+	sortBySeq(done)
 
 	for _, u := range done {
 		// An older instruction completing this same cycle may have
@@ -401,30 +417,39 @@ func (c *Core) isExempt(u *uop) bool {
 // checkComplete runs the probe and the detector's completion checks for
 // a memory uop and returns the strongest requested action.
 func (c *Core) checkComplete(u *uop) detect.Action {
-	act := detect.None
-	for _, ev := range c.memEvents(u) {
-		if c.probe != nil {
-			c.probe(ev)
-		}
-		if c.detector == nil {
-			continue
-		}
-		if a := c.detector.OnComplete(ev); a > act {
+	act := c.checkCompleteEvent(loadOrStoreAddrEvent(u))
+	if u.isStore() {
+		if a := c.checkCompleteEvent(storeValueEvent(u)); a > act {
 			act = a
 		}
 	}
 	return act
 }
 
-// memEvents builds the checked-operand events for a load or store.
-func (c *Core) memEvents(u *uop) []detect.Event {
+func (c *Core) checkCompleteEvent(ev detect.Event) detect.Action {
+	if c.probe != nil {
+		c.probe(ev)
+	}
+	if c.detector == nil {
+		return detect.None
+	}
+	return c.detector.OnComplete(ev)
+}
+
+// loadOrStoreAddrEvent and storeValueEvent build the checked-operand
+// events for a load or store. Events are passed by value, so the
+// completion and commit check paths stay allocation-free — they run for
+// every load and store of every simulated cycle.
+func loadOrStoreAddrEvent(u *uop) detect.Event {
+	k := detect.StoreAddr
 	if u.isLoad() {
-		return []detect.Event{{Kind: detect.LoadAddr, Value: u.effAddr, PC: u.pc, Thread: u.thread}}
+		k = detect.LoadAddr
 	}
-	return []detect.Event{
-		{Kind: detect.StoreAddr, Value: u.effAddr, PC: u.pc, Thread: u.thread},
-		{Kind: detect.StoreValue, Value: u.storeVal, PC: u.pc, Thread: u.thread},
-	}
+	return detect.Event{Kind: k, Value: u.effAddr, PC: u.pc, Thread: u.thread}
+}
+
+func storeValueEvent(u *uop) detect.Event {
+	return detect.Event{Kind: detect.StoreValue, Value: u.storeVal, PC: u.pc, Thread: u.thread}
 }
 
 // triggerReplay starts a predecessor replay: every instruction in the
@@ -435,7 +460,8 @@ func (c *Core) triggerReplay(trigger *uop) {
 	if c.replayPending > 0 {
 		return
 	}
-	marked := append(append([]*uop(nil), c.delayBuf...), trigger)
+	marked := append(append(c.replayScratch[:0], c.delayBuf...), trigger)
+	c.replayScratch = marked
 	c.delayBuf = c.delayBuf[:0]
 	started := 0
 	for _, m := range marked {

@@ -98,3 +98,13 @@ func (rf *regFile) clone() *regFile {
 		freeFP:  append([]physID(nil), rf.freeFP...),
 	}
 }
+
+// cloneInto overwrites d with a deep copy of rf, reusing d's storage
+// (the snapshot-arena path).
+func (rf *regFile) cloneInto(d *regFile) {
+	d.val = append(d.val[:0], rf.val...)
+	d.ready = append(d.ready[:0], rf.ready...)
+	d.numInt = rf.numInt
+	d.freeInt = append(d.freeInt[:0], rf.freeInt...)
+	d.freeFP = append(d.freeFP[:0], rf.freeFP...)
+}
