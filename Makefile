@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet race bench campaign serve smoke-server trace-demo experiments extensions quick clean
+.PHONY: all build test vet race bench bench-json campaign serve smoke-server trace-demo experiments extensions quick clean
 
 all: vet test build
 
@@ -45,6 +45,11 @@ trace-demo:
 # One iteration of every paper-figure bench plus the ablations.
 bench:
 	$(GO) test -bench=. -benchmem -benchtime 1x -run xxx .
+
+# Guard benchmarks for the simulation/injection hot path, distilled
+# into results/bench/BENCH_simcore.json (docs/PERFORMANCE.md).
+bench-json:
+	./scripts/bench.sh
 
 # Full-scale regeneration of every table and figure (tens of minutes).
 experiments:

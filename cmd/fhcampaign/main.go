@@ -188,8 +188,14 @@ func main() {
 		}
 		fmt.Printf("trace:  %s (%d events; open in ui.perfetto.dev)\n", tf, perf.Len())
 	}
-	fmt.Printf("bundle: %s (%d cells, %d injections/cell, %d resumed, wall clock %s)\n",
-		dir, len(outcome.Cells), sum.Injections, outcome.Resumed, outcome.Elapsed.Round(time.Millisecond))
+	// Executed-injection throughput (resumed injections are replayed
+	// from the journal, not simulated, so they don't count).
+	injRate := ""
+	if executed := len(outcome.Cells)*sum.Injections - outcome.Resumed; executed > 0 && outcome.Elapsed > 0 {
+		injRate = fmt.Sprintf(", %.1f inj/s", float64(executed)/outcome.Elapsed.Seconds())
+	}
+	fmt.Printf("bundle: %s (%d cells, %d injections/cell, %d resumed, wall clock %s%s)\n",
+		dir, len(outcome.Cells), sum.Injections, outcome.Resumed, outcome.Elapsed.Round(time.Millisecond), injRate)
 	fmt.Printf("report: %s\n", filepath.Join(dir, campaign.ReportName))
 }
 

@@ -24,19 +24,19 @@ func (c *Core) CloneWithMemory(shared *mem.Memory) *Core {
 
 // SnapshotArena owns the reusable storage for repeated snapshots of one
 // golden core: the destination core itself, a flat uop slab, a RAT
-// checkpoint slab, and the pointer slices of every queue. A campaign
-// worker keeps one arena and calls Snapshot once per injection;
-// everything a snapshot needs after the first is already allocated, so
-// a snapshot degenerates to bulk copies. Each Snapshot invalidates the
-// previous one (they share storage), and an arena must not be shared
-// across goroutines.
+// checkpoint slab, and the per-thread segment table. The queue pointer
+// slices live on the destination core's own fields, so capacity the
+// previous run grew into (a deep delay buffer, a long LSQ) carries over
+// to the next snapshot. A campaign worker keeps one arena and calls
+// Snapshot once per injection; everything a snapshot needs after the
+// first is already allocated, so a snapshot degenerates to bulk copies.
+// Each Snapshot invalidates the previous one (they share storage), and
+// an arena must not be shared across goroutines.
 type SnapshotArena struct {
-	dst     *Core
-	slab    []uop
-	ckpt    []physID
-	segs    []cloneSeg
-	ptrBufs [][]*uop
-	ptrUsed int
+	dst  *Core
+	slab []uop
+	ckpt []physID
+	segs []cloneSeg
 }
 
 // NewSnapshotArena returns an empty arena; storage is grown on first
@@ -116,7 +116,6 @@ func (c *Core) cloneWith(shared *mem.Memory, a *SnapshotArena) *Core {
 			a.dst = &Core{}
 		}
 		d = a.dst
-		a.ptrUsed = 0
 		slab = ensureLen(&a.slab, nUops)
 		ckpt = ensureLen(&a.ckpt, nCkpt)
 		segs = ensureLen(&a.segs, len(c.threads))
@@ -125,28 +124,6 @@ func (c *Core) cloneWith(shared *mem.Memory, a *SnapshotArena) *Core {
 		slab = make([]uop, nUops)
 		ckpt = make([]physID, nCkpt)
 		segs = make([]cloneSeg, len(c.threads))
-	}
-
-	// ptrSlice hands out pointer-slice storage; the arena recycles its
-	// buffers in call order, which is deterministic because the golden
-	// core (and hence the container layout) is fixed between snapshots.
-	ptrSlice := func(n int) []*uop {
-		if a == nil {
-			return make([]*uop, n)
-		}
-		if a.ptrUsed < len(a.ptrBufs) {
-			b := a.ptrBufs[a.ptrUsed]
-			if cap(b) < n {
-				b = make([]*uop, n)
-				a.ptrBufs[a.ptrUsed] = b
-			}
-			a.ptrUsed++
-			return b[:n]
-		}
-		b := make([]*uop, n)
-		a.ptrBufs = append(a.ptrBufs, b)
-		a.ptrUsed++
-		return b[:n]
 	}
 
 	// Pass 1: bulk-copy every thread's ROB and fetch queue into the slab
@@ -195,22 +172,27 @@ func (c *Core) cloneWith(shared *mem.Memory, a *SnapshotArena) *Core {
 		}
 		return e
 	}
-	remapSlice := func(src []*uop) []*uop {
+	// The pointer-slice rebuilders append into the destination's old
+	// slice: the capacity the previous run grew into (a deep delay
+	// buffer, an advanced fetch queue) is reused, so steady-state
+	// snapshots and runs stop allocating queue storage. Appending into
+	// dst is safe — its old contents point at dead slab state.
+	remapInto := func(dst, src []*uop) []*uop {
 		if src == nil {
 			return nil
 		}
-		out := ptrSlice(len(src))
-		for i, u := range src {
-			out[i] = remap(u)
+		dst = dst[:0]
+		for _, u := range src {
+			dst = append(dst, remap(u))
 		}
-		return out
+		return dst
 	}
-	ptrsInto := func(seg []uop) []*uop {
-		out := ptrSlice(len(seg))
+	ptrsInto := func(dst []*uop, seg []uop) []*uop {
+		dst = dst[:0]
 		for i := range seg {
-			out[i] = &seg[i]
+			dst = append(dst, &seg[i])
 		}
-		return out
+		return dst
 	}
 
 	d.cfg = c.cfg
@@ -221,10 +203,10 @@ func (c *Core) cloneWith(shared *mem.Memory, a *SnapshotArena) *Core {
 	} else {
 		d.rf = c.rf.clone()
 	}
-	d.iq = remapSlice(c.iq)
+	d.iq = remapInto(d.iq, c.iq)
 	d.iqUsed = c.iqUsed
-	d.inFlight = remapSlice(c.inFlight)
-	d.delayBuf = remapSlice(c.delayBuf)
+	d.inFlight = remapInto(d.inFlight, c.inFlight)
+	d.delayBuf = remapInto(d.delayBuf, c.delayBuf)
 	if c.mshrFree == nil {
 		d.mshrFree = nil
 	} else if a != nil {
@@ -291,9 +273,9 @@ func (c *Core) cloneWith(shared *mem.Memory, a *SnapshotArena) *Core {
 			fetchStopped:      t.fetchStopped,
 			excepted:          t.excepted,
 			exceptMsg:         t.exceptMsg,
-			fetchQ:            ptrsInto(segs[i].fqDst),
-			rob:               ptrsInto(segs[i].robDst),
-			lsq:               remapSlice(t.lsq),
+			fetchQ:            ptrsInto(dt.fetchQ, segs[i].fqDst),
+			rob:               ptrsInto(dt.rob, segs[i].robDst),
+			lsq:               remapInto(dt.lsq, t.lsq),
 			committed:         t.committed,
 			writtenRegs:       t.writtenRegs,
 			archHistory:       t.archHistory,

@@ -96,7 +96,42 @@ type Core struct {
 	doneScratch   []*uop
 	replayScratch []*uop
 
+	// Chunked allocators for fetch-time uops and dispatch-time RAT
+	// checkpoints: carving from a chunk replaces one heap allocation
+	// per uop with one per chunk. Slots are handed out exactly once
+	// and never recycled (a chunk dies when no live uop references
+	// it), and chunks are never shared with clones — cloneWith copies
+	// every uop into its own slab and leaves these fields alone, so a
+	// clone starts with its own (possibly leftover) chunk.
+	uopChunk  []uop
+	ckptChunk []physID
+
 	stats Stats
+}
+
+// uopChunkSize is how many uops (and roughly how many checkpoint
+// words) one allocator chunk holds.
+const uopChunkSize = 256
+
+// newUop returns a zeroed uop from the chunk allocator.
+func (c *Core) newUop() *uop {
+	if len(c.uopChunk) == 0 {
+		c.uopChunk = make([]uop, uopChunkSize)
+	}
+	u := &c.uopChunk[0]
+	c.uopChunk = c.uopChunk[1:]
+	return u
+}
+
+// newCkpt returns a fresh n-word RAT-checkpoint slice from the chunk
+// allocator, capped so it can never alias a later carve.
+func (c *Core) newCkpt(n int) []physID {
+	if len(c.ckptChunk) < n {
+		c.ckptChunk = make([]physID, n*64)
+	}
+	s := c.ckptChunk[:n:n]
+	c.ckptChunk = c.ckptChunk[n:]
+	return s
 }
 
 // New builds a core running the given programs, one per SMT context
@@ -336,6 +371,19 @@ func (c *Core) RunUntilCommits(tid int, n uint64, maxCycles uint64) bool {
 	return true
 }
 
+// popFront removes and returns the head of the small FIFO *q, shifting
+// the remainder down in place. A tail append plus a head reslice would
+// drift through the backing array and reallocate it every cap-len
+// operations; for the short queues this is used on (delay buffer,
+// fetch queue) the shift is far cheaper than the allocation.
+func popFront(q *[]*uop) *uop {
+	s := *q
+	u := s[0]
+	n := copy(s, s[1:])
+	*q = s[:n]
+	return u
+}
+
 // nextSeq allocates a global age tag.
 func (c *Core) nextSeq() uint64 {
 	c.seq++
@@ -383,7 +431,8 @@ func (c *Core) fetchThread(t *threadState) {
 			return
 		}
 		in := t.prog.Code[t.pc]
-		u := &uop{
+		u := c.newUop()
+		*u = uop{
 			seq:      c.nextSeq(),
 			thread:   t.id,
 			pc:       t.pc,
@@ -451,7 +500,7 @@ func (c *Core) dispatch() {
 			if !c.dispatchOne(t, u) {
 				break // structural stall
 			}
-			t.fetchQ = t.fetchQ[1:]
+			popFront(&t.fetchQ)
 			budget--
 		}
 	}
@@ -495,7 +544,8 @@ func (c *Core) dispatchOne(t *threadState, u *uop) bool {
 	// atomics (a detector rollback stops at an executed atomic and
 	// restores its checkpoint instead).
 	if u.inst.IsCondBranch() || u.inst.Op == isa.JALR || u.inst.IsAtomic() {
-		u.ratCkpt = append([]physID(nil), t.rat...)
+		u.ratCkpt = c.newCkpt(len(t.rat))
+		copy(u.ratCkpt, t.rat)
 	}
 
 	u.state = stDispatched
@@ -557,8 +607,7 @@ func (c *Core) evictFromDelayBuffer() bool {
 	if len(c.delayBuf) == 0 {
 		return false
 	}
-	old := c.delayBuf[0]
-	c.delayBuf = c.delayBuf[1:]
+	old := popFront(&c.delayBuf)
 	old.inDelayBuf = false
 	c.iqRemove(old)
 	c.stats.DelayBufFlushes++

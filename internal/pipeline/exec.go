@@ -362,8 +362,7 @@ func (c *Core) completeOne(u *uop) {
 		c.delayBuf = append(c.delayBuf, u)
 		u.inDelayBuf = true
 		if len(c.delayBuf) > c.cfg.DelayBuffer {
-			old := c.delayBuf[0]
-			c.delayBuf = c.delayBuf[1:]
+			old := popFront(&c.delayBuf)
 			old.inDelayBuf = false
 			c.iqRemove(old)
 			c.stats.DelayBufEvictions++

@@ -51,9 +51,28 @@ func BenchmarkClone(b *testing.B) {
 		b.Fatal(err)
 	}
 	c.RunUntilCommits(0, 2000, 1_000_000)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		_ = c.Clone()
+	}
+}
+
+// BenchmarkSnapshot is BenchmarkClone on the arena path: after the
+// first iteration every snapshot rebuilds the previous one's storage in
+// place over a CoW memory overlay.
+func BenchmarkSnapshot(b *testing.B) {
+	p := buildMemLoop(64)
+	c, err := New(DefaultConfig(1), []*prog.Program{p}, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	c.RunUntilCommits(0, 2000, 1_000_000)
+	arena := NewSnapshotArena()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = c.Snapshot(arena)
 	}
 }
 
