@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: all build test vet race bench bench-json campaign serve smoke-server trace-demo experiments extensions quick clean
+.PHONY: all build test vet lint race bench bench-json campaign serve smoke-server trace-demo experiments extensions quick clean
 
-all: vet test build
+all: lint test build
 
 build:
 	$(GO) build ./...
@@ -16,6 +16,16 @@ test:
 vet:
 	$(GO) vet ./...
 	gofmt -l .
+
+# Static analysis: vet and gofmt always; staticcheck when installed
+# (CI installs it — see .github/workflows/ci.yml — so the full set
+# gates every merge even if a local checkout lacks the binary).
+lint: vet
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "lint: staticcheck not installed; skipped (CI runs it)"; \
+	fi
 
 race:
 	$(GO) test -race ./internal/workload/ ./internal/system/ ./internal/pipeline/ \

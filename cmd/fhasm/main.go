@@ -15,17 +15,16 @@ import (
 	"io"
 	"os"
 
-	"faulthound/internal/core"
 	"faulthound/internal/detect"
 	"faulthound/internal/isa"
-	"faulthound/internal/pbfs"
 	"faulthound/internal/pipeline"
 	"faulthound/internal/prog"
+	"faulthound/internal/scheme"
 )
 
 func main() {
 	var (
-		scheme   = flag.String("scheme", "baseline", "baseline, pbfs, pbfs-biased, faulthound, faulthound-backend")
+		schemeF  = flag.String("scheme", "baseline", "scheme spec, optionally parameterized like \"faulthound?tcam=16\" (known: "+scheme.Usage()+")")
 		maxInstr = flag.Uint64("max-instr", 1_000_000, "instruction budget")
 		regs     = flag.Bool("regs", true, "print nonzero architectural registers")
 	)
@@ -44,22 +43,24 @@ func main() {
 		fatal(err)
 	}
 
+	sp, err := scheme.Parse(*schemeF)
+	if err != nil {
+		fatal(err)
+	}
+	inst, err := scheme.Build(sp, scheme.Env{})
+	if err != nil {
+		fatal(err)
+	}
+	cfg := pipeline.DefaultConfig(1)
+	if inst.Configure != nil {
+		inst.Configure(&cfg)
+	}
 	var det detect.Detector
-	switch *scheme {
-	case "baseline":
-	case "pbfs":
-		det = pbfs.New(pbfs.Default())
-	case "pbfs-biased":
-		det = pbfs.New(pbfs.Biased())
-	case "faulthound":
-		det = core.New(core.DefaultConfig())
-	case "faulthound-backend":
-		det = core.New(core.BackendConfig())
-	default:
-		fatal(fmt.Errorf("unknown scheme %q", *scheme))
+	if inst.NewDetector != nil {
+		det = inst.NewDetector()
 	}
 
-	c, err := pipeline.New(pipeline.DefaultConfig(1), []*prog.Program{p}, det)
+	c, err := pipeline.New(cfg, []*prog.Program{p}, det)
 	if err != nil {
 		fatal(err)
 	}

@@ -36,6 +36,7 @@ import (
 	"faulthound/internal/harness"
 	"faulthound/internal/obs"
 	"faulthound/internal/obs/metrics"
+	"faulthound/internal/scheme"
 	"faulthound/internal/server"
 	"faulthound/internal/workload"
 )
@@ -43,7 +44,7 @@ import (
 func main() {
 	var (
 		bench      = flag.String("bench", "all", "comma-separated benchmarks, or \"all\" for the full Table-1 suite")
-		schemes    = flag.String("schemes", "faulthound", "comma-separated detection schemes under test (baseline runs implicitly)")
+		schemes    = flag.String("schemes", "faulthound", "comma-separated scheme specs under test (baseline runs implicitly); parameters attach with '?' (\"faulthound?tcam=16,delay=6\") and '|' sweeps fan out into cells (\"faulthound?tcam=8|16|32\")")
 		injections = flag.Int("injections", 0, "injections per benchmark x scheme cell (default: harness default)")
 		workers    = flag.Int("workers", 0, "worker goroutines (0 = GOMAXPROCS); results do not depend on it")
 		seed       = flag.Uint64("seed", 0, "campaign seed override")
@@ -87,15 +88,12 @@ func main() {
 				fatal(err)
 			}
 		}
-		for _, s := range strings.Split(*schemes, ",") {
-			s = strings.TrimSpace(s)
-			if s == "" {
-				continue
-			}
-			if !harness.ValidScheme(harness.Scheme(s)) {
-				fatal(fmt.Errorf("unknown scheme %q (known: %v)", s, harness.KnownSchemes()))
-			}
-			spec.Schemes = append(spec.Schemes, s)
+		specs, err := scheme.ParseList(*schemes)
+		if err != nil {
+			fatal(err)
+		}
+		for _, sp := range specs {
+			spec.Schemes = append(spec.Schemes, sp.String())
 		}
 		if *injections > 0 {
 			spec.Fault.Injections = *injections
@@ -160,12 +158,7 @@ func main() {
 	// generation uses.
 	sum := outcome.Summary
 	benches := spec.Benchmarks
-	var schemeList []harness.Scheme
-	for _, c := range spec.Cells() {
-		if c.Bench == benches[0] && c.Scheme != campaign.BaselineScheme {
-			schemeList = append(schemeList, harness.Scheme(c.Scheme))
-		}
-	}
+	schemeList := cellSchemes(spec, benches)
 	if len(schemeList) > 0 {
 		fmt.Println(harness.CoverageTableFromSummary("coverage",
 			"SDC coverage (fraction of would-be-SDC faults corrected or detected)",
@@ -174,6 +167,7 @@ func main() {
 			"False-positive rate (golden-run detector actions per committed instruction)",
 			sum, benches, append([]harness.Scheme{campaign.BaselineScheme}, schemeList...)).Render())
 	}
+	printCellSpecs(spec)
 	if n := wallHist.Count(); n > 0 {
 		fmt.Printf("injection wall time: p50=%s p95=%s max=%s (n=%d)\n",
 			secs(wallHist.Quantile(0.5)), secs(wallHist.Quantile(0.95)), secs(wallHist.Max()), n)
@@ -261,12 +255,7 @@ func runRemote(ctx context.Context, addr string, spec campaign.Spec) {
 		fatal(err)
 	}
 	benches := spec.Benchmarks
-	var schemeList []harness.Scheme
-	for _, c := range spec.Cells() {
-		if c.Bench == benches[0] && c.Scheme != campaign.BaselineScheme {
-			schemeList = append(schemeList, harness.Scheme(c.Scheme))
-		}
-	}
+	schemeList := cellSchemes(spec, benches)
 	if len(schemeList) > 0 {
 		fmt.Println(harness.CoverageTableFromSummary("coverage",
 			"SDC coverage (fraction of would-be-SDC faults corrected or detected)",
@@ -275,8 +264,41 @@ func runRemote(ctx context.Context, addr string, spec campaign.Spec) {
 			"False-positive rate (golden-run detector actions per committed instruction)",
 			sum, benches, append([]harness.Scheme{campaign.BaselineScheme}, schemeList...)).Render())
 	}
+	printCellSpecs(spec)
 	fmt.Printf("job: %s (run %s, %d injections/cell)\n", final.ID, final.RunID, sum.Injections)
 	fmt.Printf("bundle: %s/v1/campaigns/%s/bundle/\n", cl.Base, final.ID)
+}
+
+// cellSchemes lists the non-baseline scheme specs of the campaign in
+// cell order, as the table column keys.
+func cellSchemes(spec campaign.Spec, benches []string) []harness.Scheme {
+	var out []harness.Scheme
+	for _, c := range spec.Cells() {
+		if c.Bench == benches[0] && c.Scheme != campaign.BaselineSpec {
+			out = append(out, harness.Scheme(c.Scheme.String()))
+		}
+	}
+	return out
+}
+
+// printCellSpecs prints every distinct scheme of the campaign with its
+// canonical spec and the fully-resolved parameter list, so sweep
+// bundles are self-describing ("which tcam size was this cell again?").
+func printCellSpecs(spec campaign.Spec) {
+	seen := map[string]bool{}
+	fmt.Println("cells (canonical -> resolved):")
+	for _, c := range spec.Cells() {
+		sp := c.Scheme.String()
+		if seen[sp] {
+			continue
+		}
+		seen[sp] = true
+		resolved, err := scheme.Resolved(c.Scheme)
+		if err != nil {
+			resolved = sp
+		}
+		fmt.Printf("  %-28s %s\n", sp, resolved)
+	}
 }
 
 // benchList resolves the -bench flag.

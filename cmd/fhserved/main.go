@@ -11,6 +11,12 @@
 //	curl -d '{"benchmarks":["bzip2"],"schemes":["faulthound"]}' \
 //	    localhost:8418/v1/campaigns
 //
+// Schemes are registry specs: parameters attach with '?'
+// ("faulthound?tcam=16,delay=6") and sweep values with '|' fan out
+// into cells. GET /v1/schemes lists every scheme with its typed
+// parameters; an unknown or malformed spec is rejected with a 400
+// carrying the known-scheme list. See docs/SCHEMES.md.
+//
 // Identical specs deduplicate: a spec already queued or running
 // attaches to the in-flight job; one already completed is served from
 // the on-disk cache. On SIGTERM the daemon drains — running campaigns

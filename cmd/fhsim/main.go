@@ -22,6 +22,7 @@ import (
 	"faulthound/internal/mem"
 	"faulthound/internal/obs"
 	"faulthound/internal/pipeline"
+	"faulthound/internal/scheme"
 	"faulthound/internal/stats"
 	"faulthound/internal/workload"
 )
@@ -29,7 +30,8 @@ import (
 func main() {
 	var (
 		bench   = flag.String("bench", "bzip2", "benchmark name (see faulthound -experiment table1)")
-		scheme  = flag.String("scheme", "faulthound", "scheme: baseline, pbfs, pbfs-biased, faulthound-backend, faulthound, srt-iso, srt, fh-be-*")
+		schemeF = flag.String("scheme", "faulthound", "scheme spec, optionally parameterized like \"faulthound?tcam=16,delay=6\" (known: "+scheme.Usage()+")")
+		list    = flag.Bool("list-schemes", false, "print the scheme registry (names, parameters, defaults) and exit")
 		threads = flag.Int("threads", 2, "SMT contexts")
 		commits = flag.Uint64("commits", 30000, "per-thread committed instructions to simulate")
 		warmup  = flag.Uint64("warmup", 3000, "warmup cycles before measurement")
@@ -40,13 +42,17 @@ func main() {
 	)
 	flag.Parse()
 
+	if *list {
+		fmt.Print(scheme.Describe())
+		return
+	}
 	bm, err := workload.Get(*bench)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "fhsim:", err)
 		os.Exit(1)
 	}
-	if !harness.ValidScheme(harness.Scheme(*scheme)) {
-		fmt.Fprintf(os.Stderr, "fhsim: unknown scheme %q (known: %v)\n", *scheme, harness.KnownSchemes())
+	if _, err := scheme.Parse(*schemeF); err != nil {
+		fmt.Fprintln(os.Stderr, "fhsim:", err)
 		os.Exit(2)
 	}
 	opts := harness.DefaultOptions()
@@ -55,14 +61,14 @@ func main() {
 	opts.WarmupCycles = *warmup
 
 	if *trace != "" || *stages != "" {
-		if err := runTraced(opts, bm, harness.Scheme(*scheme), *trace, *stages, *traceN); err != nil {
+		if err := runTraced(opts, bm, harness.Scheme(*schemeF), *trace, *stages, *traceN); err != nil {
 			fmt.Fprintln(os.Stderr, "fhsim:", err)
 			os.Exit(1)
 		}
 		return
 	}
 
-	run, err := opts.TimingRun(bm, harness.Scheme(*scheme))
+	run, err := opts.TimingRun(bm, harness.Scheme(*schemeF))
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "fhsim:", err)
 		os.Exit(1)
@@ -73,14 +79,14 @@ func main() {
 	ps := c.Stats()
 	ms := c.MemStats()
 	if *asJSON {
-		if err := emitJSON(bm, *scheme, *threads, run); err != nil {
+		if err := emitJSON(bm, *schemeF, *threads, run); err != nil {
 			fmt.Fprintln(os.Stderr, "fhsim:", err)
 			os.Exit(1)
 		}
 		return
 	}
 	fmt.Printf("benchmark        %s (%s)\n", bm.Name, bm.Suite)
-	fmt.Printf("scheme           %s\n", *scheme)
+	fmt.Printf("scheme           %s\n", *schemeF)
 	fmt.Printf("threads          %d\n", *threads)
 	fmt.Printf("cycles           %d (measured window)\n", cycles)
 	fmt.Printf("committed        %d (all threads)\n", committed)
@@ -112,8 +118,8 @@ func main() {
 // set, a Perfetto/Chrome trace-event JSON file (one track per SMT
 // thread, timestamps in cycles); otherwise a stage-filtered text trace
 // on stdout.
-func runTraced(opts harness.Options, bm workload.Benchmark, scheme harness.Scheme, outFile, stages string, traceN uint64) error {
-	c, err := opts.BuildCore(bm, scheme, opts.Threads)
+func runTraced(opts harness.Options, bm workload.Benchmark, s harness.Scheme, outFile, stages string, traceN uint64) error {
+	c, err := opts.BuildCore(bm, s, opts.Threads)
 	if err != nil {
 		return err
 	}
@@ -165,7 +171,7 @@ func runTraced(opts harness.Options, bm workload.Benchmark, scheme harness.Schem
 // emitJSON writes the run's full stats block as a single JSON object on
 // stdout, marshaled the same way the campaign subsystem marshals its
 // summary artifacts (stable keys, indented, provenance-stamped).
-func emitJSON(bm workload.Benchmark, scheme string, threads int, run harness.Run) error {
+func emitJSON(bm workload.Benchmark, schemeSpec string, threads int, run harness.Run) error {
 	c := run.Core
 	ps, ms := c.Stats(), c.MemStats()
 	var ds detect.Stats
@@ -193,7 +199,7 @@ func emitJSON(bm workload.Benchmark, scheme string, threads int, run harness.Run
 		Provenance:  campaign.NewProvenance(campaign.DefaultRunID()),
 		Benchmark:   bm.Name,
 		Suite:       bm.Suite,
-		Scheme:      scheme,
+		Scheme:      schemeSpec,
 		Threads:     threads,
 		Cycles:      run.Cycles,
 		Committed:   run.Committed,

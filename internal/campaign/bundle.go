@@ -46,7 +46,7 @@ func ResultsCSV(out *Outcome) string {
 	sb.WriteString("bench,scheme,index,structure,bit,cycle_offset,in_flight,outcome,hung,detected,triggers,suppressed,replays,rollbacks,singletons,bin\n")
 	baseline := make(map[string]*fault.Campaign)
 	for i, c := range out.Cells {
-		if c.Scheme == BaselineScheme {
+		if c.Scheme == BaselineSpec {
 			baseline[c.Bench] = out.Campaigns[i]
 		}
 	}
@@ -54,7 +54,7 @@ func ResultsCSV(out *Outcome) string {
 		base := baseline[c.Bench]
 		for i, r := range out.Campaigns[ci].Results {
 			bin := ""
-			if c.Scheme != BaselineScheme && base != nil && i < len(base.Results) {
+			if c.Scheme != BaselineSpec && base != nil && i < len(base.Results) {
 				if b, counted := fault.ClassifyPair(base.Results[i], r); counted {
 					bin = b.String()
 				}

@@ -19,6 +19,7 @@ import (
 
 	"faulthound/internal/fault"
 	"faulthound/internal/pipeline"
+	"faulthound/internal/scheme"
 	"faulthound/internal/stats"
 )
 
@@ -26,6 +27,10 @@ import (
 // Every campaign runs a baseline cell per benchmark: coverage is
 // defined against it.
 const BaselineScheme = "baseline"
+
+// BaselineSpec is BaselineScheme as a resolved scheme spec — the cell
+// key of every pairing-basis cell.
+var BaselineSpec = scheme.Spec{Name: BaselineScheme}
 
 // Spec declares a campaign: which benchmark×scheme cells to run and
 // with what fault configuration. The spec is stored verbatim in
@@ -36,9 +41,10 @@ type Spec struct {
 	RunID string `json:"run_id"`
 	// Benchmarks lists the workloads, in execution order.
 	Benchmarks []string `json:"benchmarks"`
-	// Schemes lists the detection schemes under test. The baseline is
-	// implicit: each benchmark always gets a baseline cell first, and
-	// listing "baseline" explicitly is allowed but redundant.
+	// Schemes lists the detection schemes under test, as canonical
+	// scheme spec strings ("faulthound", "faulthound?tcam=16"). The
+	// baseline is implicit: each benchmark always gets a baseline cell
+	// first, and listing "baseline" explicitly is allowed but redundant.
 	Schemes []string `json:"schemes"`
 	// Workers sizes the injection worker pool; <= 0 means GOMAXPROCS.
 	// Results do not depend on it.
@@ -50,27 +56,32 @@ type Spec struct {
 }
 
 // Cell is one benchmark×scheme campaign of Spec.Fault.Injections
-// injections.
+// injections. Scheme is a resolved scheme spec; its canonical string
+// form is what journals, manifests, and result bundles record, so a
+// plain scheme name serializes exactly as it always has.
 type Cell struct {
-	Bench  string `json:"bench"`
-	Scheme string `json:"scheme"`
+	Bench  string      `json:"bench"`
+	Scheme scheme.Spec `json:"scheme"`
 }
 
-// String renders the cell as "bench/scheme".
-func (c Cell) String() string { return c.Bench + "/" + c.Scheme }
+// String renders the cell as "bench/scheme-spec".
+func (c Cell) String() string { return c.Bench + "/" + c.Scheme.String() }
 
 // Cells enumerates the campaign cells in deterministic execution
 // order: benchmark-major, baseline first, then the spec's schemes in
-// order (deduplicated).
+// order (deduplicated on their canonical spec). Scheme strings are
+// parsed syntactically — enumeration is total; validation happens when
+// the CoreFactory resolves a cell.
 func (s Spec) Cells() []Cell {
 	var out []Cell
 	for _, bm := range s.Benchmarks {
-		out = append(out, Cell{bm, BaselineScheme})
-		seen := map[string]bool{BaselineScheme: true}
+		out = append(out, Cell{bm, BaselineSpec})
+		seen := map[scheme.Spec]bool{BaselineSpec: true}
 		for _, sch := range s.Schemes {
-			if !seen[sch] {
-				seen[sch] = true
-				out = append(out, Cell{bm, sch})
+			sp := scheme.FromString(sch)
+			if !seen[sp] {
+				seen[sp] = true
+				out = append(out, Cell{bm, sp})
 			}
 		}
 	}
@@ -118,7 +129,7 @@ func (s Spec) equivalent(o Spec) bool {
 // It is how the engine stays independent of the experiment harness: the
 // harness (or the CLI) supplies scheme resolution and core
 // construction.
-type CoreFactory func(bench, scheme string) (func() *pipeline.Core, error)
+type CoreFactory func(bench string, sp scheme.Spec) (func() *pipeline.Core, error)
 
 // CellSeed derives a decorrelated RNG for per-cell auxiliary draws
 // (shard labels, sampling) from the campaign seed via stats.RNG.Split.
@@ -129,7 +140,7 @@ type CoreFactory func(bench, scheme string) (func() *pipeline.Core, error)
 // count.
 func CellSeed(seed uint64, c Cell) uint64 {
 	rng := stats.NewRNG(seed)
-	for _, s := range []string{c.Bench, c.Scheme} {
+	for _, s := range []string{c.Bench, c.Scheme.String()} {
 		for _, b := range []byte(s) {
 			rng = stats.NewRNG(rng.Uint64() ^ uint64(b))
 		}

@@ -14,6 +14,7 @@ import (
 	"faulthound/internal/fault"
 	"faulthound/internal/harness"
 	"faulthound/internal/obs"
+	"faulthound/internal/scheme"
 )
 
 // testSpec returns a small two-cell campaign (bzip2 x baseline +
@@ -161,7 +162,7 @@ func TestBundleArtifacts(t *testing.T) {
 	if man.Provenance.RunID != "test-run" || man.Provenance.GoVersion == "" || man.Provenance.GitCommit == "" {
 		t.Fatalf("incomplete provenance: %+v", man.Provenance)
 	}
-	if cells := man.Spec.Cells(); len(cells) != 2 || cells[0].Scheme != campaign.BaselineScheme {
+	if cells := man.Spec.Cells(); len(cells) != 2 || cells[0].Scheme != campaign.BaselineSpec {
 		t.Fatalf("manifest spec cells = %v", cells)
 	}
 
@@ -327,8 +328,8 @@ func TestCellsEnumeration(t *testing.T) {
 	}
 	got := s.Cells()
 	want := []campaign.Cell{
-		{"a", "baseline"}, {"a", "x"}, {"a", "y"},
-		{"b", "baseline"}, {"b", "x"}, {"b", "y"},
+		{"a", scheme.Spec{Name: "baseline"}}, {"a", scheme.Spec{Name: "x"}}, {"a", scheme.Spec{Name: "y"}},
+		{"b", scheme.Spec{Name: "baseline"}}, {"b", scheme.Spec{Name: "x"}}, {"b", scheme.Spec{Name: "y"}},
 	}
 	if len(got) != len(want) {
 		t.Fatalf("cells = %v", got)
@@ -343,13 +344,14 @@ func TestCellsEnumeration(t *testing.T) {
 // TestCellSeedDecorrelation: distinct cells derive distinct auxiliary
 // seeds, stable across calls.
 func TestCellSeedDecorrelation(t *testing.T) {
-	a := campaign.CellSeed(1, campaign.Cell{Bench: "bzip2", Scheme: "faulthound"})
-	b := campaign.CellSeed(1, campaign.Cell{Bench: "bzip2", Scheme: "baseline"})
-	c := campaign.CellSeed(1, campaign.Cell{Bench: "mcf", Scheme: "faulthound"})
+	fh := scheme.Spec{Name: "faulthound"}
+	a := campaign.CellSeed(1, campaign.Cell{Bench: "bzip2", Scheme: fh})
+	b := campaign.CellSeed(1, campaign.Cell{Bench: "bzip2", Scheme: campaign.BaselineSpec})
+	c := campaign.CellSeed(1, campaign.Cell{Bench: "mcf", Scheme: fh})
 	if a == b || a == c || b == c {
 		t.Fatalf("cell seeds collide: %x %x %x", a, b, c)
 	}
-	if a != campaign.CellSeed(1, campaign.Cell{Bench: "bzip2", Scheme: "faulthound"}) {
+	if a != campaign.CellSeed(1, campaign.Cell{Bench: "bzip2", Scheme: fh}) {
 		t.Fatal("cell seed not stable")
 	}
 }

@@ -12,6 +12,7 @@ import (
 	"faulthound/internal/fault"
 	"faulthound/internal/obs"
 	"faulthound/internal/pipeline"
+	"faulthound/internal/scheme"
 )
 
 // ManifestName is the manifest's file name inside a run directory.
@@ -185,7 +186,7 @@ func (e *Engine) Run(ctx context.Context, dir string, resume bool) (*Outcome, er
 			}
 		}
 		for _, r := range recs {
-			ci, ok := cellIdx[Cell{r.Bench, r.Scheme}]
+			ci, ok := cellIdx[Cell{r.Bench, scheme.FromString(r.Scheme)}]
 			if !ok {
 				return nil, fmt.Errorf("campaign: journal records unknown cell %s/%s", r.Bench, r.Scheme)
 			}
@@ -297,7 +298,7 @@ func (e *Engine) Run(ctx context.Context, dir string, resume bool) (*Outcome, er
 			fpRates[ci], fpKnown[ci] = p.FPRate(), true
 			mu.Unlock()
 			if journal != nil {
-				if err := journal.append(Record{Kind: "prep", Bench: c.Bench, Scheme: c.Scheme, FPRate: p.FPRate()}); err != nil {
+				if err := journal.append(Record{Kind: "prep", Bench: c.Bench, Scheme: c.Scheme.String(), FPRate: p.FPRate()}); err != nil {
 					st.err = err
 				}
 			}
@@ -342,7 +343,7 @@ func (e *Engine) Run(ctx context.Context, dir string, resume bool) (*Outcome, er
 				have[t.cell][t.inj] = true
 				if journal != nil {
 					c := cells[t.cell]
-					if err := journal.append(Record{Kind: "result", Bench: c.Bench, Scheme: c.Scheme, Index: t.inj, Result: &res}); err != nil {
+					if err := journal.append(Record{Kind: "result", Bench: c.Bench, Scheme: c.Scheme.String(), Index: t.inj, Result: &res}); err != nil {
 						fail(err)
 						return
 					}

@@ -84,20 +84,20 @@ func buildSummary(spec Spec, cells []Cell, campaigns []*fault.Campaign, fpRates 
 	// Index the baseline campaign per benchmark for pairing.
 	baseline := make(map[string]*fault.Campaign)
 	for i, c := range cells {
-		if c.Scheme == BaselineScheme {
+		if c.Scheme == BaselineSpec {
 			baseline[c.Bench] = campaigns[i]
 		}
 	}
 	for i, c := range cells {
 		camp := campaigns[i]
-		cs := CellSummary{Bench: c.Bench, Scheme: c.Scheme, FPRate: fpRates[i]}
+		cs := CellSummary{Bench: c.Bench, Scheme: c.Scheme.String(), FPRate: fpRates[i]}
 		cs.Masked, cs.Noisy, cs.SDC = camp.Classification()
 		for _, r := range camp.Results {
 			if r.Detected {
 				cs.Detected++
 			}
 		}
-		if c.Scheme != BaselineScheme {
+		if c.Scheme != BaselineSpec {
 			if base := baseline[c.Bench]; base != nil {
 				rep := fault.PairCoverage(base, camp)
 				cov := &CoverageSummary{

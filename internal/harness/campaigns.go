@@ -2,11 +2,11 @@ package harness
 
 import (
 	"context"
-	"fmt"
 
 	"faulthound/internal/campaign"
 	"faulthound/internal/fault"
 	"faulthound/internal/pipeline"
+	"faulthound/internal/scheme"
 	"faulthound/internal/workload"
 )
 
@@ -16,19 +16,26 @@ import (
 // coverage/FP tables below consume campaign summaries.
 
 // CampaignFactory adapts this Options' core construction to the
-// campaign engine: scheme names resolve through the harness scheme
-// registry, cores build exactly as fault campaigns always have
-// (single-threaded; see DESIGN.md).
+// campaign engine: scheme specs resolve through the scheme registry,
+// cores build exactly as fault campaigns always have (single-threaded;
+// see DESIGN.md). Resolution errors (unknown scheme, bad parameter)
+// surface here, before any injection runs.
 func (o Options) CampaignFactory() campaign.CoreFactory {
-	return func(bench, scheme string) (func() *pipeline.Core, error) {
+	return func(bench string, sp scheme.Spec) (func() *pipeline.Core, error) {
 		bm, err := workload.Get(bench)
 		if err != nil {
 			return nil, err
 		}
-		if !ValidScheme(Scheme(scheme)) {
-			return nil, fmt.Errorf("harness: unknown scheme %q", scheme)
+		if _, err := scheme.Build(sp, o.SchemeEnv()); err != nil {
+			return nil, err
 		}
-		return o.MakeCore(bm, Scheme(scheme)), nil
+		return func() *pipeline.Core {
+			c, err := o.BuildCoreSpec(bm, sp, 1)
+			if err != nil {
+				panic(err)
+			}
+			return c
+		}, nil
 	}
 }
 

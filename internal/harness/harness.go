@@ -7,16 +7,18 @@ package harness
 import (
 	"fmt"
 
-	"faulthound/internal/core"
 	"faulthound/internal/detect"
 	"faulthound/internal/fault"
-	"faulthound/internal/pbfs"
 	"faulthound/internal/pipeline"
-	"faulthound/internal/srt"
+	"faulthound/internal/scheme"
 	"faulthound/internal/workload"
 )
 
-// Scheme identifies one fault-tolerance configuration under test.
+// Scheme identifies one fault-tolerance configuration under test: a
+// scheme spec string resolved by the internal/scheme registry. The
+// constants below name the plain (all-defaults) schemes of the paper's
+// evaluation; parameterized specs like "faulthound?tcam=16" are equally
+// valid values.
 type Scheme string
 
 // Schemes of the evaluation.
@@ -116,59 +118,57 @@ func (o Options) benchmarks() ([]workload.Benchmark, error) {
 	return out, nil
 }
 
-// KnownSchemes lists every scheme name the harness accepts.
+// KnownSchemes lists every scheme name the harness accepts, derived
+// from the registry in registration order.
 func KnownSchemes() []Scheme {
-	return []Scheme{Baseline, PBFS, PBFSBiased, FHBackend, FaultHound,
-		SRTIso, SRTFull, FHBE, FHBENoLSQ, FHBENo2Level, FHBENoClust, FHBEFullRB}
+	names := scheme.Names()
+	out := make([]Scheme, len(names))
+	for i, n := range names {
+		out[i] = Scheme(n)
+	}
+	return out
 }
 
-// ValidScheme reports whether s names a known scheme.
+// ValidScheme reports whether s parses as a scheme spec against the
+// registry.
 func ValidScheme(s Scheme) bool {
-	for _, k := range KnownSchemes() {
-		if s == k {
-			return true
-		}
-	}
-	return false
+	return scheme.Valid(string(s))
 }
 
-// detectorFor builds the detector for a scheme (nil for baseline and
-// the SRT models, which are pipeline configurations instead).
-func detectorFor(s Scheme) detect.Detector {
-	switch s {
-	case PBFS:
-		return pbfs.New(pbfs.Default())
-	case PBFSBiased:
-		return pbfs.New(pbfs.Biased())
-	case FHBackend, FHBE:
-		return core.New(core.BackendConfig())
-	case FaultHound:
-		return core.New(core.DefaultConfig())
-	case FHBENoLSQ:
-		return core.New(core.NoLSQConfig())
-	case FHBENo2Level:
-		return core.New(core.No2LevelConfig())
-	case FHBENoClust:
-		return core.New(core.NoClusterNo2LevelConfig())
-	case FHBEFullRB:
-		return core.New(core.FullRollbackConfig())
-	default:
-		return nil
-	}
+// SchemeEnv is the host-tunable view the options hand the registry's
+// factories (SRT-iso coverage matching).
+func (o Options) SchemeEnv() scheme.Env {
+	return scheme.Env{SRTCoverage: o.SRTCoverage}
 }
 
 // BuildCore constructs a core for (benchmark, scheme) with the given
-// thread count.
+// thread count. The scheme is a spec string ("faulthound",
+// "faulthound?tcam=16,delay=6") resolved by the registry.
 func (o Options) BuildCore(bm workload.Benchmark, s Scheme, threads int) (*pipeline.Core, error) {
+	sp, err := scheme.Parse(string(s))
+	if err != nil {
+		return nil, err
+	}
+	return o.BuildCoreSpec(bm, sp, threads)
+}
+
+// BuildCoreSpec is BuildCore over an already-parsed scheme spec — the
+// form the campaign engine's cells carry.
+func (o Options) BuildCoreSpec(bm workload.Benchmark, sp scheme.Spec, threads int) (*pipeline.Core, error) {
+	inst, err := scheme.Build(sp, o.SchemeEnv())
+	if err != nil {
+		return nil, err
+	}
 	cfg := pipeline.DefaultConfig(threads)
-	switch s {
-	case SRTIso:
-		srt.Iso(o.SRTCoverage).Configure(&cfg)
-	case SRTFull:
-		srt.Full().Configure(&cfg)
+	if inst.Configure != nil {
+		inst.Configure(&cfg)
+	}
+	var det detect.Detector
+	if inst.NewDetector != nil {
+		det = inst.NewDetector()
 	}
 	programs := workload.Programs(bm, threads, o.Seed)
-	return pipeline.New(cfg, programs, detectorFor(s))
+	return pipeline.New(cfg, programs, det)
 }
 
 // MakeCore returns a deterministic constructor for fault campaigns

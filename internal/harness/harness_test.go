@@ -3,6 +3,8 @@ package harness
 import (
 	"strings"
 	"testing"
+
+	"faulthound/internal/scheme"
 )
 
 // quick returns small options over a 3-benchmark subset spanning the
@@ -194,16 +196,32 @@ func TestRunFPRate(t *testing.T) {
 }
 
 func TestSchemeDetectors(t *testing.T) {
-	// Every non-baseline scheme resolves to a detector; SRT schemes and
-	// baseline do not.
+	// Every non-baseline scheme resolves to a detector through the
+	// registry; SRT schemes and baseline do not.
+	o := DefaultOptions()
 	withDet := []Scheme{PBFS, PBFSBiased, FHBackend, FaultHound, FHBENoLSQ, FHBENo2Level, FHBENoClust, FHBEFullRB}
 	for _, s := range withDet {
-		if detectorFor(s) == nil {
+		sp, err := scheme.Parse(string(s))
+		if err != nil {
+			t.Errorf("scheme %s does not parse: %v", s, err)
+			continue
+		}
+		inst, err := scheme.Build(sp, o.SchemeEnv())
+		if err != nil {
+			t.Errorf("scheme %s does not build: %v", s, err)
+			continue
+		}
+		if inst.NewDetector == nil || inst.NewDetector() == nil {
 			t.Errorf("scheme %s has no detector", s)
 		}
 	}
 	for _, s := range []Scheme{Baseline, SRTIso, SRTFull} {
-		if detectorFor(s) != nil {
+		inst, err := scheme.Build(scheme.Spec{Name: string(s)}, o.SchemeEnv())
+		if err != nil {
+			t.Errorf("scheme %s does not build: %v", s, err)
+			continue
+		}
+		if inst.NewDetector != nil {
 			t.Errorf("scheme %s should have no detector", s)
 		}
 	}

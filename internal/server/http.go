@@ -9,6 +9,7 @@ import (
 	"strings"
 
 	"faulthound/internal/campaign"
+	"faulthound/internal/scheme"
 )
 
 // bundleFiles is the whitelist the bundle endpoint serves — exactly
@@ -29,12 +30,14 @@ var bundleFiles = []string{
 //	GET  /v1/campaigns/{id}         job status
 //	GET  /v1/campaigns/{id}/events  progress stream (JSONL, or SSE via Accept)
 //	GET  /v1/campaigns/{id}/bundle/ bundle file list; append a file name to fetch it
+//	GET  /v1/schemes                scheme registry metadata (names, parameters)
 //	GET  /metrics                   Prometheus text format
 //	GET  /healthz                   liveness
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/campaigns", s.handleSubmit)
 	mux.HandleFunc("GET /v1/campaigns", s.handleList)
+	mux.HandleFunc("GET /v1/schemes", s.handleSchemes)
 	mux.HandleFunc("GET /v1/campaigns/{id}", s.handleStatus)
 	mux.HandleFunc("GET /v1/campaigns/{id}/events", s.handleEvents)
 	mux.HandleFunc("GET /v1/campaigns/{id}/bundle/", s.handleBundleIndex)
@@ -74,6 +77,16 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	switch {
 	case err == nil:
 	case isBadSpec(err):
+		// Unknown or malformed scheme specs get the structured form:
+		// the error plus the registry's scheme list, so a client can
+		// correct the submission without a round trip to the docs.
+		if scheme.IsSpecError(err) {
+			writeJSON(w, http.StatusBadRequest, map[string]any{
+				"error":         err.Error(),
+				"known_schemes": scheme.Names(),
+			})
+			return
+		}
 		writeError(w, http.StatusBadRequest, err.Error())
 		return
 	case isQueueFull(err):
@@ -95,6 +108,12 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleList(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{"jobs": s.Jobs()})
+}
+
+// handleSchemes serves the self-describing registry metadata: every
+// scheme name with its help line and typed parameter list.
+func (s *Server) handleSchemes(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"schemes": scheme.All()})
 }
 
 func (s *Server) jobFor(w http.ResponseWriter, r *http.Request) *job {

@@ -18,6 +18,7 @@ package server
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"log/slog"
@@ -321,7 +322,10 @@ func (s *Server) Unfinished() []string {
 // served by dedup/cache. A failed job is retried, not served from
 // cache.
 func (s *Server) Submit(spec campaign.Spec) (*job, bool, error) {
-	norm := NormalizeSpec(spec, s.cfg.BaseFault)
+	norm, err := NormalizeSpec(spec, s.cfg.BaseFault)
+	if err != nil {
+		return nil, false, wrapBadSpec(err)
+	}
 	if len(norm.Benchmarks) == 0 {
 		return nil, false, errBadSpec("spec has no benchmarks")
 	}
@@ -337,7 +341,7 @@ func (s *Server) Submit(spec campaign.Spec) (*job, bool, error) {
 	// 400 at submit time, not a failed job later.
 	for _, c := range cells {
 		if _, err := s.cfg.Factory(c.Bench, c.Scheme); err != nil {
-			return nil, false, errBadSpec(err.Error())
+			return nil, false, wrapBadSpec(err)
 		}
 	}
 	id := SpecHash(norm, s.cfg.GitCommit)
@@ -389,12 +393,18 @@ func (s *Server) Submit(spec campaign.Spec) (*job, bool, error) {
 // submission.
 var errQueueFull = fmt.Errorf("server: job queue is full")
 
-type badSpecError string
+// badSpecError marks a submission rejected at validation time. It
+// wraps the underlying cause so callers (the HTTP layer) can inspect
+// the chain — a scheme.IsSpecError cause turns the 400 body into the
+// structured known-schemes form.
+type badSpecError struct{ err error }
 
-func errBadSpec(msg string) error    { return badSpecError(msg) }
-func (e badSpecError) Error() string { return "server: bad spec: " + string(e) }
-func isBadSpec(err error) bool       { _, ok := err.(badSpecError); return ok }
-func isQueueFull(err error) bool     { return err == errQueueFull }
+func errBadSpec(msg string) error     { return &badSpecError{errors.New(msg)} }
+func wrapBadSpec(err error) error     { return &badSpecError{err} }
+func (e *badSpecError) Error() string { return "server: bad spec: " + e.err.Error() }
+func (e *badSpecError) Unwrap() error { return e.err }
+func isBadSpec(err error) bool        { var b *badSpecError; return errors.As(err, &b) }
+func isQueueFull(err error) bool      { return err == errQueueFull }
 func (s *Server) enqueueLocked(j *job) error {
 	select {
 	case s.queue <- j:
@@ -442,12 +452,12 @@ func (s *Server) runJob(j *job) {
 	// Register the job's labeled series up front so a scrape during the
 	// run (or after a run with zero detections) still renders them.
 	for _, c := range j.spec.Cells() {
-		labels := map[string]string{"bench": c.Bench, "scheme": c.Scheme}
+		labels := map[string]string{"bench": c.Bench, "scheme": c.Scheme.String()}
 		s.reg.HistogramWith(injDurName, injDurHelp, injDurBuckets(), labels)
 		s.reg.HistogramWith(detLatName, detLatHelp, detLatBuckets(), labels)
 		for _, o := range []string{"masked", "noisy", "sdc"} {
 			s.reg.CounterWith(outcomeName, outcomeHelp,
-				map[string]string{"bench": c.Bench, "scheme": c.Scheme, "outcome": o})
+				map[string]string{"bench": c.Bench, "scheme": c.Scheme.String(), "outcome": o})
 		}
 	}
 
@@ -459,7 +469,7 @@ func (s *Server) runJob(j *job) {
 			s.mInjections.Inc()
 		},
 		Prepare: func(c campaign.Cell, mk func() *pipeline.Core, cfg fault.Config) (*fault.Prepared, error) {
-			return s.prepared.Get(fault.PreparedKey{Bench: c.Bench, Scheme: c.Scheme, Cfg: cfg}, mk)
+			return s.prepared.Get(fault.PreparedKey{Bench: c.Bench, Scheme: c.Scheme.String(), Cfg: cfg}, mk)
 		},
 		Warnf: func(format string, args ...any) { s.log.Warn(fmt.Sprintf(format, args...)) },
 		Obs:   newMetricsSink(s.reg, s.mInflight),

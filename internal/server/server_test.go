@@ -1,7 +1,9 @@
 package server
 
 import (
+	"bytes"
 	"context"
+	"encoding/json"
 	"net/http"
 	"net/http/httptest"
 	"os"
@@ -336,6 +338,91 @@ func TestServerRejections(t *testing.T) {
 	id := s.Jobs()[0].ID
 	if _, err := cl.BundleFile(ctx, id, StatusName); err == nil {
 		t.Fatal("bundle endpoint served a non-bundle file")
+	}
+}
+
+// TestSchemeSpecRejection: an unknown or malformed scheme spec is a
+// structured 400 carrying the registry's scheme list, and /v1/schemes
+// serves the registry metadata.
+func TestSchemeSpecRejection(t *testing.T) {
+	s, err := New(testConfig(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	for _, bad := range []string{"bogus", "faulthound?tcam=zap"} {
+		spec := testSpec(4)
+		spec.Schemes = []string{bad}
+		body, err := json.Marshal(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.Post(ts.URL+"/v1/campaigns", "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("scheme %q: status %d, want 400", bad, resp.StatusCode)
+		}
+		var got struct {
+			Error        string   `json:"error"`
+			KnownSchemes []string `json:"known_schemes"`
+		}
+		if err := json.Unmarshal([]byte(readAll(t, resp)), &got); err != nil {
+			t.Fatal(err)
+		}
+		if got.Error == "" {
+			t.Errorf("scheme %q: 400 body has no error", bad)
+		}
+		found := false
+		for _, n := range got.KnownSchemes {
+			if n == "faulthound" {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("scheme %q: 400 body known_schemes = %v, want the registry list", bad, got.KnownSchemes)
+		}
+	}
+
+	resp, err := http.Get(ts.URL + "/v1/schemes")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/v1/schemes status %d", resp.StatusCode)
+	}
+	var meta struct {
+		Schemes []struct {
+			Name   string `json:"name"`
+			Params []struct {
+				Name string `json:"name"`
+				Kind string `json:"kind"`
+			} `json:"params"`
+		} `json:"schemes"`
+	}
+	if err := json.Unmarshal([]byte(readAll(t, resp)), &meta); err != nil {
+		t.Fatal(err)
+	}
+	var fh bool
+	for _, sc := range meta.Schemes {
+		if sc.Name == "faulthound" {
+			fh = true
+			var tcam bool
+			for _, p := range sc.Params {
+				if p.Name == "tcam" && p.Kind == "int" {
+					tcam = true
+				}
+			}
+			if !tcam {
+				t.Errorf("/v1/schemes: faulthound has no int tcam param: %+v", sc.Params)
+			}
+		}
+	}
+	if !fh {
+		t.Error("/v1/schemes does not list faulthound")
 	}
 }
 

@@ -8,6 +8,7 @@ import (
 
 	"faulthound/internal/campaign"
 	"faulthound/internal/fault"
+	"faulthound/internal/scheme"
 )
 
 // NormalizeSpec canonicalizes a submitted spec so semantically
@@ -16,6 +17,9 @@ import (
 //   - zero-valued fault fields are filled from base (a client that
 //     posts only injections and a seed means "the server defaults for
 //     everything else"),
+//   - scheme specs are canonicalized against the registry (parameter
+//     order and default-valued parameters collapse) and sweep syntax
+//     fans out, so "faulthound?tcam=32" and "faulthound" are one job,
 //   - benchmarks and schemes are re-derived from the canonical cell
 //     enumeration (duplicates and an explicit "baseline" collapse, as
 //     campaign.Spec.Cells always treated them),
@@ -24,8 +28,9 @@ import (
 //     is a scheduling choice).
 //
 // Benchmark order is preserved — it determines bundle row order, so it
-// is part of the job's identity.
-func NormalizeSpec(spec campaign.Spec, base fault.Config) campaign.Spec {
+// is part of the job's identity. An unknown scheme or malformed spec
+// is an error satisfying scheme.IsSpecError.
+func NormalizeSpec(spec campaign.Spec, base fault.Config) (campaign.Spec, error) {
 	f := spec.Fault
 	if f.Injections == 0 {
 		f.Injections = base.Injections
@@ -58,19 +63,33 @@ func NormalizeSpec(spec campaign.Spec, base fault.Config) campaign.Spec {
 		f.Seed = base.Seed
 	}
 
+	// Canonicalize the scheme list through the registry: sweep values
+	// fan out into individual specs, parameter order and default-valued
+	// parameters collapse, unknown schemes and malformed specs fail.
+	var schemes []string
+	for _, s := range spec.Schemes {
+		specs, err := scheme.Expand(s)
+		if err != nil {
+			return campaign.Spec{}, err
+		}
+		for _, sp := range specs {
+			schemes = append(schemes, sp.String())
+		}
+	}
+
 	out := campaign.Spec{Fault: f}
 	seen := make(map[string]bool)
-	for _, c := range (campaign.Spec{Benchmarks: spec.Benchmarks, Schemes: spec.Schemes}).Cells() {
+	for _, c := range (campaign.Spec{Benchmarks: spec.Benchmarks, Schemes: schemes}).Cells() {
 		if !seen["b/"+c.Bench] {
 			seen["b/"+c.Bench] = true
 			out.Benchmarks = append(out.Benchmarks, c.Bench)
 		}
-		if c.Scheme != campaign.BaselineScheme && !seen["s/"+c.Scheme] {
-			seen["s/"+c.Scheme] = true
-			out.Schemes = append(out.Schemes, c.Scheme)
+		if sch := c.Scheme.String(); c.Scheme != campaign.BaselineSpec && !seen["s/"+sch] {
+			seen["s/"+sch] = true
+			out.Schemes = append(out.Schemes, sch)
 		}
 	}
-	return out
+	return out, nil
 }
 
 // specHashable is exactly what identifies a job's results: the

@@ -1,0 +1,69 @@
+package server
+
+import (
+	"encoding/json"
+	"os"
+	"testing"
+
+	"faulthound/internal/campaign"
+	"faulthound/internal/fault"
+	"faulthound/internal/scheme"
+)
+
+// TestSpecHashGolden pins the spec hash of every plain scheme name
+// against values captured before the scheme registry existed, when
+// cells carried bare strings. These hashes are job identities: the
+// daemon's on-disk result cache and published bundle URLs key on them,
+// so a plain scheme name must hash byte-identically forever. The
+// golden file is testdata/spechash_golden.json; it must never be
+// regenerated to make this test pass.
+func TestSpecHashGolden(t *testing.T) {
+	b, err := os.ReadFile("testdata/spechash_golden.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var golden map[string]string
+	if err := json.Unmarshal(b, &golden); err != nil {
+		t.Fatal(err)
+	}
+
+	base := fault.DefaultConfig()
+	specFor := func(schemes []string) campaign.Spec {
+		return campaign.Spec{
+			Benchmarks: []string{"bzip2", "mcf"},
+			Schemes:    schemes,
+			Fault:      base,
+		}
+	}
+
+	for _, name := range scheme.Names() {
+		want, ok := golden[name]
+		if !ok {
+			t.Errorf("scheme %s has no golden hash — a NEW scheme needs a golden entry (hash it once and append); an EXISTING scheme missing here means the golden file was damaged", name)
+			continue
+		}
+		norm, err := NormalizeSpec(specFor([]string{name}), base)
+		if err != nil {
+			t.Errorf("scheme %s: %v", name, err)
+			continue
+		}
+		if got := SpecHash(norm, "golden-commit"); got != want {
+			t.Errorf("scheme %s: spec hash %s, want golden %s — plain-name spec hashes are frozen (cache keys, bundle URLs)", name, got, want)
+		}
+	}
+
+	// A multi-benchmark, multi-scheme spec exercises cell enumeration
+	// order end to end.
+	multi := campaign.Spec{
+		Benchmarks: []string{"bzip2", "mcf", "astar"},
+		Schemes:    []string{"pbfs", "faulthound", "fh-be-nolsq"},
+		Fault:      base,
+	}
+	norm, err := NormalizeSpec(multi, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := SpecHash(norm, "golden-commit"); got != golden["multi"] {
+		t.Errorf("multi-cell spec hash %s, want golden %s", got, golden["multi"])
+	}
+}

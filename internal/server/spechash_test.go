@@ -6,12 +6,23 @@ import (
 
 	"faulthound/internal/campaign"
 	"faulthound/internal/fault"
+	"faulthound/internal/scheme"
 )
 
 func baseCfg() fault.Config {
 	cfg := fault.DefaultConfig()
 	cfg.Injections = 50
 	return cfg
+}
+
+// mustNormalize is NormalizeSpec for specs the test knows are valid.
+func mustNormalize(t *testing.T, spec campaign.Spec, base fault.Config) campaign.Spec {
+	t.Helper()
+	n, err := NormalizeSpec(spec, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n
 }
 
 // TestSpecHashCanonicalization: semantically identical specs hash
@@ -23,7 +34,7 @@ func TestSpecHashCanonicalization(t *testing.T) {
 		Schemes:    []string{"faulthound"},
 		Fault:      base,
 	}
-	refHash := SpecHash(NormalizeSpec(ref, base), "commit-a")
+	refHash := SpecHash(mustNormalize(t, ref, base), "commit-a")
 
 	same := []campaign.Spec{
 		// Explicit baseline and duplicate schemes collapse.
@@ -35,28 +46,34 @@ func TestSpecHashCanonicalization(t *testing.T) {
 		// Zero-valued fault fields fill from the base config.
 		{Benchmarks: []string{"bzip2", "mcf"}, Schemes: []string{"faulthound"},
 			Fault: fault.Config{Injections: 50, Seed: base.Seed}},
+		// Default-valued and reordered parameters canonicalize away, so a
+		// parameterized spelling of the defaults is the same job.
+		{Benchmarks: []string{"bzip2", "mcf"}, Schemes: []string{"faulthound?tcam=32,delay=7"}, Fault: base},
+		{Benchmarks: []string{"bzip2", "mcf"}, Schemes: []string{"faulthound?delay=7,tcam=32"}, Fault: base},
 	}
 	for i, s := range same {
-		if h := SpecHash(NormalizeSpec(s, base), "commit-a"); h != refHash {
+		if h := SpecHash(mustNormalize(t, s, base), "commit-a"); h != refHash {
 			t.Errorf("spec %d: hash %s, want %s (should be identical)", i, h, refHash)
 		}
 	}
 
-	diffSeed, diffScheme, diffBench, diffInj := ref, ref, ref, ref
+	diffSeed, diffScheme, diffBench, diffInj, diffParam := ref, ref, ref, ref, ref
 	diffSeed.Fault.Seed++
 	diffScheme.Schemes = []string{"pbfs"}
 	diffBench.Benchmarks = []string{"mcf", "bzip2"} // row order is identity
 	diffInj.Fault.Injections = 51
+	diffParam.Schemes = []string{"faulthound?tcam=16"} // non-default parameter is identity
 	for name, s := range map[string]campaign.Spec{
-		"seed": diffSeed, "scheme": diffScheme, "bench-order": diffBench, "injections": diffInj,
+		"seed": diffSeed, "scheme": diffScheme, "bench-order": diffBench,
+		"injections": diffInj, "param": diffParam,
 	} {
-		if h := SpecHash(NormalizeSpec(s, base), "commit-a"); h == refHash {
+		if h := SpecHash(mustNormalize(t, s, base), "commit-a"); h == refHash {
 			t.Errorf("%s variant hashed identically", name)
 		}
 	}
 
 	// A different source revision is a different job.
-	if SpecHash(NormalizeSpec(ref, base), "commit-b") == refHash {
+	if SpecHash(mustNormalize(t, ref, base), "commit-b") == refHash {
 		t.Error("different git commit hashed identically")
 	}
 }
@@ -74,8 +91,8 @@ func TestSpecHashFieldOrder(t *testing.T) {
 	if err := json.Unmarshal([]byte(b), &sb); err != nil {
 		t.Fatal(err)
 	}
-	ha := SpecHash(NormalizeSpec(sa, base), "c")
-	hb := SpecHash(NormalizeSpec(sb, base), "c")
+	ha := SpecHash(mustNormalize(t, sa, base), "c")
+	hb := SpecHash(mustNormalize(t, sb, base), "c")
 	if ha != hb {
 		t.Fatalf("field order changed the hash: %s != %s", ha, hb)
 	}
@@ -84,10 +101,10 @@ func TestSpecHashFieldOrder(t *testing.T) {
 // TestNormalizeSpec pins the canonical form itself.
 func TestNormalizeSpec(t *testing.T) {
 	base := baseCfg()
-	n := NormalizeSpec(campaign.Spec{
+	n := mustNormalize(t, campaign.Spec{
 		RunID:      "x",
 		Benchmarks: []string{"b", "a", "b"},
-		Schemes:    []string{"baseline", "s", "s"},
+		Schemes:    []string{"baseline", "pbfs", "pbfs"},
 		Workers:    3,
 		Fault:      fault.Config{Seed: 9},
 	}, base)
@@ -97,10 +114,34 @@ func TestNormalizeSpec(t *testing.T) {
 	if len(n.Benchmarks) != 2 || n.Benchmarks[0] != "b" || n.Benchmarks[1] != "a" {
 		t.Fatalf("benchmarks = %v", n.Benchmarks)
 	}
-	if len(n.Schemes) != 1 || n.Schemes[0] != "s" {
+	if len(n.Schemes) != 1 || n.Schemes[0] != "pbfs" {
 		t.Fatalf("schemes = %v", n.Schemes)
 	}
 	if n.Fault.Seed != 9 || n.Fault.Injections != base.Injections || n.Fault.WindowInstr != base.WindowInstr {
 		t.Fatalf("fault not default-filled: %+v", n.Fault)
+	}
+
+	// Sweep syntax fans out into individual canonical specs.
+	n = mustNormalize(t, campaign.Spec{
+		Benchmarks: []string{"a"},
+		Schemes:    []string{"faulthound?tcam=8|16|32"},
+		Fault:      fault.Config{Seed: 9},
+	}, base)
+	want := []string{"faulthound?tcam=8", "faulthound?tcam=16", "faulthound"}
+	if len(n.Schemes) != len(want) {
+		t.Fatalf("sweep schemes = %v", n.Schemes)
+	}
+	for i, w := range want {
+		if n.Schemes[i] != w {
+			t.Errorf("sweep schemes[%d] = %q, want %q", i, n.Schemes[i], w)
+		}
+	}
+
+	// Unknown schemes and malformed specs are spec errors.
+	for _, schemes := range [][]string{{"nope"}, {"faulthound?tcam=zap"}} {
+		_, err := NormalizeSpec(campaign.Spec{Benchmarks: []string{"a"}, Schemes: schemes, Fault: base}, base)
+		if err == nil || !scheme.IsSpecError(err) {
+			t.Errorf("schemes %v: err = %v, want a spec error", schemes, err)
+		}
 	}
 }
