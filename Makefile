@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet lint race bench bench-json campaign serve smoke-server trace-demo experiments extensions quick clean
+.PHONY: all build test vet lint race bench bench-json campaign serve smoke-server smoke-cluster trace-demo experiments extensions quick clean
 
 all: lint test build
 
@@ -30,7 +30,7 @@ lint: vet
 race:
 	$(GO) test -race ./internal/workload/ ./internal/system/ ./internal/pipeline/ \
 		./internal/mem/ ./internal/campaign/ ./internal/fault/ ./internal/obs/... \
-		./internal/server/...
+		./internal/server/... ./internal/cluster/
 
 # Parallel, resumable fault-injection campaign with an artifact bundle.
 campaign:
@@ -45,6 +45,12 @@ serve:
 # a small campaign over HTTP, verify the bundle, drain cleanly.
 smoke-server:
 	./scripts/smoke_server.sh
+
+# Cluster fabric round trip (docs/CLUSTER.md): coordinator + two
+# workers, a sharded campaign, one worker SIGKILLed mid-run, and a
+# byte-identical-merge check against a single-node golden.
+smoke-cluster:
+	./scripts/smoke_cluster.sh
 
 # Perfetto trace of a short simulation — load results/trace-demo.json
 # in ui.perfetto.dev (docs/OBSERVABILITY.md).

@@ -52,6 +52,7 @@ func main() {
 		out        = flag.String("out", "", "artifact bundle directory (default: results/campaigns/<runid>)")
 		resume     = flag.String("resume", "", "resume an interrupted campaign from its bundle directory")
 		addr       = flag.String("addr", "", "submit to a fhserved daemon at this address instead of running locally")
+		retries    = flag.Int("retries", 4, "with -addr: retry transient daemon failures (connection resets, 5xx, 429) this many times with jittered exponential backoff")
 		traceDir   = flag.String("trace-dir", "", "write a Perfetto trace.json of the run's injection lifecycle into this directory")
 		quick      = flag.Bool("quick", false, "scaled-down fault config for smoke testing")
 		verbose    = flag.Bool("v", false, "per-cell progress lines")
@@ -117,7 +118,7 @@ func main() {
 	defer stop()
 
 	if *addr != "" {
-		runRemote(ctx, *addr, spec)
+		runRemote(ctx, *addr, *retries, spec)
 		return
 	}
 
@@ -219,9 +220,12 @@ func secs(v float64) time.Duration {
 
 // runRemote submits the spec to a fhserved daemon, follows the
 // progress stream, and renders the daemon's summary through the same
-// tables the local path uses.
-func runRemote(ctx context.Context, addr string, spec campaign.Spec) {
+// tables the local path uses. Transient failures (daemon restarts,
+// 429 admission rejects, dropped event streams) are retried; Submit is
+// idempotent because the daemon deduplicates by spec hash.
+func runRemote(ctx context.Context, addr string, retries int, spec campaign.Spec) {
 	cl := server.NewClient(addr)
+	cl.Retries = retries
 	st, err := cl.Submit(ctx, spec)
 	if err != nil {
 		fatal(err)

@@ -23,6 +23,16 @@
 // cancel promptly, their journals stay on disk, and the next start
 // rescans -data and resumes every unfinished job. See docs/SERVER.md
 // and docs/OBSERVABILITY.md.
+//
+// Cluster modes (docs/CLUSTER.md): -coordinator accepts the same API
+// but shards each campaign's injections across joined workers, merging
+// the streamed results into a bundle byte-identical to a single-node
+// run; -join <addr> turns the daemon into a worker that registers with
+// a coordinator and executes leased descriptor ranges (while still
+// serving its own front door):
+//
+//	fhserved -coordinator -addr :8418 -data results/coord
+//	fhserved -join host:8418 -addr :8419 -data results/w1
 package main
 
 import (
@@ -31,13 +41,17 @@ import (
 	"flag"
 	"fmt"
 	"log/slog"
+	"net"
 	"net/http"
 	_ "net/http/pprof"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
+	"faulthound/internal/cluster"
+	"faulthound/internal/fault"
 	"faulthound/internal/harness"
 	"faulthound/internal/server"
 )
@@ -49,10 +63,23 @@ func main() {
 		data      = flag.String("data", "results/server", "data root: one directory per job, named by spec hash")
 		jobs      = flag.Int("jobs", 1, "campaigns executing concurrently")
 		workers   = flag.Int("workers", 0, "injection workers per campaign (0 = GOMAXPROCS); results do not depend on it")
-		queue     = flag.Int("queue", 64, "pending-job queue depth (overflow is rejected with 503)")
+		queue     = flag.Int("queue", 64, "pending-job queue depth (overflow is rejected with a structured 429)")
 		maxInj    = flag.Int("max-injections", 0, "reject specs above this total injection count (0 = unlimited)")
 		quick     = flag.Bool("quick", false, "scaled-down default fault config for smoke testing")
 		verbose   = flag.Bool("v", false, "debug-level logging (every job state transition)")
+
+		// Admission gate.
+		rate  = flag.Float64("rate", 0, "admission gate: submissions per second before 429 (0 = unlimited)")
+		burst = flag.Int("burst", 10, "admission gate burst size")
+
+		// Cluster fabric (docs/CLUSTER.md).
+		coordinator = flag.Bool("coordinator", false, "shard submitted campaigns across joined workers instead of running them locally")
+		join        = flag.String("join", "", "worker mode: register with the coordinator at this address and execute leased ranges")
+		advertise   = flag.String("advertise", "", "worker mode: base URL the coordinator dials back (default: derived from -addr)")
+		route       = flag.String("route", "round-robin", "coordinator routing policy: "+strings.Join(cluster.PolicyNames(), ", "))
+		leaseTTL    = flag.Duration("lease-ttl", cluster.DefaultLeaseTTL, "coordinator: re-lease a range after this much stream silence")
+		rangeSize   = flag.Int("range-size", cluster.DefaultRangeSize, "coordinator: max injection descriptors per lease")
+		slots       = flag.Int("slots", 2, "worker mode: shard leases executed concurrently")
 	)
 	flag.Parse()
 	level := slog.LevelInfo
@@ -60,11 +87,22 @@ func main() {
 		level = slog.LevelDebug
 	}
 	log := slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: level}))
+	fatal := func(msg string, args ...any) {
+		log.Error(msg, args...)
+		os.Exit(1)
+	}
+	if *coordinator && *join != "" {
+		fatal("-coordinator and -join are mutually exclusive")
+	}
 
 	opts := harness.DefaultOptions()
 	if *quick {
 		opts = harness.QuickOptions()
 	}
+	// One prepared-golden-state cache serves both the front door and
+	// leased shards, so a cell warmed by either path is warm for both —
+	// the locality the cache-aware routing policy advertises upstream.
+	cache := fault.NewPreparedCache()
 	cfg := server.Config{
 		Root:          *data,
 		Factory:       opts.CampaignFactory(),
@@ -74,17 +112,87 @@ func main() {
 		QueueDepth:    *queue,
 		MaxInjections: *maxInj,
 		Log:           log,
+		Prepared:      cache,
+		RateLimit:     *rate,
+		RateBurst:     *burst,
+	}
+
+	var (
+		coord  *cluster.Coordinator
+		worker *cluster.Worker
+		joiner *cluster.Joiner
+	)
+	switch {
+	case *coordinator:
+		pol, err := cluster.PolicyByName(*route)
+		if err != nil {
+			fatal("bad -route", "err", err)
+		}
+		reg := cluster.NewRegistry(nil)
+		coord = &cluster.Coordinator{
+			Registry:  reg,
+			Policy:    pol,
+			LeaseTTL:  *leaseTTL,
+			RangeSize: *rangeSize,
+			Log:       log,
+		}
+		cfg.Role = "coordinator"
+		cfg.Runner = coord.RunCampaign
+		cfg.Ready = func() (bool, map[string]any) {
+			n := reg.AliveCount()
+			return n > 0, map[string]any{"workers_alive": n, "route": pol.Name()}
+		}
+	case *join != "":
+		coordURL := baseURL(*join)
+		self := *advertise
+		if self == "" {
+			self = selfURL(*addr)
+		} else {
+			self = baseURL(self)
+		}
+		worker = &cluster.Worker{Factory: opts.CampaignFactory(), Cache: cache, Slots: *slots, Log: log}
+		joiner = &cluster.Joiner{Worker: worker, Coordinator: coordURL, ID: self, Addr: self, Log: log}
+		cfg.Role = "worker"
+		cfg.Ready = func() (bool, map[string]any) {
+			j := worker.Joined()
+			return j, map[string]any{"joined": j, "coordinator": coordURL}
+		}
 	}
 
 	s, err := server.New(cfg)
 	if err != nil {
-		log.Error("startup failed", "err", err)
-		os.Exit(1)
+		fatal("startup failed", "err", err)
 	}
 	if un := s.Unfinished(); len(un) > 0 {
 		log.Info("resuming unfinished jobs", "count", len(un), "data", *data, "jobs", un)
 	}
 	s.Start()
+
+	handler := s.Handler()
+	switch {
+	case coord != nil:
+		coord.RegisterMetrics(s.Registry())
+		mux := http.NewServeMux()
+		mux.Handle("/", handler)
+		mux.Handle("/v1/cluster/", coord.Handler())
+		handler = mux
+		log.Info("coordinator mode", "route", *route, "lease_ttl", *leaseTTL, "range_size", *rangeSize)
+	case worker != nil:
+		worker.QueueDepth = func() int {
+			n := 0
+			for _, st := range s.Jobs() {
+				if st.State == server.StateQueued {
+					n++
+				}
+			}
+			return n
+		}
+		mux := http.NewServeMux()
+		mux.Handle("/", handler)
+		mux.Handle("/v1/cluster/", worker.Handler())
+		handler = mux
+		log.Info("worker mode", "coordinator", joiner.Coordinator, "advertise", joiner.Addr, "slots", *slots)
+	}
 
 	if *debugAddr != "" {
 		// The pprof handlers registered by the blank import live on
@@ -98,13 +206,16 @@ func main() {
 		}()
 	}
 
-	hs := &http.Server{Addr: *addr, Handler: s.Handler()}
+	hs := &http.Server{Addr: *addr, Handler: handler}
 	errCh := make(chan error, 1)
 	go func() { errCh <- hs.ListenAndServe() }()
 	log.Info("serving", "addr", *addr, "data", *data, "runners", *jobs)
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+	if joiner != nil {
+		go joiner.Run(ctx)
+	}
 	select {
 	case err := <-errCh:
 		log.Error("http server failed", "err", err)
@@ -129,4 +240,27 @@ func main() {
 		fmt.Fprintln(os.Stderr, "fhserved:", err)
 		os.Exit(1)
 	}
+}
+
+// baseURL normalizes "host:port" or a full URL into a dialable base.
+func baseURL(addr string) string {
+	if !strings.Contains(addr, "://") {
+		addr = "http://" + addr
+	}
+	return strings.TrimRight(addr, "/")
+}
+
+// selfURL derives a worker's advertised URL from its listen address:
+// wildcard hosts become localhost (single-machine default; use
+// -advertise for anything a remote coordinator must dial).
+func selfURL(addr string) string {
+	host, port, err := net.SplitHostPort(addr)
+	if err != nil {
+		return baseURL(addr)
+	}
+	switch host {
+	case "", "::", "0.0.0.0":
+		host = "localhost"
+	}
+	return "http://" + net.JoinHostPort(host, port)
 }

@@ -171,19 +171,16 @@ func (e *Engine) Run(ctx context.Context, dir string, resume bool) (*Outcome, er
 			return nil, fmt.Errorf("campaign: spec does not match the manifest in %s (cells or fault config differ)", dir)
 		}
 		jpath := filepath.Join(dir, JournalName)
-		recs, truncAt, err := readJournalTolerant(jpath)
+		recs, repaired, err := RepairJournal(jpath)
 		if err != nil {
 			return nil, err
 		}
-		if truncAt >= 0 {
+		if repaired {
 			// A process killed mid-append leaves a partial trailing
-			// record. Drop it (that injection simply re-executes) and
-			// cut the file there so our own appends start on a clean
-			// line boundary.
+			// record. RepairJournal dropped it (that injection simply
+			// re-executes) and cut the file so our own appends start on
+			// a clean line boundary.
 			e.warnf("campaign: journal %s: skipping truncated trailing record (process killed mid-write); re-executing that injection", jpath)
-			if err := os.Truncate(jpath, truncAt); err != nil {
-				return nil, fmt.Errorf("campaign: repairing truncated journal: %w", err)
-			}
 		}
 		for _, r := range recs {
 			ci, ok := cellIdx[Cell{r.Bench, scheme.FromString(r.Scheme)}]
@@ -210,7 +207,7 @@ func (e *Engine) Run(ctx context.Context, dir string, resume bool) (*Outcome, er
 
 	// Open the bundle directory and journal; a fresh run writes the
 	// manifest up front so even an early kill leaves a resumable run.
-	var journal *journalWriter
+	var journal *JournalWriter
 	if dir != "" {
 		if err := os.MkdirAll(dir, 0o755); err != nil {
 			return nil, err
@@ -222,11 +219,11 @@ func (e *Engine) Run(ctx context.Context, dir string, resume bool) (*Outcome, er
 			}
 		}
 		var err error
-		journal, err = openJournal(filepath.Join(dir, JournalName))
+		journal, err = OpenJournal(filepath.Join(dir, JournalName))
 		if err != nil {
 			return nil, err
 		}
-		defer journal.close()
+		defer journal.Close()
 	}
 
 	// Enumerate outstanding tasks cell-major: workers converge on one
@@ -298,7 +295,7 @@ func (e *Engine) Run(ctx context.Context, dir string, resume bool) (*Outcome, er
 			fpRates[ci], fpKnown[ci] = p.FPRate(), true
 			mu.Unlock()
 			if journal != nil {
-				if err := journal.append(Record{Kind: "prep", Bench: c.Bench, Scheme: c.Scheme.String(), FPRate: p.FPRate()}); err != nil {
+				if err := journal.Append(Record{Kind: "prep", Bench: c.Bench, Scheme: c.Scheme.String(), FPRate: p.FPRate()}); err != nil {
 					st.err = err
 				}
 			}
@@ -343,7 +340,7 @@ func (e *Engine) Run(ctx context.Context, dir string, resume bool) (*Outcome, er
 				have[t.cell][t.inj] = true
 				if journal != nil {
 					c := cells[t.cell]
-					if err := journal.append(Record{Kind: "result", Bench: c.Bench, Scheme: c.Scheme.String(), Index: t.inj, Result: &res}); err != nil {
+					if err := journal.Append(Record{Kind: "result", Bench: c.Bench, Scheme: c.Scheme.String(), Index: t.inj, Result: &res}); err != nil {
 						fail(err)
 						return
 					}

@@ -27,26 +27,29 @@ type Record struct {
 	Result *fault.Result `json:"result,omitempty"`
 }
 
-// journalWriter appends records to a journal file, one JSON object per
-// line, serialized by a mutex so worker goroutines can share it.
-type journalWriter struct {
+// JournalWriter appends records to a journal file, one JSON object per
+// line, serialized by a mutex so worker goroutines can share it. It is
+// exported for the cluster coordinator, which merges worker-streamed
+// shard results into its own journal through the same writer the
+// engine uses.
+type JournalWriter struct {
 	mu sync.Mutex
 	f  *os.File
 	w  *bufio.Writer
 }
 
-// openJournal opens path for appending (creating it if absent).
-func openJournal(path string) (*journalWriter, error) {
+// OpenJournal opens path for appending (creating it if absent).
+func OpenJournal(path string) (*JournalWriter, error) {
 	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
 		return nil, err
 	}
-	return &journalWriter{f: f, w: bufio.NewWriter(f)}, nil
+	return &JournalWriter{f: f, w: bufio.NewWriter(f)}, nil
 }
 
-// append writes one record and flushes it to the file, so a killed
+// Append writes one record and flushes it to the file, so a killed
 // process loses at most the record being written.
-func (j *journalWriter) append(r Record) error {
+func (j *JournalWriter) Append(r Record) error {
 	b, err := json.Marshal(r)
 	if err != nil {
 		return err
@@ -59,8 +62,8 @@ func (j *journalWriter) append(r Record) error {
 	return j.w.Flush()
 }
 
-// close flushes and closes the file.
-func (j *journalWriter) close() error {
+// Close flushes and closes the file.
+func (j *JournalWriter) Close() error {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	if err := j.w.Flush(); err != nil {
@@ -76,6 +79,26 @@ func (j *journalWriter) close() error {
 func ReadJournal(path string) ([]Record, error) {
 	recs, _, err := readJournalTolerant(path)
 	return recs, err
+}
+
+// RepairJournal reads a journal tolerantly and, when the final record
+// is a truncated partial write (process killed mid-append), cuts the
+// file back to the last clean line boundary so subsequent appends do
+// not glue onto the partial record. It returns the parsed records and
+// whether a repair happened. Resume paths — the engine's and the
+// cluster coordinator's — share it.
+func RepairJournal(path string) ([]Record, bool, error) {
+	recs, truncAt, err := readJournalTolerant(path)
+	if err != nil {
+		return nil, false, err
+	}
+	if truncAt < 0 {
+		return recs, false, nil
+	}
+	if err := os.Truncate(path, truncAt); err != nil {
+		return nil, false, fmt.Errorf("campaign: repairing truncated journal: %w", err)
+	}
+	return recs, true, nil
 }
 
 // readJournalTolerant is ReadJournal plus the byte offset at which a

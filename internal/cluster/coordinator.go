@@ -1,0 +1,620 @@
+package cluster
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"os"
+	"path/filepath"
+	"time"
+
+	"faulthound/internal/campaign"
+	"faulthound/internal/obs/metrics"
+)
+
+// Coordinator shards campaigns across registered workers. It plugs
+// into the serving daemon as its campaign runner: the front door
+// (submission, dedup, queueing, status, SSE, bundles) is unchanged,
+// and only the execution step is replaced — partition the outstanding
+// descriptor indices into leases, stream results back from workers
+// into the job's journal, and finish by replaying that journal through
+// campaign.Engine.Resume, which writes the bundle via the exact
+// single-node path. Byte-identity with an unsharded run and
+// resumability after a coordinator crash both follow from the journal
+// being the only state.
+type Coordinator struct {
+	// Registry tracks the worker fleet. Required.
+	Registry *Registry
+	// Policy routes ranges to workers; nil means round-robin.
+	Policy Policy
+	// LeaseTTL is the maximum stream silence before a lease is
+	// declared stalled and re-leased (workers ping every second during
+	// golden preparation). Zero means DefaultLeaseTTL.
+	LeaseTTL time.Duration
+	// RangeSize is the maximum descriptors per lease. Zero means
+	// DefaultRangeSize. Smaller ranges re-lease less work after a
+	// worker death but cost more per-lease overhead.
+	RangeSize int
+	// MaxAttempts bounds how often one range is re-leased before the
+	// job fails. Zero means DefaultMaxAttempts.
+	MaxAttempts int
+	// HTTP overrides the shard-dispatch transport (nil means a client
+	// without timeouts — shard streams are long-lived; the lease TTL
+	// handles stalls).
+	HTTP *http.Client
+	// Log receives lease lifecycle logs; nil discards them.
+	Log *slog.Logger
+
+	// Metrics series; nil fields are allowed (Register wires them).
+	mLeases  *metrics.Value
+	mExpired *metrics.Value
+	mMerged  *metrics.Value
+	mMerge   *metrics.Histogram
+}
+
+// Defaults for Coordinator knobs.
+const (
+	DefaultLeaseTTL    = 30 * time.Second
+	DefaultRangeSize   = 64
+	DefaultMaxAttempts = 8
+)
+
+func (c *Coordinator) leaseTTL() time.Duration {
+	if c.LeaseTTL > 0 {
+		return c.LeaseTTL
+	}
+	return DefaultLeaseTTL
+}
+
+func (c *Coordinator) rangeSize() int {
+	if c.RangeSize > 0 {
+		return c.RangeSize
+	}
+	return DefaultRangeSize
+}
+
+func (c *Coordinator) maxAttempts() int {
+	if c.MaxAttempts > 0 {
+		return c.MaxAttempts
+	}
+	return DefaultMaxAttempts
+}
+
+func (c *Coordinator) policy() Policy {
+	if c.Policy != nil {
+		return c.Policy
+	}
+	return &RoundRobin{}
+}
+
+func (c *Coordinator) client() *http.Client {
+	if c.HTTP != nil {
+		return c.HTTP
+	}
+	return &http.Client{}
+}
+
+func (c *Coordinator) log() *slog.Logger {
+	if c.Log != nil {
+		return c.Log
+	}
+	return slog.New(slog.NewTextHandler(io.Discard, nil))
+}
+
+// RegisterMetrics wires the coordinator's series into a registry
+// (documented in docs/CLUSTER.md and asserted by scripts/smoke_cluster.sh).
+func (c *Coordinator) RegisterMetrics(reg *metrics.Registry) {
+	c.mLeases = reg.Counter("fh_cluster_leases_granted_total", "Range leases granted to workers (including re-leases).")
+	c.mExpired = reg.Counter("fh_cluster_leases_expired_total", "Leases lost to worker death or stream stall and re-leased.")
+	c.mMerged = reg.Counter("fh_cluster_records_merged_total", "Worker-streamed result records merged into job journals.")
+	c.mMerge = reg.Histogram("fh_cluster_merge_seconds",
+		"Wall time of the final journal-replay merge that writes a sharded job's bundle.", metrics.ExpBuckets(0.001, 2, 14))
+	if c.Registry != nil && c.Registry.alive == nil {
+		c.Registry.alive = reg.Gauge("fh_cluster_workers_alive", "Workers registered and heartbeating within the expiry window.")
+	}
+}
+
+// Handler returns the coordinator's registry endpoints, mounted next
+// to the daemon's API:
+//
+//	POST /v1/cluster/register   worker announces itself
+//	POST /v1/cluster/heartbeat  periodic status (404 for unknown IDs)
+//	GET  /v1/cluster/workers    registry snapshot
+func (c *Coordinator) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/cluster/register", func(w http.ResponseWriter, r *http.Request) {
+		st, err := decodeStatus(w, r)
+		if err != nil {
+			return
+		}
+		c.Registry.Register(st)
+		c.log().Info("worker registered", "worker", st.ID, "slots", st.Slots)
+		writeJSON(w, http.StatusOK, map[string]any{"ok": true})
+	})
+	mux.HandleFunc("POST /v1/cluster/heartbeat", func(w http.ResponseWriter, r *http.Request) {
+		st, err := decodeStatus(w, r)
+		if err != nil {
+			return
+		}
+		if !c.Registry.Heartbeat(st) {
+			writeJSON(w, http.StatusNotFound, map[string]any{"error": "unknown worker; re-register"})
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]any{"ok": true})
+	})
+	mux.HandleFunc("GET /v1/cluster/workers", func(w http.ResponseWriter, _ *http.Request) {
+		type wireWorker struct {
+			WorkerStatus
+			Alive  bool `json:"alive"`
+			Leases int  `json:"leases"`
+		}
+		var out []wireWorker
+		for _, cand := range c.Registry.Snapshot() {
+			out = append(out, wireWorker{cand.Status, cand.Alive, cand.Leases})
+		}
+		writeJSON(w, http.StatusOK, map[string]any{"workers": out})
+	})
+	return mux
+}
+
+func decodeStatus(w http.ResponseWriter, r *http.Request) (WorkerStatus, error) {
+	var st WorkerStatus
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	if err := dec.Decode(&st); err != nil {
+		http.Error(w, "bad worker status: "+err.Error(), http.StatusBadRequest)
+		return st, err
+	}
+	if st.ID == "" || st.Addr == "" {
+		err := fmt.Errorf("cluster: worker status has no id/addr")
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return st, err
+	}
+	return st, nil
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	b, _ := json.Marshal(v)
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	w.Write(b)
+}
+
+// lease is one outstanding contiguous descriptor range of one cell.
+type lease struct {
+	cell     int // index into the campaign's cell list
+	from, to int // descriptor range [from, to)
+	attempts int
+}
+
+// leaseResult reports a finished lease goroutine back to the scheduler.
+type leaseResult struct {
+	l        *lease
+	workerID string
+	err      error // nil: range fully merged
+	expired  bool  // worker death or stall (vs. worker-reported error)
+}
+
+// RunCampaign executes one campaign across the worker fleet. Its
+// signature matches server.Runner, so cmd/fhserved wires it straight
+// into the daemon's job loop. The engine supplies the normalized spec
+// and the Progress/Warnf hooks; dir is the job's bundle directory.
+func (c *Coordinator) RunCampaign(ctx context.Context, eng *campaign.Engine, dir string, resume bool) (*campaign.Outcome, error) {
+	start := time.Now()
+	if dir == "" {
+		return nil, fmt.Errorf("cluster: sharded runs require a job directory")
+	}
+	spec := eng.Spec
+	if resume {
+		man, err := campaign.ReadManifest(dir)
+		if err != nil {
+			return nil, err
+		}
+		workers := spec.Workers
+		spec = man.Spec
+		if workers != 0 {
+			spec.Workers = workers
+		}
+		eng.Spec = spec
+	}
+	cells := spec.Cells()
+	nInj := spec.Fault.Injections
+	if len(cells) == 0 || nInj <= 0 {
+		return nil, fmt.Errorf("cluster: spec has no cells or injections")
+	}
+
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	if !resume {
+		man := campaign.Manifest{Provenance: campaign.NewProvenance(spec.RunID), Spec: spec}
+		if err := campaign.WriteJSONFile(filepath.Join(dir, campaign.ManifestName), man); err != nil {
+			return nil, err
+		}
+	}
+
+	// Replay whatever a previous coordinator run merged: the journal is
+	// the coordinator's only state, shared byte-for-byte with the
+	// single-node engine.
+	jpath := filepath.Join(dir, campaign.JournalName)
+	recs, repaired, err := campaign.RepairJournal(jpath)
+	if err != nil {
+		return nil, err
+	}
+	if repaired && eng.Warnf != nil {
+		eng.Warnf("cluster: journal %s: dropped truncated trailing record", jpath)
+	}
+	cellIdx := make(map[string]int, len(cells))
+	for i, cl := range cells {
+		cellIdx[CellKey(cl.Bench, cl.Scheme.String())] = i
+	}
+	have := make([][]bool, len(cells))
+	for i := range have {
+		have[i] = make([]bool, nInj)
+	}
+	fpKnown := make([]bool, len(cells))
+	resumedAtStart := 0
+	for _, r := range recs {
+		ci, ok := cellIdx[CellKey(r.Bench, r.Scheme)]
+		if !ok {
+			return nil, fmt.Errorf("cluster: journal records unknown cell %s/%s", r.Bench, r.Scheme)
+		}
+		switch r.Kind {
+		case "prep":
+			fpKnown[ci] = true
+		case "result":
+			if r.Index < 0 || r.Index >= nInj || r.Result == nil {
+				return nil, fmt.Errorf("cluster: journal has bad result record for %s at index %d", r.Bench, r.Index)
+			}
+			if !have[ci][r.Index] {
+				resumedAtStart++
+			}
+			have[ci][r.Index] = true
+		}
+	}
+
+	journal, err := campaign.OpenJournal(jpath)
+	if err != nil {
+		return nil, err
+	}
+
+	// Partition the outstanding indices of each cell into contiguous
+	// ranges of at most RangeSize descriptors, cell-major — the same
+	// deterministic order the single-node engine enumerates tasks in.
+	var pending []*lease
+	for ci := range cells {
+		i := 0
+		for i < nInj {
+			if have[ci][i] {
+				i++
+				continue
+			}
+			j := i
+			for j < nInj && !have[ci][j] && j-i < c.rangeSize() {
+				j++
+			}
+			pending = append(pending, &lease{cell: ci, from: i, to: j})
+			i = j
+		}
+	}
+	total := len(cells) * nInj
+	done := resumedAtStart
+
+	if err := c.dispatch(ctx, eng, spec, cells, journal, pending, have, fpKnown, &done, total); err != nil {
+		journal.Close()
+		return nil, err
+	}
+	if err := journal.Close(); err != nil {
+		return nil, err
+	}
+
+	// Merge: every (cell, index) is journaled, so the engine's resume
+	// path replays it all without executing a single injection and
+	// writes results.csv/summary.json/report.md exactly as a
+	// single-node run would.
+	mergeStart := time.Now()
+	out, err := eng.Resume(ctx, dir)
+	if err != nil {
+		return nil, err
+	}
+	if c.mMerge != nil {
+		c.mMerge.Observe(time.Since(mergeStart).Seconds())
+	}
+	// Resumed (as reported upward) means "restored from a previous
+	// interrupted run", not "merged from workers" — the final replay
+	// restores everything by construction.
+	out.Resumed = resumedAtStart
+	out.Elapsed = time.Since(start)
+	return out, nil
+}
+
+// dispatch runs the lease scheduler until every pending range is
+// merged or the context/attempt budget ends.
+func (c *Coordinator) dispatch(ctx context.Context, eng *campaign.Engine, spec campaign.Spec,
+	cells []campaign.Cell, journal *campaign.JournalWriter,
+	pending []*lease, have [][]bool, fpKnown []bool, done *int, total int) error {
+
+	// Every lease goroutine runs under dctx and ends with exactly one
+	// blocking send on resCh; cancelling dctx aborts their streams, so
+	// the drain below always terminates.
+	dctx, dcancel := context.WithCancel(ctx)
+	defer dcancel()
+	resCh := make(chan leaseResult)
+	active := 0
+	var firstErr error
+	fail := func(err error) {
+		if firstErr == nil {
+			firstErr = err
+		}
+	}
+
+	// merge folds one streamed record into the journal and the merge
+	// state; lease goroutines call it directly, serialized internally.
+	var mergeErr error
+	merge := c.merger(eng, cells, journal, have, fpKnown, done, total, &mergeErr)
+
+	for (len(pending) > 0 || active > 0) && firstErr == nil {
+		// Grant as many leases as the fleet can take right now.
+		granted := true
+		for granted && len(pending) > 0 {
+			granted = false
+			cands := c.Registry.Snapshot()
+			l := pending[0]
+			cell := CellKey(cells[l.cell].Bench, cells[l.cell].Scheme.String())
+			if i := c.policy().Pick(cands, cell); i >= 0 {
+				pending = pending[1:]
+				w := cands[i].Status
+				c.Registry.AddLeases(w.ID, 1)
+				if c.mLeases != nil {
+					c.mLeases.Inc()
+				}
+				active++
+				granted = true
+				go c.runLease(dctx, spec, cells, l, w, merge, resCh)
+			}
+		}
+
+		if active == 0 {
+			// Nothing running and nothing grantable: the fleet is empty
+			// or saturated-and-dead. Wait for a worker to (re)appear.
+			select {
+			case <-ctx.Done():
+				fail(ctx.Err())
+			case <-time.After(200 * time.Millisecond):
+			}
+			continue
+		}
+
+		select {
+		case <-ctx.Done():
+			// The journal keeps everything merged so far; the deferred
+			// drain below collects the aborted leases.
+			fail(ctx.Err())
+		case r := <-resCh:
+			active--
+			c.Registry.AddLeases(r.workerID, -1)
+			if mergeErr != nil {
+				fail(mergeErr)
+			}
+			if r.err == nil {
+				continue
+			}
+			if r.expired {
+				if c.mExpired != nil {
+					c.mExpired.Inc()
+				}
+				c.Registry.MarkFailed(r.workerID)
+			}
+			// Re-lease the unmerged remainder. Streams are ordered, so
+			// the merged part of the range is a prefix.
+			rest := *r.l
+			for rest.from < rest.to && have[rest.cell][rest.from] {
+				rest.from++
+			}
+			if rest.from >= rest.to {
+				continue // lost the race to a duplicate lease; all merged
+			}
+			rest.attempts++
+			if rest.attempts >= c.maxAttempts() {
+				fail(fmt.Errorf("cluster: range %s[%d,%d) failed %d times, last: %w",
+					CellKey(cells[rest.cell].Bench, cells[rest.cell].Scheme.String()), rest.from, rest.to, rest.attempts, r.err))
+				continue
+			}
+			c.log().Warn("re-leasing range", "cell", cells[rest.cell].String(),
+				"from", rest.from, "to", rest.to, "attempt", rest.attempts, "err", r.err)
+			pending = append(pending, &rest)
+		}
+	}
+
+	// Cancel and collect whatever is still running (no-op on a clean
+	// finish: active is already zero).
+	dcancel()
+	for active > 0 {
+		r := <-resCh
+		c.Registry.AddLeases(r.workerID, -1)
+		active--
+	}
+	if firstErr != nil {
+		return firstErr
+	}
+	if mergeErr != nil {
+		return mergeErr
+	}
+	return nil
+}
+
+// merger returns the synchronized record-merge closure shared by all
+// lease goroutines.
+func (c *Coordinator) merger(eng *campaign.Engine, cells []campaign.Cell,
+	journal *campaign.JournalWriter, have [][]bool, fpKnown []bool,
+	done *int, total int, mergeErr *error) func(cell int, rec StreamRecord) {
+
+	var mu = make(chan struct{}, 1)
+	mu <- struct{}{}
+	return func(ci int, rec StreamRecord) {
+		<-mu
+		defer func() { mu <- struct{}{} }()
+		cl := cells[ci]
+		switch rec.Kind {
+		case KindPrep:
+			if fpKnown[ci] {
+				return
+			}
+			fpKnown[ci] = true
+			if err := journal.Append(campaign.Record{
+				Kind: "prep", Bench: cl.Bench, Scheme: cl.Scheme.String(), FPRate: rec.FPRate,
+			}); err != nil && *mergeErr == nil {
+				*mergeErr = err
+			}
+		case KindResult:
+			if rec.Index < 0 || rec.Index >= len(have[ci]) || rec.Result == nil {
+				if *mergeErr == nil {
+					*mergeErr = fmt.Errorf("cluster: worker streamed bad result record (index %d)", rec.Index)
+				}
+				return
+			}
+			if have[ci][rec.Index] {
+				return // duplicate from a re-lease race; byte-equal by determinism
+			}
+			if err := journal.Append(campaign.Record{
+				Kind: "result", Bench: cl.Bench, Scheme: cl.Scheme.String(), Index: rec.Index, Result: rec.Result,
+			}); err != nil {
+				if *mergeErr == nil {
+					*mergeErr = err
+				}
+				return
+			}
+			have[ci][rec.Index] = true
+			*done++
+			if c.mMerged != nil {
+				c.mMerged.Inc()
+			}
+			if eng.Progress != nil {
+				eng.Progress(*done, total)
+			}
+		}
+	}
+}
+
+// runLease executes one lease against one worker: POST the shard,
+// consume the record stream (any line renews the lease timer), and
+// report the outcome to the scheduler.
+func (c *Coordinator) runLease(ctx context.Context, spec campaign.Spec, cells []campaign.Cell,
+	l *lease, w WorkerStatus, merge func(int, StreamRecord), resCh chan<- leaseResult) {
+
+	// The scheduler receives every result, draining until active==0
+	// even on error/cancellation exits, so this send never orphans —
+	// and it must be unconditional or that drain would deadlock.
+	report := func(err error, expired bool) {
+		resCh <- leaseResult{l: l, workerID: w.ID, err: err, expired: expired}
+	}
+
+	cl := cells[l.cell]
+	req := ShardRequest{
+		LeaseID: fmt.Sprintf("%s/%s[%d,%d)#%d", spec.RunID, cl, l.from, l.to, l.attempts),
+		RunID:   spec.RunID,
+		Bench:   cl.Bench,
+		Scheme:  cl.Scheme.String(),
+		From:    l.from,
+		To:      l.to,
+		Fault:   spec.Fault,
+	}
+	body, err := json.Marshal(req)
+	if err != nil {
+		report(err, false)
+		return
+	}
+	leaseCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	hreq, err := http.NewRequestWithContext(leaseCtx, http.MethodPost, w.Addr+"/v1/cluster/run", bytes.NewReader(body))
+	if err != nil {
+		report(err, false)
+		return
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	resp, err := c.client().Do(hreq)
+	if err != nil {
+		report(fmt.Errorf("cluster: dialing worker %s: %w", w.ID, err), true)
+		return
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		b, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<12))
+		report(fmt.Errorf("cluster: worker %s rejected shard: HTTP %d: %s", w.ID, resp.StatusCode, bytes.TrimSpace(b)), false)
+		return
+	}
+
+	// Reader goroutine feeds lines; the select loop below enforces the
+	// lease TTL between lines. cancel() tears the body down, which
+	// stops the reader.
+	lineCh := make(chan []byte)
+	readErr := make(chan error, 1)
+	go func() {
+		sc := bufio.NewScanner(resp.Body)
+		sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
+		for sc.Scan() {
+			line := make([]byte, len(sc.Bytes()))
+			copy(line, sc.Bytes())
+			select {
+			case lineCh <- line:
+			case <-leaseCtx.Done():
+				return
+			}
+		}
+		readErr <- sc.Err()
+		close(lineCh)
+	}()
+
+	ttl := c.leaseTTL()
+	timer := time.NewTimer(ttl)
+	defer timer.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			report(ctx.Err(), false)
+			return
+		case <-timer.C:
+			cancel()
+			report(fmt.Errorf("cluster: lease %s stalled on worker %s (no record within %s)", req.LeaseID, w.ID, ttl), true)
+			return
+		case line, ok := <-lineCh:
+			if !ok {
+				// EOF before "done": the worker died mid-stream.
+				err := <-readErr
+				if err == nil {
+					err = io.ErrUnexpectedEOF
+				}
+				report(fmt.Errorf("cluster: lease %s stream from %s ended early: %w", req.LeaseID, w.ID, err), true)
+				return
+			}
+			if !timer.Stop() {
+				<-timer.C
+			}
+			timer.Reset(ttl)
+			var rec StreamRecord
+			if err := json.Unmarshal(line, &rec); err != nil {
+				cancel()
+				report(fmt.Errorf("cluster: lease %s: bad stream line from %s: %w", req.LeaseID, w.ID, err), true)
+				return
+			}
+			switch rec.Kind {
+			case KindPing:
+				// keepalive only
+			case KindPrep, KindResult:
+				merge(l.cell, rec)
+			case KindDone:
+				report(nil, false)
+				return
+			case KindError:
+				report(fmt.Errorf("cluster: worker %s failed lease %s: %s", w.ID, req.LeaseID, rec.Error), false)
+				return
+			default:
+				// Forward compatibility: ignore unknown kinds.
+			}
+		}
+	}
+}

@@ -1,0 +1,133 @@
+package cluster
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Policy picks the worker a range is leased to. Pick receives the
+// registry snapshot (sorted by worker ID) and the cell the range
+// belongs to ("bench/scheme"), and returns the index of the chosen
+// candidate, or -1 when no worker can take the lease right now (all
+// dead or at capacity) — the scheduler retries after the next
+// registry event.
+//
+// Implementations must only choose candidates that are Alive with
+// Free() > 0; eligible() is the shared filter.
+type Policy interface {
+	Name() string
+	Pick(cands []Candidate, cell string) int
+}
+
+// eligible lists the indices of candidates that can take a lease.
+func eligible(cands []Candidate) []int {
+	var out []int
+	for i, c := range cands {
+		if c.Alive && c.Free() > 0 {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// RoundRobin rotates leases across eligible workers in ID order,
+// independent of load — the classic fair baseline.
+type RoundRobin struct {
+	mu   sync.Mutex
+	next int
+}
+
+// Name implements Policy.
+func (*RoundRobin) Name() string { return "round-robin" }
+
+// Pick implements Policy.
+func (p *RoundRobin) Pick(cands []Candidate, _ string) int {
+	el := eligible(cands)
+	if len(el) == 0 {
+		return -1
+	}
+	p.mu.Lock()
+	i := el[p.next%len(el)]
+	p.next++
+	p.mu.Unlock()
+	return i
+}
+
+// LeastLoaded picks the eligible worker with the smallest Load()
+// (coordinator-side leases + worker-reported inflight + queued jobs),
+// breaking ties by worker ID for determinism.
+type LeastLoaded struct{}
+
+// Name implements Policy.
+func (LeastLoaded) Name() string { return "least-loaded" }
+
+// Pick implements Policy.
+func (LeastLoaded) Pick(cands []Candidate, _ string) int {
+	best := -1
+	for _, i := range eligible(cands) {
+		if best == -1 || cands[i].Load() < cands[best].Load() {
+			best = i
+		}
+	}
+	return best
+}
+
+// CacheAware prefers a worker whose fault.PreparedCache already holds
+// the cell's golden preparation (heartbeats report warm cells): a warm
+// worker skips the detector fast-forward and timing warmup entirely.
+// Among warm workers — or among all eligible workers when none is
+// warm — it falls back to least-loaded.
+type CacheAware struct{}
+
+// Name implements Policy.
+func (CacheAware) Name() string { return "cache-aware" }
+
+// Pick implements Policy.
+func (CacheAware) Pick(cands []Candidate, cell string) int {
+	el := eligible(cands)
+	if len(el) == 0 {
+		return -1
+	}
+	pick := func(idx []int) int {
+		best := -1
+		for _, i := range idx {
+			if best == -1 || cands[i].Load() < cands[best].Load() {
+				best = i
+			}
+		}
+		return best
+	}
+	var warm []int
+	for _, i := range el {
+		if cands[i].Warm(cell) {
+			warm = append(warm, i)
+		}
+	}
+	if len(warm) > 0 {
+		return pick(warm)
+	}
+	return pick(el)
+}
+
+// PolicyNames lists the built-in routing policies.
+func PolicyNames() []string {
+	names := []string{"round-robin", "least-loaded", "cache-aware"}
+	sort.Strings(names)
+	return names
+}
+
+// PolicyByName resolves a routing policy from its flag value.
+func PolicyByName(name string) (Policy, error) {
+	switch name {
+	case "round-robin", "":
+		return &RoundRobin{}, nil
+	case "least-loaded":
+		return LeastLoaded{}, nil
+	case "cache-aware":
+		return CacheAware{}, nil
+	}
+	return nil, fmt.Errorf("cluster: unknown routing policy %q (known: %s)",
+		name, strings.Join(PolicyNames(), ", "))
+}

@@ -1,6 +1,7 @@
 package fault
 
 import (
+	"sort"
 	"sync"
 	"sync/atomic"
 
@@ -78,4 +79,24 @@ func (c *PreparedCache) Len() int {
 // Stats reports the cumulative Get hit and miss counts.
 func (c *PreparedCache) Stats() (hits, misses uint64) {
 	return c.hits.Load(), c.misses.Load()
+}
+
+// Keys lists the cached preparation keys, sorted by bench then scheme
+// (map order would not be deterministic). Cluster workers report them
+// in their heartbeat status so a locality-aware coordinator can route
+// a cell's shards to a worker whose golden state is already warm.
+func (c *PreparedCache) Keys() []PreparedKey {
+	c.mu.Lock()
+	out := make([]PreparedKey, 0, len(c.m))
+	for k := range c.m {
+		out = append(out, k)
+	}
+	c.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Bench != out[j].Bench {
+			return out[i].Bench < out[j].Bench
+		}
+		return out[i].Scheme < out[j].Scheme
+	})
+	return out
 }

@@ -1,0 +1,74 @@
+package server
+
+import (
+	"sync"
+	"time"
+)
+
+// TokenBucket is the daemon's submission admission gate: Allow spends
+// one token, tokens refill at Rate per second up to Burst. A drained
+// bucket turns submissions into structured 429s at the HTTP layer
+// (counted in fh_admission_rejects_total{reason="rate"}), shielding
+// the queue — and the engines behind it — from submission storms.
+type TokenBucket struct {
+	rate  float64
+	burst float64
+
+	// now overrides time.Now in tests.
+	now func() time.Time
+
+	mu     sync.Mutex
+	tokens float64
+	last   time.Time
+}
+
+// NewTokenBucket builds a full bucket admitting rate submissions per
+// second with bursts up to burst. Non-positive rate or burst are
+// clamped to minimal sane values (callers gate "off" by not
+// constructing a bucket at all).
+func NewTokenBucket(rate float64, burst int) *TokenBucket {
+	if rate <= 0 {
+		rate = 1
+	}
+	if burst <= 0 {
+		burst = 1
+	}
+	b := &TokenBucket{rate: rate, burst: float64(burst), now: time.Now}
+	b.tokens = b.burst
+	b.last = b.now()
+	return b
+}
+
+// refillLocked advances the bucket to now.
+func (b *TokenBucket) refillLocked() {
+	now := b.now()
+	b.tokens += now.Sub(b.last).Seconds() * b.rate
+	if b.tokens > b.burst {
+		b.tokens = b.burst
+	}
+	b.last = now
+}
+
+// Allow spends one token if available.
+func (b *TokenBucket) Allow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.refillLocked()
+	if b.tokens < 1 {
+		return false
+	}
+	b.tokens--
+	return true
+}
+
+// RetryAfter reports how long until the next token accrues — the
+// Retry-After hint on a 429.
+func (b *TokenBucket) RetryAfter() time.Duration {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.refillLocked()
+	if b.tokens >= 1 {
+		return 0
+	}
+	return time.Duration((1 - b.tokens) / b.rate * float64(time.Second))
+}

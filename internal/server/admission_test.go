@@ -1,0 +1,172 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestTokenBucket drives the bucket against a fake clock: burst spends
+// down, refill accrues at the configured rate, RetryAfter predicts the
+// next token.
+func TestTokenBucket(t *testing.T) {
+	now := time.Unix(0, 0)
+	b := NewTokenBucket(1, 2)
+	b.now = func() time.Time { return now }
+	b.last = now // rebase the real-clock state onto the fake clock
+
+	if !b.Allow() || !b.Allow() {
+		t.Fatal("burst of 2 rejected")
+	}
+	if b.Allow() {
+		t.Fatal("empty bucket admitted")
+	}
+	if ra := b.RetryAfter(); ra <= 0 || ra > time.Second {
+		t.Fatalf("RetryAfter on empty bucket = %v, want (0, 1s]", ra)
+	}
+	now = now.Add(1500 * time.Millisecond)
+	if !b.Allow() {
+		t.Fatal("refilled token rejected")
+	}
+	if b.Allow() {
+		t.Fatal("bucket refilled faster than its rate")
+	}
+	// Refill clamps at burst.
+	now = now.Add(time.Hour)
+	if !b.Allow() || !b.Allow() {
+		t.Fatal("full bucket rejected its burst")
+	}
+	if b.Allow() {
+		t.Fatal("bucket exceeded its burst after a long idle")
+	}
+}
+
+// TestAdmissionRateLimit429 submits past the admission gate's burst
+// and checks the structured rejection: HTTP 429, Retry-After header,
+// machine-readable body, and the labeled reject counter.
+func TestAdmissionRateLimit429(t *testing.T) {
+	cfg := testConfig(t)
+	cfg.RateLimit = 0.001 // one token per ~17 minutes: no refill mid-test
+	cfg.RateBurst = 1
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Drain(context.Background())
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	post := func() *http.Response {
+		b, _ := json.Marshal(testSpec(4))
+		resp, err := http.Post(ts.URL+"/v1/campaigns", "application/json", bytes.NewReader(b))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp
+	}
+
+	resp := post()
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("first submit: HTTP %d, want 202", resp.StatusCode)
+	}
+
+	resp = post()
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("second submit: HTTP %d, want 429", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("429 has no Retry-After header")
+	}
+	var body struct {
+		Error             string `json:"error"`
+		Reason            string `json:"reason"`
+		RetryAfterSeconds int    `json:"retry_after_seconds"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	if body.Reason != "rate" || body.Error == "" || body.RetryAfterSeconds < 1 {
+		t.Fatalf("429 body %+v, want reason=rate with error and retry_after_seconds", body)
+	}
+
+	// The labeled counter moved, and both reasons are pre-registered.
+	mresp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mresp.Body.Close()
+	var buf bytes.Buffer
+	buf.ReadFrom(mresp.Body)
+	text := buf.String()
+	if !strings.Contains(text, `fh_admission_rejects_total{reason="rate"} 1`) {
+		t.Fatalf("metrics missing rate reject count:\n%s", text)
+	}
+	if !strings.Contains(text, `fh_admission_rejects_total{reason="queue_full"} 0`) {
+		t.Fatalf("metrics missing pre-registered queue_full series:\n%s", text)
+	}
+}
+
+// TestHealthz checks the identity endpoint in both directions: a
+// default daemon is a ready "single"; a coordinator whose readiness
+// hook says no serves 503 with its detail merged in.
+func TestHealthz(t *testing.T) {
+	s, err := New(testConfig(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Drain(context.Background())
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	get := func(url string) (int, map[string]any) {
+		resp, err := http.Get(url + "/healthz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var body map[string]any
+		if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+			t.Fatal(err)
+		}
+		return resp.StatusCode, body
+	}
+
+	code, body := get(ts.URL)
+	if code != http.StatusOK {
+		t.Fatalf("healthz: HTTP %d, want 200", code)
+	}
+	if body["role"] != "single" || body["ready"] != true || body["status"] != "ok" {
+		t.Fatalf("healthz body %+v, want ready single", body)
+	}
+	if body["go"] == "" || body["commit"] != "test-commit" {
+		t.Fatalf("healthz body %+v, want build info", body)
+	}
+
+	cfg2 := testConfig(t)
+	cfg2.Role = "coordinator"
+	cfg2.Ready = func() (bool, map[string]any) {
+		return false, map[string]any{"workers_alive": 0}
+	}
+	s2, err := New(cfg2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Drain(context.Background())
+	ts2 := httptest.NewServer(s2.Handler())
+	defer ts2.Close()
+
+	code, body = get(ts2.URL)
+	if code != http.StatusServiceUnavailable {
+		t.Fatalf("unready healthz: HTTP %d, want 503", code)
+	}
+	if body["role"] != "coordinator" || body["ready"] != false || body["workers_alive"] != float64(0) {
+		t.Fatalf("unready healthz body %+v", body)
+	}
+}

@@ -5,21 +5,41 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
+	"strconv"
 	"strings"
+	"time"
 
 	"faulthound/internal/campaign"
 )
 
 // Client talks to a campaign-serving daemon. It is the programmatic
 // form of the HTTP API; cmd/fhcampaign -addr is built on it.
+//
+// With Retries > 0 the client rides out transient failures: Submit and
+// Status repeat on connection errors, 429s, and 5xx responses with
+// jittered exponential backoff (Submit is safe to repeat — the spec
+// hash deduplicates), and Watch reconnects a dropped event stream and
+// resumes from the job's live state. 429s honor the server's
+// Retry-After hint.
 type Client struct {
 	// Base is the daemon's base URL, e.g. "http://localhost:8080".
 	Base string
 	// HTTP overrides the transport (nil means http.DefaultClient).
 	HTTP *http.Client
+	// Retries is the number of additional attempts after a transient
+	// failure; 0 means fail fast.
+	Retries int
+	// RetryBase is the first backoff delay, doubling per attempt with
+	// ±50% jitter, capped at 5s. Zero means 200ms.
+	RetryBase time.Duration
+
+	// sleep overrides the backoff wait in tests.
+	sleep func(context.Context, time.Duration) error
 }
 
 // NewClient normalizes addr ("host:port" or a full URL) into a Client.
@@ -41,6 +61,8 @@ func (c *Client) http() *http.Client {
 type apiError struct {
 	Code int
 	Msg  string
+	// RetryAfter is the server's Retry-After hint (429s), if any.
+	RetryAfter time.Duration
 }
 
 func (e *apiError) Error() string {
@@ -56,17 +78,89 @@ func decodeError(resp *http.Response) error {
 	if json.Unmarshal(b, &body) != nil || body.Error == "" {
 		body.Error = strings.TrimSpace(string(b))
 	}
-	return &apiError{Code: resp.StatusCode, Msg: body.Error}
+	e := &apiError{Code: resp.StatusCode, Msg: body.Error}
+	if secs, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && secs > 0 {
+		e.RetryAfter = time.Duration(secs) * time.Second
+	}
+	return e
+}
+
+// transient reports whether err is worth retrying: any transport-level
+// failure (connection refused, reset), plus 429 and 5xx responses.
+func transient(err error) bool {
+	var ae *apiError
+	if errors.As(err, &ae) {
+		return ae.Code == http.StatusTooManyRequests || ae.Code >= 500
+	}
+	return true
+}
+
+// backoff waits out attempt's delay: floor (a server Retry-After hint,
+// may be zero) or jittered exponential, whichever is larger.
+func (c *Client) backoff(ctx context.Context, attempt int, floor time.Duration) error {
+	base := c.RetryBase
+	if base <= 0 {
+		base = 200 * time.Millisecond
+	}
+	d := base << min(attempt, 10)
+	if d > 5*time.Second {
+		d = 5 * time.Second
+	}
+	d = time.Duration(float64(d) * (0.5 + rand.Float64())) // 0.5x–1.5x
+	if d < floor {
+		d = floor
+	}
+	if c.sleep != nil {
+		return c.sleep(ctx, d)
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
+// retry runs op up to 1+Retries times, backing off between transient
+// failures.
+func (c *Client) retry(ctx context.Context, op func() error) error {
+	for attempt := 0; ; attempt++ {
+		err := op()
+		if err == nil || ctx.Err() != nil || attempt >= c.Retries || !transient(err) {
+			return err
+		}
+		var floor time.Duration
+		var ae *apiError
+		if errors.As(err, &ae) {
+			floor = ae.RetryAfter
+		}
+		if c.backoff(ctx, attempt, floor) != nil {
+			return err
+		}
+	}
 }
 
 // Submit posts a campaign spec and returns the created (or
-// deduplicated) job's status.
+// deduplicated) job's status. Repeats are harmless: the canonical spec
+// hash dedups on the server, so a retried submit attaches to the job
+// the lost response created.
 func (c *Client) Submit(ctx context.Context, spec campaign.Spec) (*JobStatus, error) {
 	b, err := json.Marshal(spec)
 	if err != nil {
 		return nil, err
 	}
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.Base+"/v1/campaigns", bytes.NewReader(b))
+	var st *JobStatus
+	err = c.retry(ctx, func() error {
+		st, err = c.submitOnce(ctx, b)
+		return err
+	})
+	return st, err
+}
+
+func (c *Client) submitOnce(ctx context.Context, body []byte) (*JobStatus, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.Base+"/v1/campaigns", bytes.NewReader(body))
 	if err != nil {
 		return nil, err
 	}
@@ -88,39 +182,90 @@ func (c *Client) Submit(ctx context.Context, spec campaign.Spec) (*JobStatus, er
 
 // Status fetches a job's current status.
 func (c *Client) Status(ctx context.Context, id string) (*JobStatus, error) {
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.Base+"/v1/campaigns/"+id, nil)
+	var st *JobStatus
+	err := c.retry(ctx, func() error {
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.Base+"/v1/campaigns/"+id, nil)
+		if err != nil {
+			return err
+		}
+		resp, err := c.http().Do(req)
+		if err != nil {
+			return err
+		}
+		if resp.StatusCode != http.StatusOK {
+			return decodeError(resp)
+		}
+		defer resp.Body.Close()
+		st = new(JobStatus)
+		return json.NewDecoder(resp.Body).Decode(st)
+	})
 	if err != nil {
 		return nil, err
 	}
-	resp, err := c.http().Do(req)
-	if err != nil {
-		return nil, err
+	return st, nil
+}
+
+// terminalState reports whether a stream may legitimately end at state.
+func terminalState(state string) bool {
+	switch state {
+	case StateDone, StateFailed, StateInterrupted:
+		return true
 	}
-	if resp.StatusCode != http.StatusOK {
-		return nil, decodeError(resp)
-	}
-	defer resp.Body.Close()
-	var st JobStatus
-	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
-		return nil, err
-	}
-	return &st, nil
+	return false
 }
 
 // Watch consumes the job's JSONL event stream, invoking onEvent per
-// line (nil is allowed), until the stream ends; it then returns the
-// job's final status.
+// line (nil is allowed), until the job reaches a terminal state; it
+// then returns the job's final status. A stream that dies mid-job
+// (daemon restart, proxy hiccup) is reconnected with backoff when
+// Retries > 0; a connection that made progress resets the attempt
+// budget, so a long campaign survives any number of isolated drops.
 func (c *Client) Watch(ctx context.Context, id string, onEvent func(Event)) (*JobStatus, error) {
+	for attempt := 0; ; {
+		terminal, progressed, err := c.watchOnce(ctx, id, onEvent)
+		if terminal {
+			return c.Status(ctx, id)
+		}
+		if ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
+		if err == nil {
+			err = io.ErrUnexpectedEOF
+		}
+		if !transient(err) {
+			return nil, err
+		}
+		if progressed {
+			attempt = 0
+		}
+		if attempt >= c.Retries {
+			return nil, fmt.Errorf("server: watching job %s: stream ended before a terminal state: %w", id, err)
+		}
+		var floor time.Duration
+		var ae *apiError
+		if errors.As(err, &ae) {
+			floor = ae.RetryAfter
+		}
+		if c.backoff(ctx, attempt, floor) != nil {
+			return nil, err
+		}
+		attempt++
+	}
+}
+
+// watchOnce consumes one connection's worth of the event stream.
+func (c *Client) watchOnce(ctx context.Context, id string, onEvent func(Event)) (terminal, progressed bool, err error) {
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.Base+"/v1/campaigns/"+id+"/events", nil)
 	if err != nil {
-		return nil, err
+		return false, false, err
 	}
 	resp, err := c.http().Do(req)
 	if err != nil {
-		return nil, err
+		return false, false, err
 	}
+	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
-		return nil, decodeError(resp)
+		return false, false, decodeError(resp)
 	}
 	sc := bufio.NewScanner(resp.Body)
 	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
@@ -132,35 +277,40 @@ func (c *Client) Watch(ctx context.Context, id string, onEvent func(Event)) (*Jo
 		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
 			continue
 		}
+		progressed = true
 		if onEvent != nil {
 			onEvent(ev)
 		}
+		if ev.Type == "state" && terminalState(ev.State) {
+			terminal = true
+		}
 	}
-	resp.Body.Close()
-	if err := sc.Err(); err != nil && ctx.Err() == nil {
-		return nil, err
-	}
-	if err := ctx.Err(); err != nil {
-		return nil, err
-	}
-	return c.Status(ctx, id)
+	return terminal, progressed, sc.Err()
 }
 
 // BundleFile fetches one artifact file of a completed job.
 func (c *Client) BundleFile(ctx context.Context, id, name string) ([]byte, error) {
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.Base+"/v1/campaigns/"+id+"/bundle/"+name, nil)
+	var out []byte
+	err := c.retry(ctx, func() error {
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.Base+"/v1/campaigns/"+id+"/bundle/"+name, nil)
+		if err != nil {
+			return err
+		}
+		resp, err := c.http().Do(req)
+		if err != nil {
+			return err
+		}
+		if resp.StatusCode != http.StatusOK {
+			return decodeError(resp)
+		}
+		defer resp.Body.Close()
+		out, err = io.ReadAll(resp.Body)
+		return err
+	})
 	if err != nil {
 		return nil, err
 	}
-	resp, err := c.http().Do(req)
-	if err != nil {
-		return nil, err
-	}
-	if resp.StatusCode != http.StatusOK {
-		return nil, decodeError(resp)
-	}
-	defer resp.Body.Close()
-	return io.ReadAll(resp.Body)
+	return out, nil
 }
 
 // Summary fetches and parses a completed job's summary.json.

@@ -6,7 +6,10 @@ import (
 	"net/http"
 	"os"
 	"path/filepath"
+	"runtime"
+	"strconv"
 	"strings"
+	"time"
 
 	"faulthound/internal/campaign"
 	"faulthound/internal/scheme"
@@ -43,11 +46,57 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/campaigns/{id}/bundle/", s.handleBundleIndex)
 	mux.HandleFunc("GET /v1/campaigns/{id}/bundle/{file}", s.handleBundleFile)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
-	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
-		w.WriteHeader(http.StatusOK)
-		fmt.Fprintln(w, "ok")
-	})
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	return mux
+}
+
+// handleHealthz reports liveness plus identity: the daemon's cluster
+// role, build info, and readiness (200 ready, 503 not — load-balancer
+// and smoke-test friendly). Config.Ready supplies the verdict and any
+// role-specific detail (live worker count, joined state).
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	role := s.cfg.Role
+	if role == "" {
+		role = "single"
+	}
+	ready := true
+	var detail map[string]any
+	if s.cfg.Ready != nil {
+		ready, detail = s.cfg.Ready()
+	}
+	body := map[string]any{
+		"status":         "ok",
+		"ready":          ready,
+		"role":           role,
+		"go":             runtime.Version(),
+		"commit":         s.cfg.GitCommit,
+		"uptime_seconds": int64(time.Since(s.start).Seconds()),
+	}
+	code := http.StatusOK
+	if !ready {
+		body["status"] = "unavailable"
+		code = http.StatusServiceUnavailable
+	}
+	for k, v := range detail {
+		body[k] = v
+	}
+	writeJSON(w, code, body)
+}
+
+// reject429 answers an admission-gate rejection: Retry-After header,
+// machine-readable JSON body, and the labeled reject counter.
+func (s *Server) reject429(w http.ResponseWriter, reason, msg string, retry time.Duration) {
+	s.rejectAdmission(reason)
+	secs := int(retry / time.Second)
+	if retry%time.Second != 0 || secs < 1 {
+		secs++ // round up; Retry-After is integer seconds and 0 is useless
+	}
+	w.Header().Set("Retry-After", strconv.Itoa(secs))
+	writeJSON(w, http.StatusTooManyRequests, map[string]any{
+		"error":               msg,
+		"reason":              reason,
+		"retry_after_seconds": secs,
+	})
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {
@@ -66,6 +115,10 @@ func writeError(w http.ResponseWriter, code int, msg string) {
 }
 
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	if s.admission != nil && !s.admission.Allow() {
+		s.reject429(w, "rate", "submission rate limit exceeded", s.admission.RetryAfter())
+		return
+	}
 	var spec campaign.Spec
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
 	dec.DisallowUnknownFields()
@@ -90,8 +143,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err.Error())
 		return
 	case isQueueFull(err):
-		w.Header().Set("Retry-After", "5")
-		writeError(w, http.StatusServiceUnavailable, err.Error())
+		s.reject429(w, "queue_full", err.Error(), 5*time.Second)
 		return
 	default:
 		writeError(w, http.StatusInternalServerError, err.Error())

@@ -50,6 +50,15 @@ type persistedStatus struct {
 	FinishedAt string        `json:"finished_at,omitempty"`
 }
 
+// Runner executes one campaign on behalf of the daemon's job loop.
+// The engine arrives fully wired (normalized spec, factory,
+// progress/observer hooks); dir is the job's bundle directory and
+// resume says whether an on-disk manifest/journal should be continued.
+// The default runner is the local engine; cmd/fhserved -coordinator
+// swaps in cluster.Coordinator.RunCampaign to shard the campaign
+// across workers instead.
+type Runner func(ctx context.Context, eng *campaign.Engine, dir string, resume bool) (*campaign.Outcome, error)
+
 // Config parameterizes a Server.
 type Config struct {
 	// Root is the data directory: one subdirectory per job, named by
@@ -67,7 +76,7 @@ type Config struct {
 	// (0 keeps the spec's choice, which itself defaults to GOMAXPROCS).
 	Workers int
 	// QueueDepth bounds the pending-job queue; submissions beyond it
-	// are rejected with 503. Default 64.
+	// are rejected with a structured 429. Default 64.
 	QueueDepth int
 	// MaxInjections rejects specs whose total injection count
 	// (cells × injections) exceeds it; 0 means unlimited.
@@ -77,15 +86,34 @@ type Config struct {
 	// Log receives structured operational logs (job state transitions
 	// at Debug/Info, anomalies at Warn/Error); nil discards them.
 	Log *slog.Logger
+	// Runner overrides campaign execution (nil runs the engine
+	// in-process; the coordinator mode shards across workers).
+	Runner Runner
+	// Prepared shares a golden-preparation cache with other subsystems
+	// (the cluster worker); nil builds a private one.
+	Prepared *fault.PreparedCache
+	// Role names this daemon's cluster role for /healthz:
+	// "single" (default), "coordinator", or "worker".
+	Role string
+	// Ready overrides the /healthz readiness verdict; nil means always
+	// ready. The detail map is merged into the health payload.
+	Ready func() (bool, map[string]any)
+	// RateLimit admits at most this many submissions per second
+	// (bursting to RateBurst) before the daemon answers 429; 0 disables
+	// the gate. Queue overflow 429s are always on.
+	RateLimit float64
+	// RateBurst is the admission gate's burst size; default 10.
+	RateBurst int
 }
 
 // Server is the campaign-serving daemon's engine-facing half; Handler
 // exposes it over HTTP.
 type Server struct {
-	cfg      Config
-	log      *slog.Logger
-	reg      *metrics.Registry
-	prepared *fault.PreparedCache
+	cfg       Config
+	log       *slog.Logger
+	reg       *metrics.Registry
+	prepared  *fault.PreparedCache
+	admission *TokenBucket
 
 	mu    sync.Mutex
 	jobs  map[string]*job // by spec hash
@@ -146,16 +174,27 @@ func New(cfg Config) (*Server, error) {
 	if log == nil {
 		log = slog.New(slog.NewTextHandler(io.Discard, nil))
 	}
+	prepared := cfg.Prepared
+	if prepared == nil {
+		prepared = fault.NewPreparedCache()
+	}
 	ctx, cancel := context.WithCancel(context.Background())
 	s := &Server{
 		cfg:      cfg,
 		log:      log,
 		reg:      metrics.NewRegistry(),
-		prepared: fault.NewPreparedCache(),
+		prepared: prepared,
 		jobs:     make(map[string]*job),
 		runCtx:   ctx,
 		cancel:   cancel,
 		start:    time.Now(),
+	}
+	if cfg.RateLimit > 0 {
+		burst := cfg.RateBurst
+		if burst <= 0 {
+			burst = 10
+		}
+		s.admission = NewTokenBucket(cfg.RateLimit, burst)
 	}
 	s.mQueued = s.reg.Gauge("fhserved_jobs_queued", "Jobs waiting in the queue.")
 	s.mRunning = s.reg.Gauge("fhserved_jobs_running", "Jobs currently executing.")
@@ -171,6 +210,11 @@ func New(cfg Config) (*Server, error) {
 	s.mPrepMisses = s.reg.Counter("fhserved_prepared_cache_misses_total", "Golden-run preparations executed (cache fills).")
 	s.mQueueWait = s.reg.Histogram("fhserved_job_queue_wait_seconds",
 		"Seconds a job waited between submission and execution start.", metrics.ExpBuckets(0.01, 2, 16))
+	// Pre-register both reject reasons so scrapes render zeros before
+	// the first rejection.
+	for _, reason := range []string{"queue_full", "rate"} {
+		s.reg.CounterWith(admissionRejectsName, admissionRejectsHelp, map[string]string{"reason": reason})
+	}
 	s.rateLastTime = s.start
 
 	if err := s.rescan(); err != nil {
@@ -393,6 +437,17 @@ func (s *Server) Submit(spec campaign.Spec) (*job, bool, error) {
 // submission.
 var errQueueFull = fmt.Errorf("server: job queue is full")
 
+// Admission-gate rejection counter (reason="queue_full" | "rate").
+const (
+	admissionRejectsName = "fh_admission_rejects_total"
+	admissionRejectsHelp = "Submissions rejected with 429 by the admission gate, by reason."
+)
+
+// rejectAdmission counts one admission-gate rejection.
+func (s *Server) rejectAdmission(reason string) {
+	s.reg.CounterWith(admissionRejectsName, admissionRejectsHelp, map[string]string{"reason": reason}).Inc()
+}
+
 // badSpecError marks a submission rejected at validation time. It
 // wraps the underlying cause so callers (the HTTP layer) can inspect
 // the chain — a scheme.IsSpecError cause turns the 400 body into the
@@ -475,15 +530,16 @@ func (s *Server) runJob(j *job) {
 		Obs:   newMetricsSink(s.reg, s.mInflight),
 	}
 
-	var (
-		out *campaign.Outcome
-		err error
-	)
-	if j.resume {
-		out, err = eng.Resume(s.runCtx, j.dir)
-	} else {
-		out, err = eng.Run(s.runCtx, j.dir, false)
+	run := s.cfg.Runner
+	if run == nil {
+		run = func(ctx context.Context, eng *campaign.Engine, dir string, resume bool) (*campaign.Outcome, error) {
+			if resume {
+				return eng.Resume(ctx, dir)
+			}
+			return eng.Run(ctx, dir, false)
+		}
 	}
+	out, err := run(s.runCtx, eng, j.dir, j.resume)
 	switch {
 	case err != nil && s.runCtx.Err() != nil:
 		// Drain: the journal holds every completed injection; a

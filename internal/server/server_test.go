@@ -292,7 +292,8 @@ func TestServerDrainResume(t *testing.T) {
 
 // TestServerRejections covers submit-time validation and the bounded
 // queue: unknown benchmarks and empty specs are 400s, an overflowing
-// queue is a 503, and bundle requests outside the whitelist are 404s.
+// queue is a structured 429 with a Retry-After hint, and bundle
+// requests outside the whitelist are 404s.
 func TestServerRejections(t *testing.T) {
 	cfg := testConfig(t)
 	cfg.QueueDepth = 1
@@ -324,8 +325,10 @@ func TestServerRejections(t *testing.T) {
 	second.Fault.Seed++
 	if _, err := cl.Submit(ctx, second); err == nil {
 		t.Fatal("queue overflow accepted")
-	} else if ae, ok := err.(*apiError); !ok || ae.Code != http.StatusServiceUnavailable {
-		t.Fatalf("queue overflow: %v, want 503", err)
+	} else if ae, ok := err.(*apiError); !ok || ae.Code != http.StatusTooManyRequests {
+		t.Fatalf("queue overflow: %v, want 429", err)
+	} else if ae.RetryAfter <= 0 {
+		t.Fatalf("queue overflow 429 carries no Retry-After hint: %+v", ae)
 	}
 	// Resubmitting the queued spec is a dedup hit, not an overflow.
 	if st, err := cl.Submit(ctx, first); err != nil || !st.CacheHit {
