@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet lint race bench bench-json campaign serve smoke-server smoke-cluster trace-demo experiments extensions quick clean
+.PHONY: all build test vet lint race bench bench-json campaign serve smoke-server smoke-cluster smoke-wgen trace-demo experiments extensions quick clean
 
 all: lint test build
 
@@ -28,9 +28,9 @@ lint: vet
 	fi
 
 race:
-	$(GO) test -race ./internal/workload/ ./internal/system/ ./internal/pipeline/ \
-		./internal/mem/ ./internal/campaign/ ./internal/fault/ ./internal/obs/... \
-		./internal/server/... ./internal/cluster/
+	$(GO) test -race ./internal/workload/ ./internal/wgen/ ./internal/system/ \
+		./internal/pipeline/ ./internal/mem/ ./internal/campaign/ ./internal/fault/ \
+		./internal/obs/... ./internal/server/... ./internal/cluster/
 
 # Parallel, resumable fault-injection campaign with an artifact bundle.
 campaign:
@@ -51,6 +51,12 @@ smoke-server:
 # byte-identical-merge check against a single-node golden.
 smoke-cluster:
 	./scripts/smoke_cluster.sh
+
+# Generated-workload round trip (docs/GENERATED-WORKLOADS.md): record
+# a gen stream, replay it, require identical stream hashes, and check
+# a sweep campaign is bit-identical across -workers settings.
+smoke-wgen:
+	./scripts/smoke_wgen.sh
 
 # Perfetto trace of a short simulation — load results/trace-demo.json
 # in ui.perfetto.dev (docs/OBSERVABILITY.md).

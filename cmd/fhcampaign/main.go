@@ -28,7 +28,6 @@ import (
 	"os"
 	"os/signal"
 	"path/filepath"
-	"strings"
 	"syscall"
 	"time"
 
@@ -38,12 +37,14 @@ import (
 	"faulthound/internal/obs/metrics"
 	"faulthound/internal/scheme"
 	"faulthound/internal/server"
+	"faulthound/internal/wgen"
 	"faulthound/internal/workload"
 )
 
 func main() {
 	var (
 		bench      = flag.String("bench", "all", "comma-separated benchmarks, or \"all\" for the full Table-1 suite")
+		workloads  = flag.String("workloads", "", "comma-separated workload specs overriding -bench; generated specs parameterize with '?' (\"gen?stride=64,seg=256k\") and '|' sweeps fan out into cells (\"gen?stride=8|64|512\") (generators: "+wgen.Usage()+")")
 		schemes    = flag.String("schemes", "faulthound", "comma-separated scheme specs under test (baseline runs implicitly); parameters attach with '?' (\"faulthound?tcam=16,delay=6\") and '|' sweeps fan out into cells (\"faulthound?tcam=8|16|32\")")
 		injections = flag.Int("injections", 0, "injections per benchmark x scheme cell (default: harness default)")
 		workers    = flag.Int("workers", 0, "worker goroutines (0 = GOMAXPROCS); results do not depend on it")
@@ -83,12 +84,11 @@ func main() {
 		dir = *resume
 	} else {
 		spec = opts.CampaignSpec(nil, nil)
-		spec.Benchmarks = benchList(*bench)
-		for _, n := range spec.Benchmarks {
-			if _, err := workload.Get(n); err != nil {
-				fatal(err)
-			}
+		benches, err := benchList(*bench, *workloads)
+		if err != nil {
+			fatal(err)
 		}
+		spec.Benchmarks = benches
 		specs, err := scheme.ParseList(*schemes)
 		if err != nil {
 			fatal(err)
@@ -285,9 +285,10 @@ func cellSchemes(spec campaign.Spec, benches []string) []harness.Scheme {
 	return out
 }
 
-// printCellSpecs prints every distinct scheme of the campaign with its
-// canonical spec and the fully-resolved parameter list, so sweep
-// bundles are self-describing ("which tcam size was this cell again?").
+// printCellSpecs prints every distinct scheme and workload of the
+// campaign with its canonical spec and the fully-resolved parameter
+// list, so sweep bundles are self-describing ("which tcam size — or
+// stride — was this cell again?").
 func printCellSpecs(spec campaign.Spec) {
 	seen := map[string]bool{}
 	fmt.Println("cells (canonical -> resolved):")
@@ -303,24 +304,43 @@ func printCellSpecs(spec campaign.Spec) {
 		}
 		fmt.Printf("  %-28s %s\n", sp, resolved)
 	}
+	fmt.Println("workloads (canonical -> resolved):")
+	seenB := map[string]bool{}
+	for _, c := range spec.Cells() {
+		if seenB[c.Bench] {
+			continue
+		}
+		seenB[c.Bench] = true
+		resolved := c.Bench
+		if wgen.IsGenerated(c.Bench) {
+			if r, err := wgen.Resolved(wgen.FromString(c.Bench)); err == nil {
+				resolved = r
+			}
+		}
+		fmt.Printf("  %-28s %s\n", c.Bench, resolved)
+	}
 }
 
-// benchList resolves the -bench flag.
-func benchList(arg string) []string {
-	if arg == "all" || arg == "" {
+// benchList resolves the -bench/-workloads flags: -workloads (spec
+// syntax, sweeps fan out) overrides -bench; "all" is the full Table-1
+// suite. Every entry comes back validated and canonical.
+func benchList(bench, workloadSpecs string) ([]string, error) {
+	raw := workloadSpecs
+	if raw == "" {
+		raw = bench
+	}
+	if raw == "all" || raw == "" {
 		var names []string
 		for _, bm := range workload.All() {
 			names = append(names, bm.Name)
 		}
-		return names
+		return names, nil
 	}
-	var names []string
-	for _, n := range strings.Split(arg, ",") {
-		if n = strings.TrimSpace(n); n != "" {
-			names = append(names, n)
-		}
+	items, err := workload.SplitList(raw)
+	if err != nil {
+		return nil, err
 	}
-	return names
+	return workload.ExpandSpecs(items)
 }
 
 // progressLine returns a live completed/total meter on stderr,

@@ -24,21 +24,27 @@ import (
 	"faulthound/internal/pipeline"
 	"faulthound/internal/scheme"
 	"faulthound/internal/stats"
+	"faulthound/internal/wgen"
 	"faulthound/internal/workload"
 )
 
 func main() {
 	var (
-		bench   = flag.String("bench", "bzip2", "benchmark name (see faulthound -experiment table1)")
-		schemeF = flag.String("scheme", "faulthound", "scheme spec, optionally parameterized like \"faulthound?tcam=16,delay=6\" (known: "+scheme.Usage()+")")
-		list    = flag.Bool("list-schemes", false, "print the scheme registry (names, parameters, defaults) and exit")
-		threads = flag.Int("threads", 2, "SMT contexts")
-		commits = flag.Uint64("commits", 30000, "per-thread committed instructions to simulate")
-		warmup  = flag.Uint64("warmup", 3000, "warmup cycles before measurement")
-		trace   = flag.String("trace", "", "write a Perfetto/Chrome trace-event JSON file of the first trace-cycles cycles (open in ui.perfetto.dev)")
-		stages  = flag.String("trace-stages", "", "comma-separated stage filter (fetch,dispatch,issue,complete,commit,squash,replay,rollback,singleton,exception); alone, prints a text trace")
-		traceN  = flag.Uint64("trace-cycles", 200, "cycles to trace (with -trace or -trace-stages)")
-		asJSON  = flag.Bool("json", false, "emit the full stats block as one JSON object (scriptable runs)")
+		bench     = flag.String("bench", "bzip2", "benchmark name (see faulthound -experiment table1)")
+		workloadF = flag.String("workload", "", "workload spec overriding -bench: a benchmark name or generated spec like \"gen?stride=64,chase=4\" (generators: "+wgen.Usage()+")")
+		schemeF   = flag.String("scheme", "faulthound", "scheme spec, optionally parameterized like \"faulthound?tcam=16,delay=6\" (known: "+scheme.Usage()+")")
+		list      = flag.Bool("list-schemes", false, "print the scheme registry (names, parameters, defaults) and exit")
+		listW     = flag.Bool("list-workloads", false, "print the workload catalogue (benchmarks + generators, parameters, defaults) and exit")
+		record    = flag.String("record", "", "record thread 0's committed load/store stream to this artifact file and exit (prints the stream hash)")
+		recordOps = flag.Int("record-ops", 0, "memory ops to record with -record (default 4096)")
+		replayF   = flag.String("replay", "", "replay the recorded stream artifact at this path instead of -bench/-workload")
+		threads   = flag.Int("threads", 2, "SMT contexts")
+		commits   = flag.Uint64("commits", 30000, "per-thread committed instructions to simulate")
+		warmup    = flag.Uint64("warmup", 3000, "warmup cycles before measurement")
+		trace     = flag.String("trace", "", "write a Perfetto/Chrome trace-event JSON file of the first trace-cycles cycles (open in ui.perfetto.dev)")
+		stages    = flag.String("trace-stages", "", "comma-separated stage filter (fetch,dispatch,issue,complete,commit,squash,replay,rollback,singleton,exception); alone, prints a text trace")
+		traceN    = flag.Uint64("trace-cycles", 200, "cycles to trace (with -trace or -trace-stages)")
+		asJSON    = flag.Bool("json", false, "emit the full stats block as one JSON object (scriptable runs)")
 	)
 	flag.Parse()
 
@@ -46,7 +52,11 @@ func main() {
 		fmt.Print(scheme.Describe())
 		return
 	}
-	bm, err := workload.Get(*bench)
+	if *listW {
+		fmt.Print(workload.Describe())
+		return
+	}
+	bm, err := resolveWorkload(*bench, *workloadF, *replayF)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "fhsim:", err)
 		os.Exit(1)
@@ -59,6 +69,14 @@ func main() {
 	opts.Threads = *threads
 	opts.MeasureCommits = *commits
 	opts.WarmupCycles = *warmup
+
+	if *record != "" {
+		if err := runRecord(opts, bm, harness.Scheme(*schemeF), *record, *recordOps); err != nil {
+			fmt.Fprintln(os.Stderr, "fhsim:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *trace != "" || *stages != "" {
 		if err := runTraced(opts, bm, harness.Scheme(*schemeF), *trace, *stages, *traceN); err != nil {
@@ -112,6 +130,61 @@ func main() {
 		b.Fetch, b.Rename, b.Issue, b.Exec, b.RegFile)
 	fmt.Printf("  lsq=%.0f caches=%.0f commit=%.0f static=%.0f shadow=%.0f detector=%.0f\n",
 		b.LSQ, b.Caches, b.Commit, b.Static, b.Shadow, b.Detector)
+}
+
+// resolveWorkload picks the benchmark: a replay artifact beats
+// -workload, which beats -bench. Generated specs come back with their
+// canonical spec string as the benchmark name.
+func resolveWorkload(bench, workloadSpec, replayPath string) (workload.Benchmark, error) {
+	if replayPath != "" {
+		s, err := wgen.ReadStreamFile(replayPath)
+		if err != nil {
+			return workload.Benchmark{}, err
+		}
+		w, err := wgen.FromStream(s)
+		if err != nil {
+			return workload.Benchmark{}, err
+		}
+		return workload.Benchmark{
+			Name:     "replay:" + replayPath,
+			Suite:    "Generated",
+			Paper:    fmt.Sprintf("replay of %s (%d ops, seed %d)", s.Workload, len(s.Ops), s.Seed),
+			SegBytes: w.SegBytes,
+			Build:    w.Build,
+		}, nil
+	}
+	if workloadSpec != "" {
+		return workload.Resolve(workloadSpec)
+	}
+	return workload.Resolve(bench)
+}
+
+// runRecord runs the workload single-threaded from cycle 0 with the
+// stream recorder attached, writes the artifact, and prints the
+// base-independent stream hash (what round-trip checks compare).
+func runRecord(opts harness.Options, bm workload.Benchmark, s harness.Scheme, path string, ops int) error {
+	c, err := opts.BuildCore(bm, s, 1)
+	if err != nil {
+		return err
+	}
+	rec := wgen.NewRecorder(bm.Name, opts.Seed, ops)
+	rec.Attach(c)
+	const maxCycles = 50_000_000
+	for !rec.Full() && !c.AllHalted() && c.Cycle() < maxCycles {
+		c.Run(4096)
+	}
+	st := rec.Stream()
+	if !rec.Full() {
+		return fmt.Errorf("recorded only %d ops before cycle %d", len(st.Ops), c.Cycle())
+	}
+	if err := st.WriteFile(path); err != nil {
+		return err
+	}
+	fmt.Printf("recorded  %s\n", bm.Name)
+	fmt.Printf("ops       %d\n", len(st.Ops))
+	fmt.Printf("hash      %s\n", st.Hash())
+	fmt.Printf("artifact  %s\n", path)
+	return nil
 }
 
 // runTraced runs the first traceN cycles under a tracer: with outFile

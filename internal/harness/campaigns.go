@@ -22,7 +22,7 @@ import (
 // surface here, before any injection runs.
 func (o Options) CampaignFactory() campaign.CoreFactory {
 	return func(bench string, sp scheme.Spec) (func() *pipeline.Core, error) {
-		bm, err := workload.Get(bench)
+		bm, err := workload.Resolve(bench)
 		if err != nil {
 			return nil, err
 		}

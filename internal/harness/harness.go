@@ -109,7 +109,7 @@ func (o Options) benchmarks() ([]workload.Benchmark, error) {
 	}
 	var out []workload.Benchmark
 	for _, n := range o.Benchmarks {
-		b, err := workload.Get(n)
+		b, err := workload.Resolve(n)
 		if err != nil {
 			return nil, err
 		}

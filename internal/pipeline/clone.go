@@ -232,6 +232,7 @@ func (c *Core) cloneWith(shared *mem.Memory, a *SnapshotArena) *Core {
 	d.probe = nil
 	d.tracer = nil
 	d.commitHook = nil
+	d.memHook = nil
 	d.replayPending = c.replayPending
 	d.commitStall = c.commitStall
 	d.shadowAcc = c.shadowAcc

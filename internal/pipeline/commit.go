@@ -135,8 +135,14 @@ func (c *Core) retire(t *threadState, u *uop) {
 	switch {
 	case u.isLoad():
 		c.stats.Loads++
+		if c.memHook != nil {
+			c.memHook(t.id, false, u.effAddr, u.result)
+		}
 	case u.isStore():
 		c.stats.Stores++
+		if c.memHook != nil {
+			c.memHook(t.id, true, u.effAddr, u.storeVal)
+		}
 	case u.inst.IsBranch():
 		c.stats.Branches++
 	}

@@ -81,6 +81,9 @@ type Core struct {
 	// commitHook is called after every retirement with the thread id
 	// and its new committed count (fault-injection state comparison).
 	commitHook func(tid int, count uint64)
+	// memHook is called at every load/store retirement with the
+	// committed memory operation (stream recording, internal/wgen).
+	memHook func(tid int, store bool, addr, val uint64)
 
 	replayPending int
 	commitStall   int
@@ -304,6 +307,13 @@ func (c *Core) SetProbe(fn func(detect.Event)) { c.probe = fn }
 // fault-injection runner uses it to capture architectural state at an
 // exact commit boundary.
 func (c *Core) SetCommitHook(fn func(tid int, count uint64)) { c.commitHook = fn }
+
+// SetMemHook installs a callback invoked at every load/store
+// retirement with the thread id, direction, effective address, and
+// committed value (the loaded value for loads, the stored value for
+// stores). The workload generator's stream recorder uses it to capture
+// a run's committed memory stream.
+func (c *Core) SetMemHook(fn func(tid int, store bool, addr, val uint64)) { c.memHook = fn }
 
 // WarmDetector trains the attached detector's filters over thread 0's
 // architectural load/store stream for n instructions using the

@@ -1,0 +1,402 @@
+package pspec
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Entry is one registry entry's self-describing metadata: the name,
+// help line, and typed parameter list. Domain packages pair each entry
+// with their own factory (detector construction, program generation).
+type Entry struct {
+	Name   string
+	Help   string
+	Params []Param
+}
+
+// Registry holds named, parameterized entries of one domain and
+// implements the shared spec syntax over them. The zero Registry is
+// unusable; construct with NewRegistry.
+type Registry struct {
+	// domain is the noun error messages use ("scheme", "workload").
+	domain  string
+	entries map[string]*Entry
+	order   []string // registration order, the order of Names and help text
+}
+
+// NewRegistry creates an empty registry whose error messages speak of
+// the given domain noun.
+func NewRegistry(domain string) *Registry {
+	return &Registry{domain: domain, entries: map[string]*Entry{}}
+}
+
+// Domain returns the registry's noun.
+func (r *Registry) Domain() string { return r.domain }
+
+// Register adds an entry. It panics on a duplicate name, an
+// unparsable parameter default, or other registration bugs —
+// registration happens at init time from domain packages only.
+func (r *Registry) Register(e Entry) {
+	if e.Name == "" {
+		panic(fmt.Sprintf("pspec: %s registration needs a name", r.domain))
+	}
+	if strings.ContainsAny(e.Name, "?=,|/ ") {
+		panic(fmt.Sprintf("pspec: %s name %q contains spec syntax characters", r.domain, e.Name))
+	}
+	if _, dup := r.entries[e.Name]; dup {
+		panic(fmt.Sprintf("pspec: duplicate %s registration of %q", r.domain, e.Name))
+	}
+	seen := map[string]bool{}
+	for _, p := range e.Params {
+		if p.Name == "" || strings.ContainsAny(p.Name, "?=,|/ ") {
+			panic(fmt.Sprintf("pspec: %s %s: bad parameter name %q", r.domain, e.Name, p.Name))
+		}
+		if seen[p.Name] {
+			panic(fmt.Sprintf("pspec: %s %s: duplicate parameter %q", r.domain, e.Name, p.Name))
+		}
+		seen[p.Name] = true
+		if _, err := encode(p, p.Default); err != nil {
+			panic(fmt.Sprintf("pspec: %s %s: default of %q: %v", r.domain, e.Name, p.Name, err))
+		}
+	}
+	entry := e
+	r.entries[e.Name] = &entry
+	r.order = append(r.order, e.Name)
+}
+
+// Names lists every registered name in registration order — the
+// single source usage strings and error messages derive from.
+func (r *Registry) Names() []string {
+	return append([]string(nil), r.order...)
+}
+
+// Lookup returns an entry by name.
+func (r *Registry) Lookup(name string) (*Entry, bool) {
+	e, ok := r.entries[name]
+	return e, ok
+}
+
+// Has reports whether name is registered.
+func (r *Registry) Has(name string) bool {
+	_, ok := r.entries[name]
+	return ok
+}
+
+// unknown builds the registry's unknown-name error.
+func (r *Registry) unknown(name string) error {
+	return &UnknownNameError{Domain: r.domain, Name: name, Known: r.Names()}
+}
+
+// bad builds the registry's malformed-spec error.
+func (r *Registry) bad(spec, reason string) error {
+	return &BadSpecError{Domain: r.domain, Spec: spec, Reason: reason}
+}
+
+// param finds an entry's parameter by name.
+func (e *Entry) param(name string) (Param, bool) {
+	for _, p := range e.Params {
+		if p.Name == name {
+			return p, true
+		}
+	}
+	return Param{}, false
+}
+
+// paramNames renders the entry's parameter list for error messages.
+func (e *Entry) paramNames() string {
+	if len(e.Params) == 0 {
+		return "none"
+	}
+	names := make([]string, len(e.Params))
+	for i, p := range e.Params {
+		names[i] = p.Name
+	}
+	return strings.Join(names, ", ")
+}
+
+// canonicalize validates one explicit k=v set against e and returns
+// the canonical query (sorted, defaults elided).
+func (r *Registry) canonicalize(e *Entry, raw string, set map[string]string) (string, error) {
+	var parts []string
+	for name, val := range set {
+		p, ok := e.param(name)
+		if !ok {
+			return "", r.bad(raw, fmt.Sprintf(
+				"unknown parameter %q (parameters of %s: %s)", name, e.Name, e.paramNames()))
+		}
+		canon, err := encode(p, val)
+		if err != nil {
+			return "", r.bad(raw, err.Error())
+		}
+		if canon == p.Default {
+			continue // default values are elided from the canonical form
+		}
+		parts = append(parts, name+"="+canon)
+	}
+	sort.Strings(parts)
+	return strings.Join(parts, ","), nil
+}
+
+// splitSpec splits one spec string into name and raw k=v pairs.
+func (r *Registry) splitSpec(raw string) (name string, pairs map[string]string, err error) {
+	trimmed := strings.TrimSpace(raw)
+	name, query, has := strings.Cut(trimmed, "?")
+	name = strings.TrimSpace(name)
+	if name == "" {
+		return "", nil, r.bad(raw, fmt.Sprintf("empty %s name", r.domain))
+	}
+	pairs = map[string]string{}
+	if !has || query == "" {
+		return name, pairs, nil
+	}
+	for _, tok := range strings.Split(query, ",") {
+		tok = strings.TrimSpace(tok)
+		if tok == "" {
+			continue
+		}
+		k, v, ok := strings.Cut(tok, "=")
+		k, v = strings.TrimSpace(k), strings.TrimSpace(v)
+		if !ok || k == "" || v == "" {
+			return "", nil, r.bad(raw, fmt.Sprintf("malformed parameter %q (want k=v)", tok))
+		}
+		if _, dup := pairs[k]; dup {
+			return "", nil, r.bad(raw, fmt.Sprintf("parameter %q set twice", k))
+		}
+		pairs[k] = v
+	}
+	return name, pairs, nil
+}
+
+// Parse validates one spec string against the registry and returns
+// its canonical Spec. Sweep syntax ('|' in a value) is an error here;
+// use Expand where fan-out is meant.
+func (r *Registry) Parse(raw string) (Spec, error) {
+	specs, err := r.Expand(raw)
+	if err != nil {
+		return Spec{}, err
+	}
+	if len(specs) != 1 {
+		return Spec{}, r.bad(raw, "sweep syntax ('|') is not allowed here")
+	}
+	return specs[0], nil
+}
+
+// Valid reports whether raw parses against the registry.
+func (r *Registry) Valid(raw string) bool {
+	_, err := r.Parse(raw)
+	return err == nil
+}
+
+// Expand parses one spec string, fanning out sweep values: a value
+// "8|16|32" yields one Spec per alternative. Multiple swept
+// parameters produce their cartesian product, later-written
+// parameters varying fastest. Every expanded Spec is canonical and
+// fully validated.
+func (r *Registry) Expand(raw string) ([]Spec, error) {
+	name, pairs, err := r.splitSpec(raw)
+	if err != nil {
+		return nil, err
+	}
+	e, ok := r.entries[name]
+	if !ok {
+		return nil, r.unknown(name)
+	}
+	// Preserve the written parameter order for sweep fan-out.
+	type kv struct {
+		k    string
+		vals []string
+	}
+	var swept []kv
+	for _, p := range e.Params { // deterministic: declaration order
+		if v, ok := pairs[p.Name]; ok {
+			swept = append(swept, kv{p.Name, strings.Split(v, "|")})
+			delete(pairs, p.Name)
+		}
+	}
+	// Anything left names no declared parameter; let canonicalize
+	// produce its error (it knows the parameter list).
+	for k, v := range pairs {
+		swept = append(swept, kv{k, []string{v}})
+	}
+	for _, s := range swept {
+		for _, v := range s.vals {
+			if strings.TrimSpace(v) == "" {
+				return nil, r.bad(raw, fmt.Sprintf("parameter %q has an empty sweep value", s.k))
+			}
+		}
+	}
+
+	var out []Spec
+	set := map[string]string{}
+	var rec func(i int) error
+	rec = func(i int) error {
+		if i == len(swept) {
+			q, err := r.canonicalize(e, raw, set)
+			if err != nil {
+				return err
+			}
+			sp := Spec{Name: name, Query: q}
+			for _, prev := range out {
+				if prev == sp {
+					return nil // sweep alternatives that canonicalize equal collapse
+				}
+			}
+			out = append(out, sp)
+			return nil
+		}
+		for _, v := range swept[i].vals {
+			set[swept[i].k] = strings.TrimSpace(v)
+			if err := rec(i + 1); err != nil {
+				return err
+			}
+		}
+		delete(set, swept[i].k)
+		return nil
+	}
+	if err := rec(0); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// SplitList splits a comma-separated spec list into individual spec
+// strings. Commas double as parameter separators, so a token
+// containing '=' (and no '?') is a parameter of the most recent item,
+// anything else starts a new spec: "gen?stride=64,chase=4,bzip2" is
+// gen with two parameters, then bzip2.
+func (r *Registry) SplitList(raw string) ([]string, error) {
+	var items []string
+	for _, tok := range strings.Split(raw, ",") {
+		tok = strings.TrimSpace(tok)
+		if tok == "" {
+			continue
+		}
+		if strings.Contains(tok, "=") && !strings.Contains(tok, "?") {
+			if len(items) == 0 {
+				return nil, r.bad(raw, fmt.Sprintf("parameter %q before any %s name", tok, r.domain))
+			}
+			items[len(items)-1] += "," + tok
+			continue
+		}
+		items = append(items, tok)
+	}
+	return items, nil
+}
+
+// ParseList parses a comma-separated spec list, expanding sweeps; see
+// SplitList for the comma grammar.
+func (r *Registry) ParseList(raw string) ([]Spec, error) {
+	items, err := r.SplitList(raw)
+	if err != nil {
+		return nil, err
+	}
+	var out []Spec
+	for _, it := range items {
+		specs, err := r.Expand(it)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, specs...)
+	}
+	return out, nil
+}
+
+// ValuesOf re-validates a canonical spec (it may come from an
+// untrusted journal or manifest via FromString) and returns the typed
+// parameter view its factory reads.
+func (r *Registry) ValuesOf(sp Spec) (Values, error) {
+	e, ok := r.entries[sp.Name]
+	if !ok {
+		return Values{}, r.unknown(sp.Name)
+	}
+	_, pairs, err := r.splitSpec(sp.String())
+	if err != nil {
+		return Values{}, err
+	}
+	set := map[string]string{}
+	for k, v := range pairs {
+		p, ok := e.param(k)
+		if !ok {
+			return Values{}, r.bad(sp.String(), fmt.Sprintf(
+				"unknown parameter %q (parameters of %s: %s)", k, e.Name, e.paramNames()))
+		}
+		canon, err := encode(p, v)
+		if err != nil {
+			return Values{}, r.bad(sp.String(), err.Error())
+		}
+		set[k] = canon
+	}
+	return Values{entry: e, set: set}, nil
+}
+
+// Resolved renders the spec with every parameter explicit (defaults
+// filled in), in declaration order — the self-describing form campaign
+// summaries print per cell.
+func (r *Registry) Resolved(sp Spec) (string, error) {
+	e, ok := r.entries[sp.Name]
+	if !ok {
+		return sp.String(), r.unknown(sp.Name)
+	}
+	_, pairs, err := r.splitSpec(sp.String())
+	if err != nil {
+		return sp.String(), err
+	}
+	if len(e.Params) == 0 {
+		return sp.Name, nil
+	}
+	parts := make([]string, 0, len(e.Params))
+	for _, p := range e.Params {
+		val := p.Default
+		if v, ok := pairs[p.Name]; ok {
+			if canon, err := encode(p, v); err == nil {
+				val = canon
+			}
+		}
+		parts = append(parts, p.Name+"="+val)
+	}
+	return sp.Name + "?" + strings.Join(parts, ","), nil
+}
+
+// Usage returns the one-line name list for CLI flag help.
+func (r *Registry) Usage() string {
+	return strings.Join(r.Names(), ", ")
+}
+
+// Describe renders the full self-describing registry: one block per
+// entry with its help line and parameter metadata. CLIs print it for
+// -list-* flags; the docs mirror it.
+func (r *Registry) Describe() string {
+	var sb strings.Builder
+	for _, name := range r.order {
+		e := r.entries[name]
+		fmt.Fprintf(&sb, "%-26s %s\n", e.Name, e.Help)
+		for _, p := range e.Params {
+			def := p.Default
+			fmt.Fprintf(&sb, "    %-12s %-6s default %-8s %s\n", p.Name, p.Kind, def, p.Help)
+		}
+	}
+	return sb.String()
+}
+
+// Metadata is the JSON form of one entry, served by the daemon's
+// catalogue endpoints.
+type Metadata struct {
+	Name   string  `json:"name"`
+	Help   string  `json:"help"`
+	Params []Param `json:"params"`
+}
+
+// All returns the registry metadata in registration order.
+func (r *Registry) All() []Metadata {
+	out := make([]Metadata, 0, len(r.order))
+	for _, name := range r.order {
+		e := r.entries[name]
+		params := e.Params
+		if params == nil {
+			params = []Param{}
+		}
+		out = append(out, Metadata{Name: e.Name, Help: e.Help, Params: params})
+	}
+	return out
+}

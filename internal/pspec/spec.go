@@ -1,0 +1,138 @@
+// Package pspec is the parameterized-spec core shared by every
+// registry of named, tunable things in this repository — detection
+// schemes (internal/scheme) and generated workloads (internal/wgen).
+// It owns the one spec syntax all of them speak:
+//
+//	name                      plain entry, all parameters default
+//	name?k=v,k=v              parameterized ("gen?stride=64,chase=4")
+//	name?k=v1|v2|v3           sensitivity sweep, fanned out by Expand
+//
+// A parsed Spec is canonical: parameters are sorted by name, values
+// are re-encoded in canonical form, and parameters equal to their
+// default are elided — so two spellings of the same configuration are
+// one spec, one campaign cell, and one server spec-hash. Plain names
+// canonicalize to themselves, which is what keeps pre-registry
+// artifacts (journals, manifests, spec hashes) byte-identical.
+//
+// The package is purely syntactic plus metadata: each domain package
+// wraps a Registry with its own factory map (scheme.Build constructs
+// detectors, wgen.Build constructs programs). Error messages carry the
+// registry's Domain noun ("scheme", "workload") so every CLI and the
+// daemon surface consistent text.
+package pspec
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Spec is one resolved specification: a registered name plus its
+// canonically encoded non-default parameters. The zero Spec is
+// invalid. Spec is comparable (it is two strings), so it can key maps
+// and campaign cells directly.
+type Spec struct {
+	// Name is the registered entry name ("faulthound", "gen", ...).
+	Name string
+	// Query is the canonical parameter encoding: "k=v" pairs sorted by
+	// key, joined with commas, default-valued parameters elided. Empty
+	// when every parameter is at its default.
+	Query string
+}
+
+// String renders the canonical spec: the bare name, or "name?query".
+func (s Spec) String() string {
+	if s.Query == "" {
+		return s.Name
+	}
+	return s.Name + "?" + s.Query
+}
+
+// MarshalJSON encodes the spec as its canonical string, so a Spec
+// inside a manifest, journal, or spec-hash document serializes exactly
+// as the bare name used to.
+func (s Spec) MarshalJSON() ([]byte, error) {
+	return json.Marshal(s.String())
+}
+
+// UnmarshalJSON decodes a canonical spec string. Parsing is syntactic
+// (FromString): unknown names round-trip so old artifacts stay
+// readable; validation happens when the spec is built.
+func (s *Spec) UnmarshalJSON(b []byte) error {
+	var str string
+	if err := json.Unmarshal(b, &str); err != nil {
+		return err
+	}
+	*s = FromString(str)
+	return nil
+}
+
+// FromString parses a spec string syntactically: split the name at the
+// first '?', sort the parameter tokens. It never fails and does not
+// consult any registry — use it for trusted, already-canonical input
+// (journals, manifests); use Registry.Parse for user input.
+func FromString(raw string) Spec {
+	raw = strings.TrimSpace(raw)
+	name, query, ok := strings.Cut(raw, "?")
+	if !ok || query == "" {
+		return Spec{Name: name}
+	}
+	parts := strings.Split(query, ",")
+	for i := range parts {
+		parts[i] = strings.TrimSpace(parts[i])
+	}
+	sort.Strings(parts)
+	return Spec{Name: name, Query: strings.Join(parts, ",")}
+}
+
+// UnknownNameError reports a spec whose name is not registered. Its
+// message carries the registry's domain noun and full name list, so
+// every CLI and the daemon surface the same text.
+type UnknownNameError struct {
+	// Domain is the registry's noun ("scheme", "workload").
+	Domain string
+	Name   string
+	// Known is the registry's name list at error time.
+	Known []string
+}
+
+func (e *UnknownNameError) Error() string {
+	return fmt.Sprintf("unknown %s %q (known: %s)", e.Domain, e.Name, strings.Join(e.Known, ", "))
+}
+
+// BadSpecError reports a syntactically or semantically malformed spec
+// (bad parameter name, unparsable value, stray token).
+type BadSpecError struct {
+	// Domain is the registry's noun ("scheme", "workload").
+	Domain string
+	Spec   string // the offending spec as written
+	Reason string
+}
+
+func (e *BadSpecError) Error() string {
+	return fmt.Sprintf("bad %s spec %q: %s", e.Domain, e.Spec, e.Reason)
+}
+
+// SpecErrorDomain returns the domain of the first spec error in err's
+// chain ("" when none) — the condition under which the daemon answers
+// 400 with the matching known-name list instead of 500, and how it
+// tells a bad scheme spec from a bad workload spec.
+func SpecErrorDomain(err error) string {
+	var u *UnknownNameError
+	if errors.As(err, &u) {
+		return u.Domain
+	}
+	var b *BadSpecError
+	if errors.As(err, &b) {
+		return b.Domain
+	}
+	return ""
+}
+
+// IsSpecError reports whether err (anywhere in its chain) is a spec
+// error of any domain.
+func IsSpecError(err error) bool {
+	return SpecErrorDomain(err) != ""
+}

@@ -77,14 +77,7 @@ func registerFH(name, help string, base func() core.Config, params ...Param) {
 }
 
 // hasParam reports whether the scheme declares the parameter at all.
-func hasParam(v Values, name string) bool {
-	for _, p := range v.sc.Params {
-		if p.Name == name {
-			return true
-		}
-	}
-	return false
-}
+func hasParam(v Values, name string) bool { return v.Has(name) }
 
 // registerPBFS registers one PBFS table variant.
 func registerPBFS(name, help string, base func() pbfs.Config) {

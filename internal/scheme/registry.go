@@ -2,114 +2,33 @@ package scheme
 
 import (
 	"fmt"
-	"sort"
-	"strconv"
-	"strings"
 
 	"faulthound/internal/detect"
 	"faulthound/internal/pipeline"
+	"faulthound/internal/pspec"
 )
 
-// Kind is a parameter's value type.
-type Kind uint8
+// Kind is a parameter's value type (shared pspec.Kind).
+type Kind = pspec.Kind
 
 // Parameter kinds.
 const (
-	Int Kind = iota
-	Float
-	Bool
+	Int   = pspec.Int
+	Float = pspec.Float
+	Bool  = pspec.Bool
 )
 
-// String names the kind ("int", "float", "bool").
-func (k Kind) String() string {
-	switch k {
-	case Int:
-		return "int"
-	case Float:
-		return "float"
-	case Bool:
-		return "bool"
-	}
-	return "?"
-}
-
-// MarshalJSON encodes the kind as its name, for the self-describing
-// metadata endpoint and manifests.
-func (k Kind) MarshalJSON() ([]byte, error) {
-	return []byte(`"` + k.String() + `"`), nil
-}
-
 // Param is the self-describing metadata of one scheme parameter.
-type Param struct {
-	Name string `json:"name"`
-	Kind Kind   `json:"kind"`
-	// Default is the canonical encoding of the default value; a spec
-	// setting the parameter to it is elided from the canonical form.
-	Default string `json:"default"`
-	// Min, for Int parameters, is the smallest accepted value (all int
-	// parameters additionally reject negatives).
-	Min  int    `json:"min,omitempty"`
-	Help string `json:"help"`
-}
+type Param = pspec.Param
 
 // Values is the typed view of one spec's parameters a factory reads:
 // explicit settings from the spec query, defaults from the parameter
-// metadata. Getters panic on parameter names the scheme never
-// declared — that is a registration bug, not an input error.
-type Values struct {
-	sc  *Scheme
-	set map[string]string // explicit values, canonical encoding
-}
+// metadata.
+type Values = pspec.Values
 
-func (v Values) raw(name string) (Param, string) {
-	for _, p := range v.sc.Params {
-		if p.Name == name {
-			if s, ok := v.set[name]; ok {
-				return p, s
-			}
-			return p, p.Default
-		}
-	}
-	panic(fmt.Sprintf("scheme: %s has no parameter %q", v.sc.Name, name))
-}
-
-// Int returns an Int parameter's value.
-func (v Values) Int(name string) int {
-	p, s := v.raw(name)
-	if p.Kind != Int {
-		panic(fmt.Sprintf("scheme: parameter %s.%s is %s, not int", v.sc.Name, name, p.Kind))
-	}
-	n, _ := strconv.Atoi(s)
-	return n
-}
-
-// Float returns a Float parameter's value.
-func (v Values) Float(name string) float64 {
-	p, s := v.raw(name)
-	if p.Kind != Float {
-		panic(fmt.Sprintf("scheme: parameter %s.%s is %s, not float", v.sc.Name, name, p.Kind))
-	}
-	f, _ := strconv.ParseFloat(s, 64)
-	return f
-}
-
-// Bool returns a Bool parameter's value.
-func (v Values) Bool(name string) bool {
-	p, s := v.raw(name)
-	if p.Kind != Bool {
-		panic(fmt.Sprintf("scheme: parameter %s.%s is %s, not bool", v.sc.Name, name, p.Kind))
-	}
-	return s == "on"
-}
-
-// Explicit reports whether the spec set the parameter itself (true)
-// or the default applies (false). Factories use it for parameters
-// whose effective default comes from the host environment.
-func (v Values) Explicit(name string) bool {
-	v.raw(name) // validate the name
-	_, ok := v.set[name]
-	return ok
-}
+// Metadata is the JSON form of the registry, served by the daemon's
+// /v1/schemes endpoint.
+type Metadata = pspec.Metadata
 
 // Env carries host-supplied tunables a factory may consult for
 // parameters the spec leaves unset. It keeps scheme-specific policy
@@ -144,8 +63,10 @@ type Scheme struct {
 }
 
 var (
-	registry = map[string]*Scheme{}
-	order    []string // registration order, the order of Names and help text
+	// reg owns the spec syntax (parse/canonicalize/expand/describe);
+	// schemes pairs each entry with its factory.
+	reg     = pspec.NewRegistry(Domain)
+	schemes = map[string]*Scheme{}
 )
 
 // Register adds a scheme to the registry. It panics on a duplicate
@@ -155,304 +76,59 @@ func Register(s Scheme) {
 	if s.Name == "" || s.Build == nil {
 		panic("scheme: Register needs a name and a build function")
 	}
-	if strings.ContainsAny(s.Name, "?=,|/ ") {
-		panic(fmt.Sprintf("scheme: name %q contains spec syntax characters", s.Name))
-	}
-	if _, dup := registry[s.Name]; dup {
-		panic(fmt.Sprintf("scheme: duplicate registration of %q", s.Name))
-	}
-	seen := map[string]bool{}
-	for _, p := range s.Params {
-		if p.Name == "" || strings.ContainsAny(p.Name, "?=,|/ ") {
-			panic(fmt.Sprintf("scheme: %s: bad parameter name %q", s.Name, p.Name))
-		}
-		if seen[p.Name] {
-			panic(fmt.Sprintf("scheme: %s: duplicate parameter %q", s.Name, p.Name))
-		}
-		seen[p.Name] = true
-		if _, err := encode(p, p.Default); err != nil {
-			panic(fmt.Sprintf("scheme: %s: default of %q: %v", s.Name, p.Name, err))
-		}
-	}
+	reg.Register(pspec.Entry{Name: s.Name, Help: s.Help, Params: s.Params})
 	sc := s
-	registry[s.Name] = &sc
-	order = append(order, s.Name)
+	schemes[s.Name] = &sc
 }
 
 // Names lists every registered scheme name in registration order —
 // the single source KnownSchemes, usage strings, and error messages
 // derive from.
-func Names() []string {
-	return append([]string(nil), order...)
-}
+func Names() []string { return reg.Names() }
 
 // Lookup returns a scheme's registry entry.
 func Lookup(name string) (*Scheme, bool) {
-	sc, ok := registry[name]
+	sc, ok := schemes[name]
 	return sc, ok
-}
-
-// encode validates raw against p and returns its canonical encoding.
-func encode(p Param, raw string) (string, error) {
-	switch p.Kind {
-	case Int:
-		n, err := strconv.Atoi(raw)
-		if err != nil {
-			return "", fmt.Errorf("parameter %s: not an integer: %q", p.Name, raw)
-		}
-		if n < 0 {
-			return "", fmt.Errorf("parameter %s: negative value %d", p.Name, n)
-		}
-		if n < p.Min {
-			return "", fmt.Errorf("parameter %s: %d is below the minimum %d", p.Name, n, p.Min)
-		}
-		return strconv.Itoa(n), nil
-	case Float:
-		f, err := strconv.ParseFloat(raw, 64)
-		if err != nil {
-			return "", fmt.Errorf("parameter %s: not a number: %q", p.Name, raw)
-		}
-		return strconv.FormatFloat(f, 'g', -1, 64), nil
-	case Bool:
-		switch strings.ToLower(raw) {
-		case "on", "true", "yes", "1":
-			return "on", nil
-		case "off", "false", "no", "0":
-			return "off", nil
-		}
-		return "", fmt.Errorf("parameter %s: not a boolean (on/off): %q", p.Name, raw)
-	}
-	return "", fmt.Errorf("parameter %s: unknown kind", p.Name)
-}
-
-// param finds a scheme's parameter by name.
-func (s *Scheme) param(name string) (Param, bool) {
-	for _, p := range s.Params {
-		if p.Name == name {
-			return p, true
-		}
-	}
-	return Param{}, false
-}
-
-// paramNames renders the scheme's parameter list for error messages.
-func (s *Scheme) paramNames() string {
-	if len(s.Params) == 0 {
-		return "none"
-	}
-	names := make([]string, len(s.Params))
-	for i, p := range s.Params {
-		names[i] = p.Name
-	}
-	return strings.Join(names, ", ")
-}
-
-// canonicalize validates one explicit k=v set against sc and returns
-// the canonical query (sorted, defaults elided).
-func canonicalize(sc *Scheme, raw string, set map[string]string) (string, error) {
-	var parts []string
-	for name, val := range set {
-		p, ok := sc.param(name)
-		if !ok {
-			return "", &BadSpecError{Spec: raw, Reason: fmt.Sprintf(
-				"unknown parameter %q (parameters of %s: %s)", name, sc.Name, sc.paramNames())}
-		}
-		canon, err := encode(p, val)
-		if err != nil {
-			return "", &BadSpecError{Spec: raw, Reason: err.Error()}
-		}
-		if canon == p.Default {
-			continue // default values are elided from the canonical form
-		}
-		parts = append(parts, name+"="+canon)
-	}
-	sort.Strings(parts)
-	return strings.Join(parts, ","), nil
-}
-
-// splitSpec splits one spec string into name and raw k=v pairs.
-func splitSpec(raw string) (name string, pairs map[string]string, err error) {
-	trimmed := strings.TrimSpace(raw)
-	name, query, has := strings.Cut(trimmed, "?")
-	name = strings.TrimSpace(name)
-	if name == "" {
-		return "", nil, &BadSpecError{Spec: raw, Reason: "empty scheme name"}
-	}
-	pairs = map[string]string{}
-	if !has {
-		return name, pairs, nil
-	}
-	if query == "" {
-		return name, pairs, nil
-	}
-	for _, tok := range strings.Split(query, ",") {
-		tok = strings.TrimSpace(tok)
-		if tok == "" {
-			continue
-		}
-		k, v, ok := strings.Cut(tok, "=")
-		k, v = strings.TrimSpace(k), strings.TrimSpace(v)
-		if !ok || k == "" || v == "" {
-			return "", nil, &BadSpecError{Spec: raw, Reason: fmt.Sprintf("malformed parameter %q (want k=v)", tok)}
-		}
-		if _, dup := pairs[k]; dup {
-			return "", nil, &BadSpecError{Spec: raw, Reason: fmt.Sprintf("parameter %q set twice", k)}
-		}
-		pairs[k] = v
-	}
-	return name, pairs, nil
 }
 
 // Parse validates one spec string against the registry and returns
 // its canonical Spec. Sweep syntax ('|' in a value) is an error here;
 // use Expand where fan-out is meant.
-func Parse(raw string) (Spec, error) {
-	specs, err := Expand(raw)
-	if err != nil {
-		return Spec{}, err
-	}
-	if len(specs) != 1 {
-		return Spec{}, &BadSpecError{Spec: raw, Reason: "sweep syntax ('|') is not allowed here"}
-	}
-	return specs[0], nil
-}
+func Parse(raw string) (Spec, error) { return reg.Parse(raw) }
 
 // Valid reports whether raw parses against the registry.
-func Valid(raw string) bool {
-	_, err := Parse(raw)
-	return err == nil
-}
+func Valid(raw string) bool { return reg.Valid(raw) }
 
 // Expand parses one spec string, fanning out sweep values: a value
 // "8|16|32" yields one Spec per alternative. Multiple swept
 // parameters produce their cartesian product, later-written
 // parameters varying fastest. Every expanded Spec is canonical and
 // fully validated.
-func Expand(raw string) ([]Spec, error) {
-	name, pairs, err := splitSpec(raw)
-	if err != nil {
-		return nil, err
-	}
-	sc, ok := registry[name]
-	if !ok {
-		return nil, &UnknownSchemeError{Name: name}
-	}
-	// Preserve the written parameter order for sweep fan-out.
-	type kv struct {
-		k    string
-		vals []string
-	}
-	var swept []kv
-	for _, p := range sc.Params { // deterministic: declaration order
-		if v, ok := pairs[p.Name]; ok {
-			swept = append(swept, kv{p.Name, strings.Split(v, "|")})
-			delete(pairs, p.Name)
-		}
-	}
-	// Anything left names no declared parameter; let canonicalize
-	// produce its error (it knows the parameter list).
-	for k, v := range pairs {
-		swept = append(swept, kv{k, []string{v}})
-	}
-	for _, s := range swept {
-		for _, v := range s.vals {
-			if strings.TrimSpace(v) == "" {
-				return nil, &BadSpecError{Spec: raw, Reason: fmt.Sprintf("parameter %q has an empty sweep value", s.k)}
-			}
-		}
-	}
-
-	var out []Spec
-	set := map[string]string{}
-	var rec func(i int) error
-	rec = func(i int) error {
-		if i == len(swept) {
-			q, err := canonicalize(sc, raw, set)
-			if err != nil {
-				return err
-			}
-			sp := Spec{Name: name, Query: q}
-			for _, prev := range out {
-				if prev == sp {
-					return nil // sweep alternatives that canonicalize equal collapse
-				}
-			}
-			out = append(out, sp)
-			return nil
-		}
-		for _, v := range swept[i].vals {
-			set[swept[i].k] = strings.TrimSpace(v)
-			if err := rec(i + 1); err != nil {
-				return err
-			}
-		}
-		delete(set, swept[i].k)
-		return nil
-	}
-	if err := rec(0); err != nil {
-		return nil, err
-	}
-	return out, nil
-}
+func Expand(raw string) ([]Spec, error) { return reg.Expand(raw) }
 
 // ParseList parses a comma-separated scheme list, expanding sweeps.
 // Commas double as parameter separators, so a token containing '=' is
 // a parameter of the most recent scheme, anything else starts a new
 // spec: "faulthound?tcam=16,delay=6,pbfs" is faulthound with two
 // parameters, then pbfs.
-func ParseList(raw string) ([]Spec, error) {
-	var items []string
-	for _, tok := range strings.Split(raw, ",") {
-		tok = strings.TrimSpace(tok)
-		if tok == "" {
-			continue
-		}
-		if strings.Contains(tok, "=") && !strings.Contains(tok, "?") {
-			if len(items) == 0 {
-				return nil, &BadSpecError{Spec: raw, Reason: fmt.Sprintf("parameter %q before any scheme name", tok)}
-			}
-			items[len(items)-1] += "," + tok
-			continue
-		}
-		items = append(items, tok)
-	}
-	var out []Spec
-	for _, it := range items {
-		specs, err := Expand(it)
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, specs...)
-	}
-	return out, nil
-}
+func ParseList(raw string) ([]Spec, error) { return reg.ParseList(raw) }
 
 // Build constructs the instance of a canonical spec. The spec is
 // re-validated (it may come from an untrusted journal or manifest via
 // FromString).
 func Build(sp Spec, env Env) (Instance, error) {
-	sc, ok := registry[sp.Name]
-	if !ok {
-		return Instance{}, &UnknownSchemeError{Name: sp.Name}
-	}
-	_, pairs, err := splitSpec(sp.String())
+	v, err := reg.ValuesOf(sp)
 	if err != nil {
 		return Instance{}, err
 	}
-	set := map[string]string{}
-	for k, v := range pairs {
-		p, ok := sc.param(k)
-		if !ok {
-			return Instance{}, &BadSpecError{Spec: sp.String(), Reason: fmt.Sprintf(
-				"unknown parameter %q (parameters of %s: %s)", k, sc.Name, sc.paramNames())}
-		}
-		canon, err := encode(p, v)
-		if err != nil {
-			return Instance{}, &BadSpecError{Spec: sp.String(), Reason: err.Error()}
-		}
-		set[k] = canon
+	sc, ok := schemes[sp.Name]
+	if !ok {
+		// reg and schemes are registered together; reaching here means
+		// ValuesOf accepted a name Register never saw.
+		return Instance{}, fmt.Errorf("scheme: no factory for %q", sp.Name)
 	}
-	inst, err := sc.Build(sp, Values{sc: sc, set: set}, env)
+	inst, err := sc.Build(sp, v, env)
 	if err != nil {
 		return Instance{}, err
 	}
@@ -463,70 +139,15 @@ func Build(sp Spec, env Env) (Instance, error) {
 // Resolved renders the spec with every parameter explicit (defaults
 // filled in), in declaration order — the self-describing form campaign
 // summaries print per cell.
-func Resolved(sp Spec) (string, error) {
-	sc, ok := registry[sp.Name]
-	if !ok {
-		return sp.String(), &UnknownSchemeError{Name: sp.Name}
-	}
-	_, pairs, err := splitSpec(sp.String())
-	if err != nil {
-		return sp.String(), err
-	}
-	if len(sc.Params) == 0 {
-		return sp.Name, nil
-	}
-	parts := make([]string, 0, len(sc.Params))
-	for _, p := range sc.Params {
-		val := p.Default
-		if v, ok := pairs[p.Name]; ok {
-			if canon, err := encode(p, v); err == nil {
-				val = canon
-			}
-		}
-		parts = append(parts, p.Name+"="+val)
-	}
-	return sp.Name + "?" + strings.Join(parts, ","), nil
-}
+func Resolved(sp Spec) (string, error) { return reg.Resolved(sp) }
 
 // Usage returns the one-line scheme list for CLI flag help.
-func Usage() string {
-	return strings.Join(Names(), ", ")
-}
+func Usage() string { return reg.Usage() }
 
 // Describe renders the full self-describing registry: one block per
 // scheme with its help line and parameter metadata. CLIs print it for
 // -list-schemes; docs/SCHEMES.md mirrors it.
-func Describe() string {
-	var sb strings.Builder
-	for _, name := range order {
-		sc := registry[name]
-		fmt.Fprintf(&sb, "%-26s %s\n", sc.Name, sc.Help)
-		for _, p := range sc.Params {
-			def := p.Default
-			fmt.Fprintf(&sb, "    %-12s %-6s default %-8s %s\n", p.Name, p.Kind, def, p.Help)
-		}
-	}
-	return sb.String()
-}
-
-// Metadata is the JSON form of the registry, served by the daemon's
-// /v1/schemes endpoint.
-type Metadata struct {
-	Name   string  `json:"name"`
-	Help   string  `json:"help"`
-	Params []Param `json:"params"`
-}
+func Describe() string { return reg.Describe() }
 
 // All returns the registry metadata in registration order.
-func All() []Metadata {
-	out := make([]Metadata, 0, len(order))
-	for _, name := range order {
-		sc := registry[name]
-		params := sc.Params
-		if params == nil {
-			params = []Param{}
-		}
-		out = append(out, Metadata{Name: sc.Name, Help: sc.Help, Params: params})
-	}
-	return out
-}
+func All() []Metadata { return reg.All() }

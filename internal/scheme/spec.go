@@ -1,11 +1,15 @@
 // Package scheme is the registry of fault-tolerance schemes: it maps
 // scheme names to factories that build detectors and pipeline
-// configurations from typed, validated parameters, and it owns the
-// one spec syntax every layer shares —
+// configurations from typed, validated parameters. The spec syntax
+// every layer shares —
 //
 //	name                      plain scheme, all parameters default
 //	name?k=v,k=v              parameterized ("faulthound?tcam=16,delay=6,lsq=off")
 //	name?k=v1|v2|v3           sensitivity sweep, fanned out by Expand
+//
+// — lives in internal/pspec, shared with the generated-workload
+// registry (internal/wgen); this package binds it to the "scheme"
+// domain and the detector factories.
 //
 // A parsed Spec is canonical: parameters are sorted by name, values
 // are re-encoded in canonical form, and parameters equal to their
@@ -15,102 +19,41 @@
 // what keeps pre-registry artifacts (journals, manifests, spec
 // hashes) byte-identical.
 //
-// The registry itself (Register, Parse, Build, Names) lives in
+// The registry binding (Register, Parse, Build, Names) lives in
 // registry.go; the built-in schemes of the paper's evaluation are
 // registered by builtin.go. See docs/SCHEMES.md.
 package scheme
 
-import (
-	"encoding/json"
-	"errors"
-	"fmt"
-	"sort"
-	"strings"
-)
+import "faulthound/internal/pspec"
+
+// Domain is this registry's noun in spec error messages.
+const Domain = "scheme"
 
 // Spec is one resolved scheme specification: a scheme name plus its
-// canonically encoded non-default parameters. The zero Spec is
-// invalid. Spec is comparable (it is two strings), so it can key maps
-// and campaign cells directly.
-type Spec struct {
-	// Name is the registered scheme name ("faulthound", "pbfs", ...).
-	Name string
-	// Query is the canonical parameter encoding: "k=v" pairs sorted by
-	// key, joined with commas, default-valued parameters elided. Empty
-	// when every parameter is at its default.
-	Query string
-}
-
-// String renders the canonical spec: the bare name, or "name?query".
-func (s Spec) String() string {
-	if s.Query == "" {
-		return s.Name
-	}
-	return s.Name + "?" + s.Query
-}
-
-// MarshalJSON encodes the spec as its canonical string, so a Spec
-// inside a manifest, journal, or spec-hash document serializes exactly
-// as the bare scheme name used to.
-func (s Spec) MarshalJSON() ([]byte, error) {
-	return json.Marshal(s.String())
-}
-
-// UnmarshalJSON decodes a canonical spec string. Parsing is syntactic
-// (FromString): unknown names round-trip so old artifacts stay
-// readable; validation happens when the spec is built.
-func (s *Spec) UnmarshalJSON(b []byte) error {
-	var str string
-	if err := json.Unmarshal(b, &str); err != nil {
-		return err
-	}
-	*s = FromString(str)
-	return nil
-}
+// canonically encoded non-default parameters. It is pspec.Spec — the
+// shared canonical spec type — so journals and manifests serialize it
+// as the canonical string.
+type Spec = pspec.Spec
 
 // FromString parses a spec string syntactically: split the name at the
 // first '?', sort the parameter tokens. It never fails and does not
 // consult the registry — use it for trusted, already-canonical input
 // (journals, manifests); use Parse for user input.
-func FromString(raw string) Spec {
-	raw = strings.TrimSpace(raw)
-	name, query, ok := strings.Cut(raw, "?")
-	if !ok || query == "" {
-		return Spec{Name: name}
-	}
-	parts := strings.Split(query, ",")
-	for i := range parts {
-		parts[i] = strings.TrimSpace(parts[i])
-	}
-	sort.Strings(parts)
-	return Spec{Name: name, Query: strings.Join(parts, ",")}
-}
+func FromString(raw string) Spec { return pspec.FromString(raw) }
 
 // UnknownSchemeError reports a spec whose scheme name is not
 // registered. Its message carries the full list of known schemes, so
 // every CLI and the daemon surface the same text.
-type UnknownSchemeError struct{ Name string }
-
-func (e *UnknownSchemeError) Error() string {
-	return fmt.Sprintf("unknown scheme %q (known: %s)", e.Name, strings.Join(Names(), ", "))
-}
+type UnknownSchemeError = pspec.UnknownNameError
 
 // BadSpecError reports a syntactically or semantically malformed
 // scheme spec (bad parameter name, unparsable value, stray token).
-type BadSpecError struct {
-	Spec   string // the offending spec as written
-	Reason string
-}
-
-func (e *BadSpecError) Error() string {
-	return fmt.Sprintf("bad scheme spec %q: %s", e.Spec, e.Reason)
-}
+type BadSpecError = pspec.BadSpecError
 
 // IsSpecError reports whether err (anywhere in its chain) is a scheme
 // spec error — the condition under which the daemon answers 400 with
-// the known-scheme list instead of 500.
+// the known-scheme list instead of 500. Spec errors of other domains
+// (workload specs) are not scheme spec errors.
 func IsSpecError(err error) bool {
-	var u *UnknownSchemeError
-	var b *BadSpecError
-	return errors.As(err, &u) || errors.As(err, &b)
+	return pspec.SpecErrorDomain(err) == Domain
 }

@@ -13,6 +13,8 @@ import (
 
 	"faulthound/internal/campaign"
 	"faulthound/internal/scheme"
+	"faulthound/internal/wgen"
+	"faulthound/internal/workload"
 )
 
 // bundleFiles is the whitelist the bundle endpoint serves — exactly
@@ -34,6 +36,7 @@ var bundleFiles = []string{
 //	GET  /v1/campaigns/{id}/events  progress stream (JSONL, or SSE via Accept)
 //	GET  /v1/campaigns/{id}/bundle/ bundle file list; append a file name to fetch it
 //	GET  /v1/schemes                scheme registry metadata (names, parameters)
+//	GET  /v1/workloads              workload catalogue (benchmarks + generators)
 //	GET  /metrics                   Prometheus text format
 //	GET  /healthz                   liveness
 func (s *Server) Handler() http.Handler {
@@ -41,6 +44,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/campaigns", s.handleSubmit)
 	mux.HandleFunc("GET /v1/campaigns", s.handleList)
 	mux.HandleFunc("GET /v1/schemes", s.handleSchemes)
+	mux.HandleFunc("GET /v1/workloads", s.handleWorkloads)
 	mux.HandleFunc("GET /v1/campaigns/{id}", s.handleStatus)
 	mux.HandleFunc("GET /v1/campaigns/{id}/events", s.handleEvents)
 	mux.HandleFunc("GET /v1/campaigns/{id}/bundle/", s.handleBundleIndex)
@@ -130,13 +134,20 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	switch {
 	case err == nil:
 	case isBadSpec(err):
-		// Unknown or malformed scheme specs get the structured form:
-		// the error plus the registry's scheme list, so a client can
-		// correct the submission without a round trip to the docs.
+		// Unknown or malformed specs get the structured form: the
+		// error plus the matching registry's name list, so a client
+		// can correct the submission without a round trip to the docs.
 		if scheme.IsSpecError(err) {
 			writeJSON(w, http.StatusBadRequest, map[string]any{
 				"error":         err.Error(),
 				"known_schemes": scheme.Names(),
+			})
+			return
+		}
+		if wgen.IsSpecError(err) {
+			writeJSON(w, http.StatusBadRequest, map[string]any{
+				"error":           err.Error(),
+				"known_workloads": workload.AllNames(),
 			})
 			return
 		}
@@ -166,6 +177,13 @@ func (s *Server) handleList(w http.ResponseWriter, _ *http.Request) {
 // scheme name with its help line and typed parameter list.
 func (s *Server) handleSchemes(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{"schemes": scheme.All()})
+}
+
+// handleWorkloads serves the workload catalogue: the fixed benchmarks
+// as parameterless entries, then the generated-workload registry with
+// its typed parameter lists.
+func (s *Server) handleWorkloads(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"workloads": workload.Catalogue()})
 }
 
 func (s *Server) jobFor(w http.ResponseWriter, r *http.Request) *job {

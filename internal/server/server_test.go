@@ -429,6 +429,100 @@ func TestSchemeSpecRejection(t *testing.T) {
 	}
 }
 
+// TestWorkloadSpecRejection: an unknown or malformed workload spec is
+// a structured 400 carrying the resolvable workload list (a different
+// shape from the scheme 400 — clients correct the right field), and
+// /v1/workloads serves the catalogue with generator parameters.
+func TestWorkloadSpecRejection(t *testing.T) {
+	s, err := New(testConfig(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	for _, bad := range []string{"bogus", "gen?stride=zap", "gen?bogus=1"} {
+		spec := testSpec(4)
+		spec.Benchmarks = []string{"bzip2", bad}
+		body, err := json.Marshal(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.Post(ts.URL+"/v1/campaigns", "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("workload %q: status %d, want 400", bad, resp.StatusCode)
+		}
+		var got struct {
+			Error          string   `json:"error"`
+			KnownSchemes   []string `json:"known_schemes"`
+			KnownWorkloads []string `json:"known_workloads"`
+		}
+		if err := json.Unmarshal([]byte(readAll(t, resp)), &got); err != nil {
+			t.Fatal(err)
+		}
+		if got.Error == "" {
+			t.Errorf("workload %q: 400 body has no error", bad)
+		}
+		if got.KnownSchemes != nil {
+			t.Errorf("workload %q: 400 body carries known_schemes; workload errors must use known_workloads", bad)
+		}
+		var bzip2, gen bool
+		for _, n := range got.KnownWorkloads {
+			bzip2 = bzip2 || n == "bzip2"
+			gen = gen || n == "gen"
+		}
+		if !bzip2 || !gen {
+			t.Errorf("workload %q: 400 body known_workloads = %v, want benchmarks and generators", bad, got.KnownWorkloads)
+		}
+	}
+
+	resp, err := http.Get(ts.URL + "/v1/workloads")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/v1/workloads status %d", resp.StatusCode)
+	}
+	var meta struct {
+		Workloads []struct {
+			Name   string `json:"name"`
+			Params []struct {
+				Name string `json:"name"`
+				Kind string `json:"kind"`
+			} `json:"params"`
+		} `json:"workloads"`
+	}
+	if err := json.Unmarshal([]byte(readAll(t, resp)), &meta); err != nil {
+		t.Fatal(err)
+	}
+	var bzip2, gen bool
+	for _, w := range meta.Workloads {
+		switch w.Name {
+		case "bzip2":
+			bzip2 = true
+			if len(w.Params) != 0 {
+				t.Errorf("/v1/workloads: fixed benchmark bzip2 has params: %+v", w.Params)
+			}
+		case "gen":
+			gen = true
+			var stride, seg bool
+			for _, p := range w.Params {
+				stride = stride || (p.Name == "stride" && p.Kind == "int")
+				seg = seg || (p.Name == "seg" && p.Kind == "size")
+			}
+			if !stride || !seg {
+				t.Errorf("/v1/workloads: gen params missing stride/seg: %+v", w.Params)
+			}
+		}
+	}
+	if !bzip2 || !gen {
+		t.Errorf("/v1/workloads lists neither bzip2 nor gen: %+v", meta.Workloads)
+	}
+}
+
 func readFile(t *testing.T, path string) []byte {
 	t.Helper()
 	b, err := os.ReadFile(path)

@@ -9,6 +9,7 @@ import (
 	"faulthound/internal/campaign"
 	"faulthound/internal/fault"
 	"faulthound/internal/scheme"
+	"faulthound/internal/workload"
 )
 
 // NormalizeSpec canonicalizes a submitted spec so semantically
@@ -20,6 +21,8 @@ import (
 //   - scheme specs are canonicalized against the registry (parameter
 //     order and default-valued parameters collapse) and sweep syntax
 //     fans out, so "faulthound?tcam=32" and "faulthound" are one job,
+//   - workload specs likewise: plain benchmark names pass through
+//     unchanged, generated specs ("gen?...") canonicalize and fan out,
 //   - benchmarks and schemes are re-derived from the canonical cell
 //     enumeration (duplicates and an explicit "baseline" collapse, as
 //     campaign.Spec.Cells always treated them),
@@ -29,7 +32,8 @@ import (
 //
 // Benchmark order is preserved — it determines bundle row order, so it
 // is part of the job's identity. An unknown scheme or malformed spec
-// is an error satisfying scheme.IsSpecError.
+// is an error satisfying scheme.IsSpecError; an unknown workload or
+// malformed workload spec satisfies wgen.IsSpecError.
 func NormalizeSpec(spec campaign.Spec, base fault.Config) (campaign.Spec, error) {
 	f := spec.Fault
 	if f.Injections == 0 {
@@ -77,9 +81,18 @@ func NormalizeSpec(spec campaign.Spec, base fault.Config) (campaign.Spec, error)
 		}
 	}
 
+	// Same for the workload list: plain benchmark names pass through
+	// unchanged (keeping historical spec hashes byte-identical),
+	// generated specs canonicalize and fan out, unknown workloads and
+	// malformed specs fail with a workload-domain spec error.
+	benches, err := workload.ExpandSpecs(spec.Benchmarks)
+	if err != nil {
+		return campaign.Spec{}, err
+	}
+
 	out := campaign.Spec{Fault: f}
 	seen := make(map[string]bool)
-	for _, c := range (campaign.Spec{Benchmarks: spec.Benchmarks, Schemes: schemes}).Cells() {
+	for _, c := range (campaign.Spec{Benchmarks: benches, Schemes: schemes}).Cells() {
 		if !seen["b/"+c.Bench] {
 			seen["b/"+c.Bench] = true
 			out.Benchmarks = append(out.Benchmarks, c.Bench)

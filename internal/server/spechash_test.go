@@ -7,6 +7,7 @@ import (
 	"faulthound/internal/campaign"
 	"faulthound/internal/fault"
 	"faulthound/internal/scheme"
+	"faulthound/internal/wgen"
 )
 
 func baseCfg() fault.Config {
@@ -103,7 +104,7 @@ func TestNormalizeSpec(t *testing.T) {
 	base := baseCfg()
 	n := mustNormalize(t, campaign.Spec{
 		RunID:      "x",
-		Benchmarks: []string{"b", "a", "b"},
+		Benchmarks: []string{"mcf", "bzip2", "mcf"},
 		Schemes:    []string{"baseline", "pbfs", "pbfs"},
 		Workers:    3,
 		Fault:      fault.Config{Seed: 9},
@@ -111,7 +112,7 @@ func TestNormalizeSpec(t *testing.T) {
 	if n.RunID != "" || n.Workers != 0 {
 		t.Fatalf("RunID/Workers not erased: %+v", n)
 	}
-	if len(n.Benchmarks) != 2 || n.Benchmarks[0] != "b" || n.Benchmarks[1] != "a" {
+	if len(n.Benchmarks) != 2 || n.Benchmarks[0] != "mcf" || n.Benchmarks[1] != "bzip2" {
 		t.Fatalf("benchmarks = %v", n.Benchmarks)
 	}
 	if len(n.Schemes) != 1 || n.Schemes[0] != "pbfs" {
@@ -123,7 +124,7 @@ func TestNormalizeSpec(t *testing.T) {
 
 	// Sweep syntax fans out into individual canonical specs.
 	n = mustNormalize(t, campaign.Spec{
-		Benchmarks: []string{"a"},
+		Benchmarks: []string{"bzip2"},
 		Schemes:    []string{"faulthound?tcam=8|16|32"},
 		Fault:      fault.Config{Seed: 9},
 	}, base)
@@ -137,11 +138,40 @@ func TestNormalizeSpec(t *testing.T) {
 		}
 	}
 
+	// Workload specs canonicalize and fan out the same way; plain
+	// benchmark names pass through unchanged.
+	n = mustNormalize(t, campaign.Spec{
+		Benchmarks: []string{"bzip2", "gen?stride=8|64,vlocal=0.9"},
+		Schemes:    []string{"faulthound"},
+		Fault:      fault.Config{Seed: 9},
+	}, base)
+	wantB := []string{"bzip2", "gen", "gen?stride=64"}
+	if len(n.Benchmarks) != len(wantB) {
+		t.Fatalf("workload sweep benchmarks = %v", n.Benchmarks)
+	}
+	for i, w := range wantB {
+		if n.Benchmarks[i] != w {
+			t.Errorf("workload sweep benchmarks[%d] = %q, want %q", i, n.Benchmarks[i], w)
+		}
+	}
+
 	// Unknown schemes and malformed specs are spec errors.
 	for _, schemes := range [][]string{{"nope"}, {"faulthound?tcam=zap"}} {
-		_, err := NormalizeSpec(campaign.Spec{Benchmarks: []string{"a"}, Schemes: schemes, Fault: base}, base)
+		_, err := NormalizeSpec(campaign.Spec{Benchmarks: []string{"bzip2"}, Schemes: schemes, Fault: base}, base)
 		if err == nil || !scheme.IsSpecError(err) {
 			t.Errorf("schemes %v: err = %v, want a spec error", schemes, err)
+		}
+	}
+
+	// Unknown workloads and malformed workload specs are workload-domain
+	// spec errors (never scheme-domain: the 400 shapes differ).
+	for _, benches := range [][]string{{"nope"}, {"gen?stride=zap"}, {"gen?bogus=1"}} {
+		_, err := NormalizeSpec(campaign.Spec{Benchmarks: benches, Schemes: []string{"faulthound"}, Fault: base}, base)
+		if err == nil || !wgen.IsSpecError(err) {
+			t.Errorf("benchmarks %v: err = %v, want a workload spec error", benches, err)
+		}
+		if scheme.IsSpecError(err) {
+			t.Errorf("benchmarks %v: workload spec error satisfies scheme.IsSpecError", benches)
 		}
 	}
 }

@@ -1,0 +1,73 @@
+package server
+
+import (
+	"encoding/json"
+	"os"
+	"testing"
+
+	"faulthound/internal/campaign"
+	"faulthound/internal/fault"
+)
+
+// wspecGoldenSpecs are the generated-workload submissions whose spec
+// hashes are frozen. Keys are golden-file entries; the benchmark lists
+// deliberately mix spellings that must canonicalize to one hash
+// (parameter order, elided defaults, size suffixes, sweeps).
+var wspecGoldenSpecs = map[string][]string{
+	"gen-plain":    {"gen"},
+	"gen-defaults": {"gen?stride=8,vlocal=0.9,seg=64k"}, // canonicalizes to "gen"
+	"gen-stride64": {"gen?stride=64"},
+	"gen-full":     {"gen?plant=3,chase=4,seg=262144,phase=2,vlocal=0.85,stride=64"},
+	"gen-sweep":    {"gen?stride=8|64"},
+	"mixed":        {"bzip2", "gen?stride=64", "mcf"},
+	"replay-trace": {"replay?trace=stream.fhws"},
+}
+
+// TestWspecHashGolden pins the spec hash of generated-workload
+// submissions against values captured when internal/wgen was
+// introduced. Like scheme spec hashes (TestSpecHashGolden), these are
+// job identities: the daemon's result cache and bundle URLs key on
+// them, so a canonical workload spec must hash byte-identically
+// forever. The golden file is testdata/wspec_golden.json; it must
+// never be regenerated to make this test pass — a mismatch means the
+// workload canonicalization or hash changed, which orphans cached
+// results.
+func TestWspecHashGolden(t *testing.T) {
+	b, err := os.ReadFile("testdata/wspec_golden.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var golden map[string]string
+	if err := json.Unmarshal(b, &golden); err != nil {
+		t.Fatal(err)
+	}
+	if len(golden) != len(wspecGoldenSpecs) {
+		t.Errorf("golden file has %d entries, test has %d — new entries may be appended (hash once), never rewritten", len(golden), len(wspecGoldenSpecs))
+	}
+
+	base := fault.DefaultConfig()
+	for name, benches := range wspecGoldenSpecs {
+		want, ok := golden[name]
+		if !ok {
+			t.Errorf("case %s has no golden hash — a NEW case needs a golden entry (hash it once and append)", name)
+			continue
+		}
+		norm, err := NormalizeSpec(campaign.Spec{
+			Benchmarks: benches,
+			Schemes:    []string{"faulthound"},
+			Fault:      base,
+		}, base)
+		if err != nil {
+			t.Errorf("case %s: %v", name, err)
+			continue
+		}
+		if got := SpecHash(norm, "golden-commit"); got != want {
+			t.Errorf("case %s: spec hash %s, want golden %s — canonical workload spec hashes are frozen (cache keys, bundle URLs)", name, got, want)
+		}
+	}
+
+	// The two spellings of the all-defaults gen workload are one job.
+	if golden["gen-plain"] != golden["gen-defaults"] {
+		t.Error("gen-plain and gen-defaults differ: default-elision is part of the frozen canonical form")
+	}
+}

@@ -1,0 +1,225 @@
+package wgen
+
+import (
+	"fmt"
+	"hash/fnv"
+
+	"faulthound/internal/isa"
+	"faulthound/internal/prog"
+	"faulthound/internal/pspec"
+	"faulthound/internal/stats"
+)
+
+// The gen generator produces a parameterized access-pattern kernel
+// whose knobs map onto the stream properties that drive FaultHound's
+// coverage and false-positive behavior (PAPER.md §3-5): address
+// regularity (stride, chase — PRESAGE's structured-address axis),
+// store-value locality (vlocal), working-set size (seg), filter
+// re-learning pressure (phase), and delinquent-bit pressure (plant,
+// the pattern the second-level filter exists to suppress).
+
+// genUnroll is the number of stream elements emitted per inner-loop
+// pass; the build-time RNG picks each element's store-value source, so
+// the value-local fraction is realized across the unrolled block.
+const genUnroll = 8
+
+const (
+	genSegMin = 4096     // below this the kernel degenerates
+	genSegMax = 16 << 20 // keeps offsets and data images sane
+)
+
+func init() {
+	register(Generator{
+		Name: "gen",
+		Help: "parameterized access-pattern kernel (stride/chase/value-locality)",
+		Params: []pspec.Param{
+			{Name: "stride", Kind: pspec.Int, Default: "8", Min: 8,
+				Help: "stream stride in bytes (multiple of 8)"},
+			{Name: "chase", Kind: pspec.Int, Default: "0",
+				Help: "pointer-chase loads per stream element (0-8)"},
+			{Name: "vlocal", Kind: pspec.Float, Default: "0.9",
+				Help: "fraction of stores writing the stable value (0-1)"},
+			{Name: "seg", Kind: pspec.Size, Default: "64k", Min: genSegMin,
+				Help: "per-thread data segment size"},
+			{Name: "phase", Kind: pspec.Int, Default: "1", Min: 1,
+				Help: "program phases cycled per outer iteration (1-16)"},
+			{Name: "plant", Kind: pspec.Int, Default: "0",
+				Help: "planted delinquent-bit toggle slots (0-64)"},
+		},
+		Build: buildGen,
+	})
+}
+
+// genLayout is the validated segment geometry shared by the program
+// builder; everything derives from the canonical parameters, never
+// from the host.
+type genLayout struct {
+	stride, chase, phases, plant int
+	vlocal                       float64
+	segBytes                     uint64
+
+	segWords    uint64
+	chaseWords  uint64 // pointer-chase cycle at the segment start
+	streamBase  uint64 // first stream word
+	regionWords uint64 // stream words per phase
+	blockSpan   uint64 // bytes walked per phase pass (multiple of unroll*stride)
+}
+
+func genPlan(sp Spec, v pspec.Values) (genLayout, error) {
+	l := genLayout{
+		stride:   v.Int("stride"),
+		chase:    v.Int("chase"),
+		phases:   v.Int("phase"),
+		plant:    v.Int("plant"),
+		vlocal:   v.Float("vlocal"),
+		segBytes: v.Size("seg"),
+	}
+	switch {
+	case l.stride%8 != 0:
+		return l, badSpec(sp, fmt.Sprintf("stride %d is not a multiple of 8", l.stride))
+	case l.chase > 8:
+		return l, badSpec(sp, fmt.Sprintf("chase %d exceeds the maximum 8", l.chase))
+	case l.vlocal < 0 || l.vlocal > 1:
+		return l, badSpec(sp, fmt.Sprintf("vlocal %g is outside [0, 1]", l.vlocal))
+	case l.segBytes > genSegMax:
+		return l, badSpec(sp, fmt.Sprintf("seg %d exceeds the maximum %d", l.segBytes, uint64(genSegMax)))
+	case l.phases > 16:
+		return l, badSpec(sp, fmt.Sprintf("phase %d exceeds the maximum 16", l.phases))
+	case l.plant > 64:
+		return l, badSpec(sp, fmt.Sprintf("plant %d exceeds the maximum 64", l.plant))
+	}
+	l.segWords = l.segBytes / 8
+	if l.chase > 0 {
+		l.chaseWords = l.segWords / 4
+		if l.chaseWords > 1024 {
+			l.chaseWords = 1024
+		}
+	}
+	l.streamBase = l.chaseWords
+	streamWords := l.segWords - l.chaseWords - uint64(l.plant)
+	l.regionWords = streamWords / uint64(l.phases)
+	step := uint64(genUnroll * l.stride)
+	l.blockSpan = l.regionWords * 8 / step * step
+	if l.blockSpan < step {
+		return l, badSpec(sp, fmt.Sprintf(
+			"seg too small: each of %d phases needs at least %d bytes of stream (stride %d)",
+			l.phases, step, l.stride))
+	}
+	return l, nil
+}
+
+// specSeed folds the canonical spec into the build seed so distinct
+// specs get distinct (but reproducible) data images.
+func specSeed(sp Spec, seed uint64) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(sp.String()))
+	return seed ^ h.Sum64()
+}
+
+func buildGen(sp Spec, v pspec.Values) (Workload, error) {
+	l, err := genPlan(sp, v)
+	if err != nil {
+		return Workload{}, err
+	}
+	return Workload{
+		SegBytes: l.segBytes,
+		Build: func(base, seed uint64) *prog.Program {
+			return genProgram(sp, l, base, seed)
+		},
+	}, nil
+}
+
+func genProgram(sp Spec, l genLayout, base, seed uint64) *prog.Program {
+	b := prog.NewBuilderAt(sp.String(), base, l.segBytes)
+	rng := stats.NewRNG(specSeed(sp, seed))
+
+	// Data image: a pointer-chase cycle at the front, low-entropy
+	// words in the stream region (capped — uninitialized words read 0,
+	// which is just more value locality).
+	if l.chaseWords > 0 {
+		permutationCycle(b, 0, l.chaseWords, rng.Uint64())
+	}
+	initWords := l.segWords - l.streamBase - uint64(l.plant)
+	if initWords > 4096 {
+		initWords = 4096
+	}
+	for i := uint64(0); i < initWords; i++ {
+		b.Word((l.streamBase+i)*8, rng.Uint64()&0xff)
+	}
+
+	// r2 base, r4 load temp, r5 stable value, r6 chase pointer,
+	// r7 scratch, r8 stream cursor, r9 iteration counter, r10 phase
+	// limit, r12 toggle value, r13 noisy value.
+	b.MovU64(2, base)
+	b.MovI(5, 0)
+	b.MovI(9, 0)
+	b.MovI(12, 0)
+	b.MovI(13, 0x3a7)
+	if l.chase > 0 {
+		b.MovU64(6, base)
+	}
+	b.Label("top")
+	for p := 0; p < l.phases; p++ {
+		regionBase := base + (l.streamBase+uint64(p)*l.regionWords)*8
+		b.MovU64(8, regionBase)
+		b.MovU64(10, regionBase+l.blockSpan)
+		loop := fmt.Sprintf("phase%d", p)
+		b.Label(loop)
+		for i := 0; i < genUnroll; i++ {
+			off := int32(i * l.stride)
+			b.Ld(4, 8, off)
+			b.Op3(isa.ADD, 5, 5, 4)
+			b.OpI(isa.ANDI, 5, 5, 0xff)
+			for c := 0; c < l.chase; c++ {
+				b.Ld(6, 6, 0)
+			}
+			if rng.Float64() < l.vlocal {
+				b.St(8, off, 5) // value-local store
+			} else {
+				// High-entropy store: mix the loaded value in and
+				// perturb with a build-time constant.
+				b.Op3(isa.ADD, 13, 13, 4)
+				b.OpI(isa.XORI, 13, 13, int32(rng.Intn(1<<12))|1)
+				b.St(8, off, 13)
+			}
+		}
+		b.OpI(isa.ADDI, 8, 8, int32(genUnroll*l.stride))
+		b.Br(isa.BLT, 8, 10, loop)
+	}
+	b.OpI(isa.ADDI, 9, 9, 1)
+	if l.plant > 0 {
+		// Delinquent-bit pressure: every 4th outer iteration, flip bit
+		// 0 of the planted value — stable runs between toggles re-arm
+		// a biased filter forever (Section 3.2).
+		b.OpI(isa.ANDI, 7, 9, 3)
+		b.Br(isa.BNE, 7, 0, "planted")
+		b.OpI(isa.XORI, 12, 12, 1)
+		b.Label("planted")
+		for t := 0; t < l.plant; t++ {
+			b.St(2, int32(l.segBytes-8*uint64(t+1)), 12)
+		}
+	}
+	b.Jmp("top")
+	return b.MustBuild()
+}
+
+// permutationCycle writes a single-cycle permutation over words
+// [firstWord, firstWord+count) holding absolute next-element
+// addresses, for the pointer-chase region (same construction as the
+// micro-chase kernel).
+func permutationCycle(b *prog.Builder, firstWord, count, seed uint64) {
+	rng := stats.NewRNG(seed)
+	idx := make([]uint64, count)
+	for i := range idx {
+		idx[i] = uint64(i)
+	}
+	for i := int(count) - 1; i > 0; i-- {
+		j := rng.Intn(i + 1)
+		idx[i], idx[j] = idx[j], idx[i]
+	}
+	for k := uint64(0); k < count; k++ {
+		from := firstWord + idx[k]
+		to := firstWord + idx[(k+1)%count]
+		b.Word(from*8, b.DataBase()+to*8)
+	}
+}

@@ -1,0 +1,154 @@
+// Package wgen is the generated-workload registry: it maps workload
+// generator names to factories that build deterministic programs from
+// typed, validated parameters, speaking the same canonical spec syntax
+// as the scheme registry (internal/pspec):
+//
+//	gen?stride=64,chase=4,vlocal=0.85,seg=256k,phase=2,plant=3
+//	gen?stride=8|64|512           sensitivity sweep, fanned out by Expand
+//	replay?trace=stream.fhws      re-feed a recorded memory stream
+//
+// A canonical workload spec is a campaign cell's Bench string: it flows
+// CLI flag → spec hash → journal/results.csv/summary.json exactly like
+// a scheme spec, and the same spec string reproduces a bit-identical
+// program (and therefore a bit-identical committed stream) regardless
+// of worker count or host.
+//
+// The stream recorder (record.go) captures a run's committed
+// load/store address+value stream through pipeline.Core.SetMemHook;
+// the replay builder (replay.go) turns such a stream back into a
+// program, enabling differential tests that run two detector schemes
+// over byte-identical streams. See docs/GENERATED-WORKLOADS.md.
+package wgen
+
+import (
+	"fmt"
+	"strings"
+
+	"faulthound/internal/prog"
+	"faulthound/internal/pspec"
+)
+
+// Domain is this registry's noun in spec error messages; the daemon
+// keys its known_workloads 400 shape off it.
+const Domain = "workload"
+
+// Spec is a canonical workload spec (shared pspec.Spec).
+type Spec = pspec.Spec
+
+// Workload is one built generated workload, ready to construct
+// per-thread programs exactly like a workload.Benchmark.
+type Workload struct {
+	// Spec is the canonical spec the workload was built from; its
+	// string form is the campaign cell's Bench label.
+	Spec Spec
+	// SegBytes is the per-thread data segment size.
+	SegBytes uint64
+	// Build constructs the program with its data segment at base,
+	// using seed for deterministic initialization.
+	Build func(base, seed uint64) *prog.Program
+}
+
+// Generator is one registry entry: name, help line, parameter
+// metadata, and the factory.
+type Generator struct {
+	Name   string
+	Help   string
+	Params []pspec.Param
+	// Build constructs the workload. sp is the canonical spec (for
+	// labeling), v the typed parameter view.
+	Build func(sp Spec, v pspec.Values) (Workload, error)
+}
+
+var (
+	reg      = pspec.NewRegistry(Domain)
+	builders = map[string]*Generator{}
+)
+
+// register adds a generator at init time.
+func register(g Generator) {
+	if g.Name == "" || g.Build == nil {
+		panic("wgen: register needs a name and a build function")
+	}
+	reg.Register(pspec.Entry{Name: g.Name, Help: g.Help, Params: g.Params})
+	gen := g
+	builders[g.Name] = &gen
+}
+
+// Names lists every registered generator name in registration order.
+func Names() []string { return reg.Names() }
+
+// IsGenerated reports whether a workload spec string names a
+// registered generator — the test internal/workload uses to route a
+// Bench string here instead of the Table-1 registry. Only the name
+// part is consulted, so malformed parameters still come back through
+// Build as workload spec errors rather than "unknown benchmark".
+func IsGenerated(raw string) bool {
+	name, _, _ := strings.Cut(strings.TrimSpace(raw), "?")
+	return reg.Has(strings.TrimSpace(name))
+}
+
+// FromString parses a spec string syntactically without consulting
+// the registry — for trusted, already-canonical input (journals,
+// campaign cells); use Parse for user input.
+func FromString(raw string) Spec { return pspec.FromString(raw) }
+
+// Parse validates one workload spec string and returns its canonical
+// Spec. Sweep syntax ('|') is an error here; use Expand for fan-out.
+func Parse(raw string) (Spec, error) { return reg.Parse(raw) }
+
+// Valid reports whether raw parses against the registry.
+func Valid(raw string) bool { return reg.Valid(raw) }
+
+// Expand parses one workload spec string, fanning out '|' sweep
+// values into the cartesian product of canonical Specs.
+func Expand(raw string) ([]Spec, error) { return reg.Expand(raw) }
+
+// SplitList splits a comma-separated workload list into individual
+// spec strings ('=' tokens without '?' attach to the previous item).
+func SplitList(raw string) ([]string, error) { return reg.SplitList(raw) }
+
+// Build constructs the workload of a spec. The spec is re-validated
+// (it may come from an untrusted journal or manifest via FromString).
+func Build(sp Spec) (Workload, error) {
+	v, err := reg.ValuesOf(sp)
+	if err != nil {
+		return Workload{}, err
+	}
+	g, ok := builders[sp.Name]
+	if !ok {
+		return Workload{}, fmt.Errorf("wgen: no factory for %q", sp.Name)
+	}
+	w, err := g.Build(sp, v)
+	if err != nil {
+		return Workload{}, err
+	}
+	w.Spec = sp
+	return w, nil
+}
+
+// Resolved renders the spec with every parameter explicit (defaults
+// filled in), in declaration order.
+func Resolved(sp Spec) (string, error) { return reg.Resolved(sp) }
+
+// Usage returns the one-line generator list for CLI flag help.
+func Usage() string { return reg.Usage() }
+
+// Describe renders the full self-describing registry for
+// -list-workloads; docs/GENERATED-WORKLOADS.md mirrors it.
+func Describe() string { return reg.Describe() }
+
+// All returns the registry metadata in registration order, served by
+// the daemon's /v1/workloads endpoint alongside the fixed benchmarks.
+func All() []pspec.Metadata { return reg.All() }
+
+// IsSpecError reports whether err (anywhere in its chain) is a
+// workload spec error — the condition under which the daemon answers
+// 400 with the known-workload list instead of 500.
+func IsSpecError(err error) bool {
+	return pspec.SpecErrorDomain(err) == Domain
+}
+
+// badSpec builds a workload-domain spec error for factories.
+func badSpec(sp Spec, reason string) error {
+	return &pspec.BadSpecError{Domain: Domain, Spec: sp.String(), Reason: reason}
+}

@@ -1,0 +1,192 @@
+package wgen
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"faulthound/internal/prog"
+)
+
+// TestGenCanonicalization: parameter order sorts, default-valued
+// parameters elide (so the plain name is the canonical all-defaults
+// spelling), and size values render with the largest evenly-dividing
+// suffix. Canonical strings are campaign cell Bench labels and spec-
+// hash inputs, so these spellings are frozen.
+func TestGenCanonicalization(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"gen", "gen"},
+		{"gen?stride=8", "gen"},            // default elides
+		{"gen?vlocal=0.9,stride=8", "gen"}, // all defaults elide
+		{"gen?stride=64", "gen?stride=64"},
+		{"gen?vlocal=0.85,stride=64", "gen?stride=64,vlocal=0.85"}, // sorted
+		{"gen?seg=262144", "gen?seg=256k"},                         // size canonical suffix
+		{"gen?seg=64k", "gen"},                                     // default size elides
+		{"gen?chase=4,plant=3,phase=2", "gen?chase=4,phase=2,plant=3"},
+		{" gen?stride=64 ", "gen?stride=64"},
+	}
+	for _, c := range cases {
+		sp, err := Parse(c.in)
+		if err != nil {
+			t.Errorf("Parse(%q): %v", c.in, err)
+			continue
+		}
+		if got := sp.String(); got != c.want {
+			t.Errorf("Parse(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+// TestGenSweepExpand: '|' fans out the cartesian product, with later-
+// declared parameters varying fastest, and canonically-equal alternates
+// deduplicate.
+func TestGenSweepExpand(t *testing.T) {
+	sps, err := Expand("gen?stride=8|64,phase=1|2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"gen", "gen?phase=2", "gen?stride=64", "gen?phase=2,stride=64"}
+	var got []string
+	for _, sp := range sps {
+		got = append(got, sp.String())
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("Expand = %v, want %v", got, want)
+	}
+
+	// 8 and 08 are one canonical spec; the duplicate collapses.
+	sps, err = Expand("gen?stride=8|08")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sps) != 1 || sps[0].String() != "gen" {
+		t.Fatalf("dedup Expand = %v", sps)
+	}
+
+	if _, err := Parse("gen?stride=8|64"); err == nil {
+		t.Fatal("Parse accepted sweep syntax")
+	}
+}
+
+// TestGenBadSpecs: every rejection is a workload-domain spec error
+// (the daemon's known_workloads 400 shape keys on the domain), and the
+// message names the offending constraint.
+func TestGenBadSpecs(t *testing.T) {
+	cases := []struct{ in, frag string }{
+		{"nope", "unknown workload"},
+		{"gen?bogus=1", "unknown parameter"},
+		{"gen?stride=zap", "not an integer"},
+		{"gen?stride=4", "below the minimum"},
+		{"gen?seg=1g", "exceeds the maximum"},
+		{"gen?vlocal=1.5", "outside [0, 1]"},
+		{"gen?chase=9", "exceeds the maximum"},
+		{"gen?phase=17", "exceeds the maximum"},
+		{"gen?plant=65", "exceeds the maximum"},
+		{"gen?stride=12", "not a multiple of 8"},
+		{"gen?seg=4k,stride=1024", "seg too small"},
+		{"replay", "needs trace="},
+	}
+	for _, c := range cases {
+		_, err := func() (Workload, error) {
+			sp, err := Parse(c.in)
+			if err != nil {
+				return Workload{}, err
+			}
+			return Build(sp)
+		}()
+		if err == nil {
+			t.Errorf("%q: no error", c.in)
+			continue
+		}
+		if !IsSpecError(err) {
+			t.Errorf("%q: error %v is not a workload spec error", c.in, err)
+		}
+		if !strings.Contains(err.Error(), c.frag) {
+			t.Errorf("%q: error %q does not mention %q", c.in, err, c.frag)
+		}
+	}
+}
+
+// TestGenProgramDeterminism: the same canonical spec, base, and seed
+// build byte-identical programs (the property that makes a spec string
+// a reproducible cell identity); a different spec or seed does not.
+func TestGenProgramDeterminism(t *testing.T) {
+	build := func(raw string, seed uint64) *prog.Program {
+		t.Helper()
+		sp, err := Parse(raw)
+		if err != nil {
+			t.Fatal(err)
+		}
+		w, err := Build(sp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p := w.Build(0x10000, seed)
+		if err := p.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+
+	const spec = "gen?stride=64,chase=2,vlocal=0.7,seg=32k,phase=2,plant=3"
+	p1 := build(spec, 3)
+	p2 := build(spec, 3)
+	if !reflect.DeepEqual(p1.Code, p2.Code) || !reflect.DeepEqual(p1.Data, p2.Data) {
+		t.Fatal("same spec+seed built different programs")
+	}
+
+	if p3 := build(spec, 4); reflect.DeepEqual(p1.Data, p3.Data) {
+		t.Error("different seed built an identical data image")
+	}
+	if p4 := build("gen?stride=64,chase=2,vlocal=0.2,seg=32k,phase=2,plant=3", 3); reflect.DeepEqual(p1.Code, p4.Code) {
+		t.Error("different vlocal built identical code")
+	}
+}
+
+// TestSplitList: comma-separated workload lists keep generated-spec
+// parameters attached to their item.
+func TestSplitList(t *testing.T) {
+	got, err := SplitList("gen?stride=64,seg=256k,bzip2,gen?plant=3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"gen?stride=64,seg=256k", "bzip2", "gen?plant=3"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("SplitList = %v, want %v", got, want)
+	}
+	if _, err := SplitList("stride=64,gen"); err == nil {
+		t.Fatal("leading parameter token was accepted")
+	}
+}
+
+// TestResolvedAndMetadata: Resolved fills every default in declaration
+// order, and the registry metadata (the /v1/workloads document) carries
+// the typed parameter lists.
+func TestResolvedAndMetadata(t *testing.T) {
+	sp, err := Parse("gen?stride=64")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := Resolved(sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := "gen?stride=64,chase=0,vlocal=0.9,seg=64k,phase=1,plant=0"
+	if r != want {
+		t.Fatalf("Resolved = %q, want %q", r, want)
+	}
+
+	if !IsGenerated("gen?anything") || !IsGenerated("replay") || IsGenerated("bzip2") {
+		t.Fatal("IsGenerated misroutes")
+	}
+
+	var gen bool
+	for _, m := range All() {
+		if m.Name == "gen" && len(m.Params) == 6 {
+			gen = true
+		}
+	}
+	if !gen {
+		t.Fatalf("registry metadata missing gen params: %+v", All())
+	}
+}
