@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet lint race bench bench-json campaign serve smoke-server smoke-cluster smoke-wgen trace-demo experiments extensions quick clean
+.PHONY: all build test vet lint race bench bench-json report gates campaign serve smoke-server smoke-cluster smoke-wgen trace-demo experiments extensions quick clean
 
 all: lint test build
 
@@ -30,7 +30,27 @@ lint: vet
 race:
 	$(GO) test -race ./internal/workload/ ./internal/wgen/ ./internal/system/ \
 		./internal/pipeline/ ./internal/mem/ ./internal/campaign/ ./internal/fault/ \
-		./internal/obs/... ./internal/server/... ./internal/cluster/
+		./internal/obs/... ./internal/server/... ./internal/cluster/ \
+		./internal/contract/ ./internal/report/
+
+# Regenerate the reference bundle's detector-quality report sidecar
+# (docs/CONTRACTS.md). The bundle's own artifacts are never touched;
+# `git diff` afterwards must be clean or the report has drifted.
+report:
+	$(GO) run ./cmd/fhreport bundle results/campaigns/reference-1k
+
+# The CI release gates, runnable locally: contract validation over
+# every committed artifact, the quality-report drift gate, and the
+# self-diff sanity check (docs/CONTRACTS.md).
+gates:
+	$(GO) run ./cmd/fhreport validate results/campaigns/reference-1k \
+		results/bench/BENCH_simcore.json \
+		internal/server/testdata/spechash_golden.json \
+		internal/server/testdata/wspec_golden.json
+	$(GO) run ./cmd/fhreport bundle -out /tmp/fh-gate-regen results/campaigns/reference-1k
+	cmp /tmp/fh-gate-regen/quality.json results/campaigns/reference-1k/report/quality.json
+	cmp /tmp/fh-gate-regen/quality.md results/campaigns/reference-1k/report/quality.md
+	$(GO) run ./cmd/fhreport diff results/campaigns/reference-1k results/campaigns/reference-1k
 
 # Parallel, resumable fault-injection campaign with an artifact bundle.
 campaign:

@@ -1,0 +1,263 @@
+// Command fhreport is the artifact-contract and detector-quality tool:
+// it validates campaign bundles against the versioned v1 contracts
+// (internal/contract, docs/CONTRACTS.md), derives detector-quality
+// reports (coverage, FP rate, detection-latency percentiles, confusion
+// matrices vs the baseline golden classification), diffs two reports
+// under a tolerance, and gates benchmark throughput against committed
+// guard numbers. The CI release gates are built from these subcommands.
+//
+// Usage:
+//
+//	fhreport bundle [-out dir] [-no-latency] <bundle-dir>
+//	fhreport diff [-tolerance 0] <bundle-or-quality.json> <bundle-or-quality.json>
+//	fhreport validate <bundle-dir | artifact.json>...
+//	fhreport bench [-tolerance 0.10] <got BENCH.json> <ref BENCH.json>
+//
+// bundle writes the derived report/quality.{json,md} sidecar next to
+// the bundle's artifacts (never mutating them); -out redirects the two
+// files elsewhere. diff exits non-zero when any metric differs by more
+// than the relative tolerance (0 = byte-exact metrics). validate exits
+// non-zero on any contract violation. bench exits non-zero when a
+// gated throughput metric regresses by more than the tolerance.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"faulthound/internal/buildinfo"
+	"faulthound/internal/campaign"
+	"faulthound/internal/contract"
+	"faulthound/internal/harness"
+	"faulthound/internal/report"
+)
+
+func main() {
+	flag.Usage = usage
+	version := flag.Bool("version", false, "print build identity and exit")
+	flag.Parse()
+	if *version {
+		fmt.Println(buildinfo.Generator())
+		return
+	}
+	args := flag.Args()
+	if len(args) == 0 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch cmd, rest := args[0], args[1:]; cmd {
+	case "bundle":
+		err = cmdBundle(rest)
+	case "diff":
+		err = cmdDiff(rest)
+	case "validate":
+		err = cmdValidate(rest)
+	case "bench":
+		err = cmdBench(rest)
+	default:
+		fmt.Fprintf(os.Stderr, "fhreport: unknown subcommand %q\n\n", cmd)
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fhreport:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintf(os.Stderr, `usage:
+  fhreport bundle [-out dir] [-no-latency] <bundle-dir>
+  fhreport diff [-tolerance 0] <bundle-or-quality.json> <bundle-or-quality.json>
+  fhreport validate <bundle-dir | artifact.json>...
+  fhreport bench [-tolerance 0.10] <got BENCH.json> <ref BENCH.json>
+  fhreport -version
+`)
+}
+
+// cmdBundle derives a bundle's quality report sidecar.
+func cmdBundle(args []string) error {
+	fs := flag.NewFlagSet("bundle", flag.ExitOnError)
+	out := fs.String("out", "", "write quality.{json,md} into this directory instead of <bundle>/report/")
+	noLatency := fs.Bool("no-latency", false, "skip the detection-latency replay (faster; omits the latency section)")
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		return fmt.Errorf("bundle wants exactly one bundle directory")
+	}
+	dir := fs.Arg(0)
+
+	q, err := generate(dir, *noLatency)
+	if err != nil {
+		return err
+	}
+	var jsonPath, mdPath string
+	if *out != "" {
+		jsonPath, mdPath, err = report.WriteDir(*out, q)
+	} else {
+		jsonPath, mdPath, err = report.WriteFiles(dir, q)
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Println(jsonPath)
+	fmt.Println(mdPath)
+	return nil
+}
+
+// generate builds a bundle's quality report, replaying detected
+// injections for latency unless disabled.
+func generate(dir string, noLatency bool) (*report.Quality, error) {
+	opts := report.Options{}
+	if !noLatency {
+		man, err := campaign.ReadManifest(dir)
+		if err != nil {
+			return nil, err
+		}
+		opts.Latency = report.NewReplayer(man, harness.DefaultOptions().CampaignFactory())
+	}
+	return report.Generate(dir, opts)
+}
+
+// loadQuality resolves a diff operand: a quality.json file, or a
+// bundle directory — whose committed report/quality.json is used when
+// present, and which is otherwise generated in memory.
+func loadQuality(path string) (*report.Quality, error) {
+	st, err := os.Stat(path)
+	if err != nil {
+		return nil, err
+	}
+	if st.IsDir() {
+		sidecar := filepath.Join(path, contract.ReportDirName, contract.QualityJSONName)
+		if _, err := os.Stat(sidecar); err == nil {
+			return readQuality(sidecar)
+		}
+		return generate(path, false)
+	}
+	return readQuality(path)
+}
+
+func readQuality(path string) (*report.Quality, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	if err := contract.ValidateJSON(contract.KindQuality, b); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	var q report.Quality
+	if err := json.Unmarshal(b, &q); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &q, nil
+}
+
+// cmdDiff compares two quality reports metric by metric.
+func cmdDiff(args []string) error {
+	fs := flag.NewFlagSet("diff", flag.ExitOnError)
+	tol := fs.Float64("tolerance", 0, "relative tolerance per metric (0 = exact)")
+	fs.Parse(args)
+	if fs.NArg() != 2 {
+		return fmt.Errorf("diff wants exactly two bundles or quality.json files")
+	}
+	a, err := loadQuality(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	b, err := loadQuality(fs.Arg(1))
+	if err != nil {
+		return err
+	}
+	deltas := report.Diff(a, b)
+	failing := report.Exceeds(deltas, *tol)
+	for _, d := range deltas {
+		fmt.Println(d)
+	}
+	if len(failing) > 0 {
+		return fmt.Errorf("%d of %d deltas exceed tolerance %g", len(failing), len(deltas), *tol)
+	}
+	fmt.Printf("quality reports agree (%d deltas within tolerance %g)\n", len(deltas), *tol)
+	return nil
+}
+
+// cmdValidate checks bundle directories and standalone artifacts
+// against their contracts.
+func cmdValidate(args []string) error {
+	if len(args) == 0 {
+		return fmt.Errorf("validate wants at least one bundle directory or artifact file")
+	}
+	failed := false
+	for _, path := range args {
+		if err := validateOne(path); err != nil {
+			failed = true
+			fmt.Fprintf(os.Stderr, "FAIL %s\n%v\n", path, err)
+			continue
+		}
+		fmt.Printf("ok   %s\n", path)
+	}
+	if failed {
+		return fmt.Errorf("contract violations found")
+	}
+	return nil
+}
+
+func validateOne(path string) error {
+	st, err := os.Stat(path)
+	if err != nil {
+		return err
+	}
+	if st.IsDir() {
+		return contract.ValidateBundle(path)
+	}
+	if filepath.Base(path) == "results.csv" {
+		f, err := os.Open(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		_, err = contract.ValidateResultsCSV(f)
+		return err
+	}
+	kind := contract.SniffKind(path)
+	if kind == "" {
+		return fmt.Errorf("no contract covers %q", filepath.Base(path))
+	}
+	return contract.ValidateJSONFile(kind, path)
+}
+
+// cmdBench gates current benchmark throughput against committed guard
+// numbers.
+func cmdBench(args []string) error {
+	fs := flag.NewFlagSet("bench", flag.ExitOnError)
+	tol := fs.Float64("tolerance", 0.10, "allowed relative regression on gated throughput metrics")
+	fs.Parse(args)
+	if fs.NArg() != 2 {
+		return fmt.Errorf("bench wants <got BENCH.json> <ref BENCH.json>")
+	}
+	got, err := os.ReadFile(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	ref, err := os.ReadFile(fs.Arg(1))
+	if err != nil {
+		return err
+	}
+	deltas, regressions, err := report.CompareBench(got, ref, *tol)
+	if err != nil {
+		return err
+	}
+	for _, d := range deltas {
+		fmt.Println(d)
+	}
+	if len(regressions) > 0 {
+		for _, d := range regressions {
+			fmt.Fprintf(os.Stderr, "REGRESSION %s\n", d)
+		}
+		return fmt.Errorf("%d gated metrics regressed beyond tolerance %g", len(regressions), *tol)
+	}
+	fmt.Printf("bench gate passed (tolerance %g)\n", *tol)
+	return nil
+}

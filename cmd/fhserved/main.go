@@ -50,6 +50,7 @@ import (
 	"syscall"
 	"time"
 
+	"faulthound/internal/buildinfo"
 	"faulthound/internal/cluster"
 	"faulthound/internal/fault"
 	"faulthound/internal/harness"
@@ -67,6 +68,7 @@ func main() {
 		maxInj    = flag.Int("max-injections", 0, "reject specs above this total injection count (0 = unlimited)")
 		quick     = flag.Bool("quick", false, "scaled-down default fault config for smoke testing")
 		verbose   = flag.Bool("v", false, "debug-level logging (every job state transition)")
+		version   = flag.Bool("version", false, "print build identity and exit")
 
 		// Admission gate.
 		rate  = flag.Float64("rate", 0, "admission gate: submissions per second before 429 (0 = unlimited)")
@@ -82,6 +84,10 @@ func main() {
 		slots       = flag.Int("slots", 2, "worker mode: shard leases executed concurrently")
 	)
 	flag.Parse()
+	if *version {
+		fmt.Println(buildinfo.Generator())
+		return
+	}
 	level := slog.LevelInfo
 	if *verbose {
 		level = slog.LevelDebug

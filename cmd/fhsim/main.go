@@ -15,6 +15,7 @@ import (
 	"os"
 	"strings"
 
+	"faulthound/internal/buildinfo"
 	"faulthound/internal/campaign"
 	"faulthound/internal/detect"
 	"faulthound/internal/energy"
@@ -45,9 +46,14 @@ func main() {
 		stages    = flag.String("trace-stages", "", "comma-separated stage filter (fetch,dispatch,issue,complete,commit,squash,replay,rollback,singleton,exception); alone, prints a text trace")
 		traceN    = flag.Uint64("trace-cycles", 200, "cycles to trace (with -trace or -trace-stages)")
 		asJSON    = flag.Bool("json", false, "emit the full stats block as one JSON object (scriptable runs)")
+		version   = flag.Bool("version", false, "print build identity and exit")
 	)
 	flag.Parse()
 
+	if *version {
+		fmt.Println(buildinfo.Generator())
+		return
+	}
 	if *list {
 		fmt.Print(scheme.Describe())
 		return

@@ -1,0 +1,87 @@
+// Package buildinfo identifies the binary that produced an artifact:
+// a version, source commit, and build date, injected at link time via
+//
+//	go build -ldflags "\
+//	  -X faulthound/internal/buildinfo.Version=v1.2.3 \
+//	  -X faulthound/internal/buildinfo.Commit=abc1234 \
+//	  -X faulthound/internal/buildinfo.Date=2026-08-08T00:00:00Z"
+//
+// Unstamped builds (plain `go build`, `go run`, `go test`) fall back
+// to the module's embedded VCS metadata when present. The rendered
+// Generator string is stamped into every artifact bundle's
+// manifest.json ("generator"), echoed by /healthz, and printed by the
+// CLIs' -version flags, so any number in any artifact traces back to
+// the binary that produced it (docs/CONTRACTS.md).
+package buildinfo
+
+import (
+	"fmt"
+	"runtime"
+	"runtime/debug"
+	"strings"
+	"sync"
+)
+
+// Link-time variables. Defaults mark a development build.
+var (
+	// Version is the release tag, or "dev" when unstamped.
+	Version = "dev"
+	// Commit is the source revision; empty falls back to the VCS
+	// metadata Go embeds in module builds.
+	Commit = ""
+	// Date is the build date (RFC 3339); empty falls back to the VCS
+	// commit time when embedded.
+	Date = ""
+)
+
+// Info is the resolved build identity.
+type Info struct {
+	Version string `json:"version"`
+	Commit  string `json:"commit,omitempty"`
+	Date    string `json:"date,omitempty"`
+	Go      string `json:"go"`
+}
+
+var resolveOnce = sync.OnceValue(func() Info {
+	info := Info{Version: Version, Commit: Commit, Date: Date, Go: runtime.Version()}
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		var modified bool
+		for _, s := range bi.Settings {
+			switch s.Key {
+			case "vcs.revision":
+				if info.Commit == "" {
+					info.Commit = s.Value
+				}
+			case "vcs.time":
+				if info.Date == "" {
+					info.Date = s.Value
+				}
+			case "vcs.modified":
+				modified = s.Value == "true"
+			}
+		}
+		if modified && info.Commit != "" && !strings.HasSuffix(info.Commit, "+dirty") {
+			info.Commit += "+dirty"
+		}
+	}
+	return info
+})
+
+// Resolve returns the build identity, folding in embedded VCS metadata
+// for unstamped builds.
+func Resolve() Info { return resolveOnce() }
+
+// Generator renders the identity as the one-line provenance string the
+// artifact contracts carry ("faulthound/<version> (<commit>)"). It is
+// deliberately compact: it lands in every manifest.json.
+func Generator() string {
+	info := Resolve()
+	g := "faulthound/" + info.Version
+	if c := info.Commit; c != "" {
+		if len(c) > 12 && !strings.HasSuffix(c, "+dirty") {
+			c = c[:12]
+		}
+		g += fmt.Sprintf(" (%s)", c)
+	}
+	return g
+}

@@ -1,0 +1,31 @@
+package buildinfo
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestResolve(t *testing.T) {
+	info := Resolve()
+	if info.Version == "" {
+		t.Error("empty version; the dev default should apply")
+	}
+	if !strings.HasPrefix(info.Go, "go") {
+		t.Errorf("Go = %q", info.Go)
+	}
+	if info != Resolve() {
+		t.Error("Resolve is not stable across calls")
+	}
+}
+
+func TestGeneratorFormat(t *testing.T) {
+	g := Generator()
+	if !strings.HasPrefix(g, "faulthound/") {
+		t.Fatalf("Generator() = %q, want faulthound/<version> prefix", g)
+	}
+	// Any commit suffix is parenthesized and short enough for a
+	// manifest line.
+	if i := strings.IndexByte(g, '('); i >= 0 && !strings.HasSuffix(g, ")") {
+		t.Fatalf("unbalanced commit suffix: %q", g)
+	}
+}

@@ -8,6 +8,8 @@ import (
 	"runtime"
 	"strings"
 	"time"
+
+	"faulthound/internal/buildinfo"
 )
 
 // Provenance stamps an artifact bundle with what produced it: the run
@@ -19,6 +21,10 @@ type Provenance struct {
 	CreatedAt string `json:"created_at"` // RFC 3339, UTC
 	GoVersion string `json:"go_version"`
 	GitCommit string `json:"git_commit"` // "unknown" outside a git checkout
+	// Generator identifies the producing binary ("faulthound/<version>
+	// (<commit>)", internal/buildinfo). Optional: bundles predating it
+	// (reference-1k) omit the field, and readers render "unknown".
+	Generator string `json:"generator,omitempty"`
 }
 
 // NewProvenance stamps a bundle with the current toolchain, source
@@ -29,6 +35,7 @@ func NewProvenance(runID string) Provenance {
 		CreatedAt: time.Now().UTC().Format(time.RFC3339),
 		GoVersion: runtime.Version(),
 		GitCommit: GitCommit(),
+		Generator: buildinfo.Generator(),
 	}
 }
 

@@ -1,0 +1,286 @@
+package contract
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// Schema is the JSON-schema subset the artifact contracts use: enough
+// to pin object shape (properties, required, additionalProperties),
+// scalar types and ranges, array items, enums, and string patterns.
+// It is stdlib-only by design — the repo takes no dependencies — and
+// deliberately strict: anything outside this subset in a schema file
+// is a load-time error, not a silently ignored keyword.
+type Schema struct {
+	// ID names the contract and carries its version, e.g.
+	// "faulthound.summary/v1".
+	ID          string `json:"$id,omitempty"`
+	Description string `json:"description,omitempty"`
+
+	// Type lists the admissible JSON types: "object", "array",
+	// "string", "number", "integer", "boolean", "null". Empty admits
+	// any type.
+	Type TypeList `json:"type,omitempty"`
+
+	// Object keywords.
+	Required   []string           `json:"required,omitempty"`
+	Properties map[string]*Schema `json:"properties,omitempty"`
+	// AdditionalProperties controls fields beyond Properties: nil
+	// allows anything, `false` forbids, a schema constrains (the shape
+	// of map-valued fields like coverage bins).
+	AdditionalProperties *Additional `json:"additionalProperties,omitempty"`
+
+	// Array keywords.
+	Items    *Schema `json:"items,omitempty"`
+	MinItems *int    `json:"minItems,omitempty"`
+
+	// Scalar keywords.
+	Enum    []any    `json:"enum,omitempty"`
+	Minimum *float64 `json:"minimum,omitempty"`
+	Maximum *float64 `json:"maximum,omitempty"`
+	Pattern string   `json:"pattern,omitempty"`
+
+	pattern *regexp.Regexp
+}
+
+// TypeList is one type name or a list of them.
+type TypeList []string
+
+// UnmarshalJSON accepts "string" and ["string", "null"] forms.
+func (t *TypeList) UnmarshalJSON(b []byte) error {
+	var one string
+	if err := json.Unmarshal(b, &one); err == nil {
+		*t = TypeList{one}
+		return nil
+	}
+	var many []string
+	if err := json.Unmarshal(b, &many); err != nil {
+		return fmt.Errorf("type must be a string or string list")
+	}
+	*t = TypeList(many)
+	return nil
+}
+
+// Additional is the additionalProperties keyword: a boolean or a
+// schema.
+type Additional struct {
+	Allowed bool
+	Schema  *Schema
+}
+
+// UnmarshalJSON accepts `true`, `false`, or a schema object.
+func (a *Additional) UnmarshalJSON(b []byte) error {
+	var allowed bool
+	if err := json.Unmarshal(b, &allowed); err == nil {
+		a.Allowed = allowed
+		return nil
+	}
+	a.Schema = &Schema{}
+	if err := json.Unmarshal(b, a.Schema); err != nil {
+		return fmt.Errorf("additionalProperties must be a boolean or a schema")
+	}
+	a.Allowed = true
+	return nil
+}
+
+// compile recursively prepares the schema (regexps) and rejects
+// unknown type names — a mistyped contract should fail loudly at
+// load, not admit everything at validation.
+func (s *Schema) compile() error {
+	for _, t := range s.Type {
+		switch t {
+		case "object", "array", "string", "number", "integer", "boolean", "null":
+		default:
+			return fmt.Errorf("contract: schema %s: unknown type %q", s.ID, t)
+		}
+	}
+	if s.Pattern != "" {
+		re, err := regexp.Compile(s.Pattern)
+		if err != nil {
+			return fmt.Errorf("contract: schema %s: bad pattern: %w", s.ID, err)
+		}
+		s.pattern = re
+	}
+	for _, sub := range s.Properties {
+		if err := sub.compile(); err != nil {
+			return err
+		}
+	}
+	if s.AdditionalProperties != nil && s.AdditionalProperties.Schema != nil {
+		if err := s.AdditionalProperties.Schema.compile(); err != nil {
+			return err
+		}
+	}
+	if s.Items != nil {
+		return s.Items.compile()
+	}
+	return nil
+}
+
+// Violation is one point where a document breaks its contract.
+type Violation struct {
+	// Path locates the offending value, JSON-pointer style ("/cells/2/fp_rate").
+	Path string
+	// Msg says what the contract wanted.
+	Msg string
+}
+
+func (v Violation) String() string {
+	p := v.Path
+	if p == "" {
+		p = "/"
+	}
+	return p + ": " + v.Msg
+}
+
+// Validate checks a decoded JSON document (the `any` shapes
+// encoding/json produces) against the schema and returns every
+// violation, not just the first.
+func (s *Schema) Validate(doc any) []Violation {
+	var out []Violation
+	s.validate(doc, "", &out)
+	return out
+}
+
+func jsonType(v any) string {
+	switch v.(type) {
+	case nil:
+		return "null"
+	case bool:
+		return "boolean"
+	case float64, json.Number:
+		return "number"
+	case string:
+		return "string"
+	case []any:
+		return "array"
+	case map[string]any:
+		return "object"
+	}
+	return fmt.Sprintf("%T", v)
+}
+
+func number(v any) (float64, bool) {
+	switch n := v.(type) {
+	case float64:
+		return n, true
+	case json.Number:
+		f, err := n.Float64()
+		return f, err == nil
+	}
+	return 0, false
+}
+
+func (s *Schema) validate(v any, path string, out *[]Violation) {
+	add := func(format string, args ...any) {
+		*out = append(*out, Violation{Path: path, Msg: fmt.Sprintf(format, args...)})
+	}
+
+	if len(s.Type) > 0 {
+		got := jsonType(v)
+		ok := false
+		for _, t := range s.Type {
+			if t == got || (t == "integer" && got == "number") {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			add("want type %s, got %s", strings.Join(s.Type, "|"), got)
+			return
+		}
+		if got == "number" && s.Type.only("integer") {
+			if f, _ := number(v); f != math.Trunc(f) {
+				add("want an integer, got %v", f)
+				return
+			}
+		}
+	}
+
+	if len(s.Enum) > 0 {
+		ok := false
+		for _, e := range s.Enum {
+			if scalarEqual(e, v) {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			add("value %v not in enum %v", v, s.Enum)
+		}
+	}
+
+	if f, isNum := number(v); isNum {
+		if s.Minimum != nil && f < *s.Minimum {
+			add("value %v below minimum %v", f, *s.Minimum)
+		}
+		if s.Maximum != nil && f > *s.Maximum {
+			add("value %v above maximum %v", f, *s.Maximum)
+		}
+	}
+
+	if str, ok := v.(string); ok && s.pattern != nil && !s.pattern.MatchString(str) {
+		add("value %q does not match pattern %s", str, s.Pattern)
+	}
+
+	if arr, ok := v.([]any); ok {
+		if s.MinItems != nil && len(arr) < *s.MinItems {
+			add("array has %d items, want at least %d", len(arr), *s.MinItems)
+		}
+		if s.Items != nil {
+			for i, item := range arr {
+				s.Items.validate(item, fmt.Sprintf("%s/%d", path, i), out)
+			}
+		}
+	}
+
+	if obj, ok := v.(map[string]any); ok {
+		for _, req := range s.Required {
+			if _, present := obj[req]; !present {
+				add("missing required field %q", req)
+			}
+		}
+		// Deterministic violation order: sorted keys.
+		keys := make([]string, 0, len(obj))
+		for k := range obj {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			sub, declared := s.Properties[k]
+			switch {
+			case declared:
+				sub.validate(obj[k], path+"/"+k, out)
+			case s.AdditionalProperties == nil:
+				// Undeclared fields allowed.
+			case !s.AdditionalProperties.Allowed:
+				*out = append(*out, Violation{Path: path + "/" + k, Msg: "field not in contract"})
+			case s.AdditionalProperties.Schema != nil:
+				s.AdditionalProperties.Schema.validate(obj[k], path+"/"+k, out)
+			}
+		}
+	}
+}
+
+// only reports whether the type list is exactly {t}, modulo "null".
+func (t TypeList) only(want string) bool {
+	for _, x := range t {
+		if x != want && x != "null" {
+			return false
+		}
+	}
+	return true
+}
+
+// scalarEqual compares enum members against document scalars.
+func scalarEqual(a, b any) bool {
+	if fa, ok := number(a); ok {
+		fb, okb := number(b)
+		return okb && fa == fb
+	}
+	return a == b
+}

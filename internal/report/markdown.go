@@ -1,0 +1,73 @@
+package report
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Markdown renders the quality report in the exemplar benchmark-report
+// style (SNIPPETS.md; the bundle's own report.md): a provenance
+// header, one quality-metrics table over every cell, and a confusion
+// matrix per scheme cell. Pure function of q — the committed
+// reference-1k report is a golden file.
+func Markdown(q *Quality) string {
+	var sb strings.Builder
+	sb.WriteString("# Detector Quality Report\n\n")
+	fmt.Fprintf(&sb, "- Run ID: `%s`\n", q.RunID)
+	fmt.Fprintf(&sb, "- Schema: `%s`\n", q.SchemaVersion)
+	fmt.Fprintf(&sb, "- Generator: `%s`\n", q.Generator)
+	fmt.Fprintf(&sb, "- Bundle created: `%s`\n", q.Source.CreatedAt)
+	fmt.Fprintf(&sb, "- Bundle toolchain: `%s`, commit `%s`\n", q.Source.GoVersion, q.Source.GitCommit)
+	fmt.Fprintf(&sb, "- Injections per cell: `%d`\n", q.Injections)
+	fmt.Fprintf(&sb, "- Cells: `%d`\n", len(q.Cells))
+
+	sb.WriteString("\n## Quality metrics\n\n")
+	sb.WriteString("Coverage is over the baseline cell's would-be-SDC faults; fp-rate is\n")
+	sb.WriteString("the fault-free detector action rate per committed instruction;\n")
+	sb.WriteString("latency is injection to first detector action, in cycles.\n\n")
+	sb.WriteString("| benchmark | scheme | masked | noisy | sdc | detected | coverage | fp-rate | lat p50 | lat p95 | lat max |\n")
+	sb.WriteString("|---|---|---|---|---|---|---|---|---|---|---|\n")
+	for _, c := range q.Cells {
+		cov := "-"
+		if c.Coverage != nil {
+			cov = fmt.Sprintf("%.2f%%", c.Coverage.Coverage*100)
+		}
+		p50, p95, mx := "-", "-", "-"
+		if c.Latency != nil {
+			p50 = fmt.Sprintf("%d", c.Latency.P50)
+			p95 = fmt.Sprintf("%d", c.Latency.P95)
+			mx = fmt.Sprintf("%d", c.Latency.Max)
+		}
+		fmt.Fprintf(&sb, "| %s | %s | %d | %d | %d | %d | %s | %.5f | %s | %s | %s |\n",
+			c.Bench, c.Scheme, c.Outcomes.Masked, c.Outcomes.Noisy, c.Outcomes.SDC,
+			c.Detected, cov, c.FPRate, p50, p95, mx)
+	}
+
+	wroteHeader := false
+	for _, c := range q.Cells {
+		if c.Confusion == nil {
+			continue
+		}
+		if !wroteHeader {
+			sb.WriteString("\n## Confusion vs baseline golden classification\n\n")
+			sb.WriteString("Rows are the baseline cell's outcome for a descriptor, columns the\n")
+			sb.WriteString("scheme cell's outcome for the same descriptor; row sums reproduce the\n")
+			sb.WriteString("baseline classification, column sums the scheme's.\n")
+			wroteHeader = true
+		}
+		fmt.Fprintf(&sb, "\n### %s — %s\n\n", c.Bench, c.Scheme)
+		fmt.Fprintf(&sb, "| baseline \\ %s | masked | noisy | sdc |\n", c.Scheme)
+		sb.WriteString("|---|---|---|---|\n")
+		for _, row := range []struct {
+			name string
+			o    Outcomes
+		}{
+			{"masked", c.Confusion.Masked},
+			{"noisy", c.Confusion.Noisy},
+			{"sdc", c.Confusion.SDC},
+		} {
+			fmt.Fprintf(&sb, "| %s | %d | %d | %d |\n", row.name, row.o.Masked, row.o.Noisy, row.o.SDC)
+		}
+	}
+	return sb.String()
+}

@@ -11,6 +11,7 @@ import (
 	"strings"
 	"time"
 
+	"faulthound/internal/buildinfo"
 	"faulthound/internal/campaign"
 	"faulthound/internal/scheme"
 	"faulthound/internal/wgen"
@@ -35,6 +36,8 @@ var bundleFiles = []string{
 //	GET  /v1/campaigns/{id}         job status
 //	GET  /v1/campaigns/{id}/events  progress stream (JSONL, or SSE via Accept)
 //	GET  /v1/campaigns/{id}/bundle/ bundle file list; append a file name to fetch it
+//	GET  /v1/campaigns/{id}/report  detector-quality report (?format=md for markdown)
+//	GET  /v1/jobs/{id}/report       alias of the campaign report route
 //	GET  /v1/schemes                scheme registry metadata (names, parameters)
 //	GET  /v1/workloads              workload catalogue (benchmarks + generators)
 //	GET  /metrics                   Prometheus text format
@@ -49,6 +52,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/campaigns/{id}/events", s.handleEvents)
 	mux.HandleFunc("GET /v1/campaigns/{id}/bundle/", s.handleBundleIndex)
 	mux.HandleFunc("GET /v1/campaigns/{id}/bundle/{file}", s.handleBundleFile)
+	mux.HandleFunc("GET /v1/campaigns/{id}/report", s.handleReport)
+	mux.HandleFunc("GET /v1/jobs/{id}/report", s.handleReport)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	return mux
@@ -74,6 +79,8 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 		"role":           role,
 		"go":             runtime.Version(),
 		"commit":         s.cfg.GitCommit,
+		"version":        buildinfo.Resolve().Version,
+		"generator":      buildinfo.Generator(),
 		"uptime_seconds": int64(time.Since(s.start).Seconds()),
 	}
 	code := http.StatusOK

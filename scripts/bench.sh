@@ -13,9 +13,15 @@
 #                         injection, and sustained injections/sec.
 #
 # Environment:
-#   OUT        output directory            (default results/bench)
-#   BENCHTIME  go test -benchtime argument (default 1s)
-#   COUNT      go test -count argument     (default 1; use >=5 for benchstat)
+#   OUT              output directory            (default results/bench)
+#   BENCHTIME        go test -benchtime argument (default 1s)
+#   COUNT            go test -count argument     (default 1; use >=5 for benchstat)
+#   BENCH_TOLERANCE  when set, gate the fresh numbers against the
+#                    committed BENCH_simcore.json via `fhreport bench`
+#                    and exit non-zero on a regression beyond this
+#                    relative tolerance (e.g. 0.10)
+#   BENCH_REF        reference file for the gate (default the committed
+#                    results/bench/BENCH_simcore.json)
 set -eu
 
 OUT=${OUT:-results/bench}
@@ -70,3 +76,23 @@ awk '
 echo "wrote $raw"
 echo "wrote $OUT/BENCH_simcore.json:"
 cat "$OUT/BENCH_simcore.json"
+
+# Optional regression gate: with BENCH_TOLERANCE set (e.g. 0.10), the
+# fresh numbers are compared against the committed guard file and the
+# script exits non-zero when a gated throughput metric
+# (injections_per_sec, sim_cycles_per_sec) regresses beyond the
+# tolerance (fhreport bench; docs/CONTRACTS.md). BENCH_REF overrides
+# the reference file.
+if [ -n "${BENCH_TOLERANCE:-}" ]; then
+  ref=${BENCH_REF:-results/bench/BENCH_simcore.json}
+  if [ "$ref" -ef "$OUT/BENCH_simcore.json" ]; then
+    # The run just overwrote the committed guard file in place; gate
+    # against the committed version instead.
+    committed=$(mktemp)
+    trap 'rm -f "$committed"' EXIT
+    git show HEAD:results/bench/BENCH_simcore.json > "$committed"
+    ref=$committed
+  fi
+  echo "gating against $ref (tolerance $BENCH_TOLERANCE)"
+  $GO run ./cmd/fhreport bench -tolerance "$BENCH_TOLERANCE" "$OUT/BENCH_simcore.json" "$ref"
+fi
