@@ -40,8 +40,9 @@ report:
 	$(GO) run ./cmd/fhreport bundle results/campaigns/reference-1k
 
 # The CI release gates, runnable locally: contract validation over
-# every committed artifact, the quality-report drift gate, and the
-# self-diff sanity check (docs/CONTRACTS.md).
+# every committed artifact, the quality-report drift gate, the
+# self-diff sanity check, and the bench-gate positive/negative
+# controls (docs/CONTRACTS.md).
 gates:
 	$(GO) run ./cmd/fhreport validate results/campaigns/reference-1k \
 		results/bench/BENCH_simcore.json \
@@ -51,6 +52,7 @@ gates:
 	cmp /tmp/fh-gate-regen/quality.json results/campaigns/reference-1k/report/quality.json
 	cmp /tmp/fh-gate-regen/quality.md results/campaigns/reference-1k/report/quality.md
 	$(GO) run ./cmd/fhreport diff results/campaigns/reference-1k results/campaigns/reference-1k
+	./scripts/check_bench_gate.sh
 
 # Parallel, resumable fault-injection campaign with an artifact bundle.
 campaign:

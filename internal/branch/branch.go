@@ -30,6 +30,12 @@ type Predictor struct {
 	btb     []btbEntry
 	ras     []uint64
 	rasTop  int
+	// sh folds every mutating interaction (predictions, training,
+	// recoveries) into a running stream tag: two predictors that started
+	// equal and carry equal tags have processed the same sequence and
+	// hold equal tables. The reconvergence digest compares tags instead
+	// of walking the PHT/BTB.
+	sh uint64
 
 	Lookups     uint64
 	Mispredicts uint64
@@ -69,8 +75,34 @@ func (p *Predictor) phtIndex(pc uint64) uint64 {
 	return (pc ^ p.history) & mask
 }
 
+// foldStream mixes one interaction into the stream tag.
+func (p *Predictor) foldStream(x uint64) {
+	p.sh = mix64(x ^ p.sh)
+}
+
+// StreamTag returns the interaction-stream fingerprint.
+func (p *Predictor) StreamTag() uint64 { return p.sh }
+
+// Fold mixes every prediction field (including the unexported recovery
+// state) into h — used by stream and structural hashing outside the
+// package.
+func (pr Prediction) Fold(h uint64) uint64 {
+	h = mix64(h ^ (pr.Target<<1 | b2u(pr.Taken)))
+	h = mix64(h ^ pr.phtIndex)
+	h = mix64(h ^ pr.historyBefore)
+	return h
+}
+
+func mix64(x uint64) uint64 {
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 29
+	return x
+}
+
 // PredictCond predicts a conditional branch at pc.
 func (p *Predictor) PredictCond(pc uint64) Prediction {
+	p.foldStream(pc<<3 | 1)
 	p.Lookups++
 	i := p.phtIndex(pc)
 	taken := p.pht[i] >= 2
@@ -92,6 +124,7 @@ func (p *Predictor) PredictCond(pc uint64) Prediction {
 // PredictJump predicts an unconditional direct or indirect jump at pc.
 // isCall pushes the return address; isRet pops the RAS.
 func (p *Predictor) PredictJump(pc uint64, isCall, isRet bool) Prediction {
+	p.foldStream(pc<<5 | b2u(isCall)<<4 | b2u(isRet)<<3 | 2)
 	p.Lookups++
 	if isCall {
 		p.push(pc + 1)
@@ -123,6 +156,8 @@ func (p *Predictor) push(addr uint64) {
 // previously predicted with pred. mispredicted records statistics and
 // repairs the speculative history bit.
 func (p *Predictor) Update(pc uint64, pred Prediction, taken bool, target uint64, cond bool) {
+	p.foldStream(pc<<3 | 3)
+	p.foldStream(pred.Fold(target<<2 | b2u(taken)<<1 | b2u(cond)))
 	if cond {
 		c := p.pht[pred.phtIndex]
 		if taken && c < 3 {
@@ -145,6 +180,7 @@ func (p *Predictor) Update(pc uint64, pred Prediction, taken bool, target uint64
 // becomes the branch's pre-prediction history plus its resolved
 // outcome. Call after Update.
 func (p *Predictor) RecoverMispredict(pred Prediction, taken bool) {
+	p.foldStream((pred.historyBefore<<1|b2u(taken))<<3 | 4)
 	p.history = pred.historyBefore<<1 | b2u(taken)
 }
 
@@ -153,7 +189,10 @@ func (p *Predictor) History() uint64 { return p.history }
 
 // SetHistory overwrites the global history (full-pipeline rollback
 // restores the architectural history).
-func (p *Predictor) SetHistory(h uint64) { p.history = h }
+func (p *Predictor) SetHistory(h uint64) {
+	p.foldStream(h<<3 | 5)
+	p.history = h
+}
 
 // MispredictRate returns mispredictions per lookup.
 func (p *Predictor) MispredictRate() float64 {

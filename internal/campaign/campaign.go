@@ -122,7 +122,14 @@ func (s Spec) equivalent(o Spec) bool {
 			return false
 		}
 	}
-	return s.Fault == o.Fault
+	// Execution-strategy knobs (checkpoint forking, reconvergence
+	// early-exit) don't change a campaign's results, are excluded from
+	// manifest JSON, and — like Workers — may differ between the
+	// original run and a resume.
+	sf, of := s.Fault, o.Fault
+	sf.CheckpointCycles, of.CheckpointCycles = 0, 0
+	sf.EarlyExit, of.EarlyExit = false, false
+	return sf == of
 }
 
 // CoreFactory builds the deterministic core constructor for one cell.

@@ -116,10 +116,16 @@ func (e *Engine) Resume(ctx context.Context, dir string) (*Outcome, error) {
 		return nil, err
 	}
 	workers := e.Spec.Workers
+	// Execution-strategy knobs are JSON-excluded (zero in the manifest)
+	// and, like Workers, belong to this run rather than the campaign:
+	// keep the caller's settings.
+	ckpt, early := e.Spec.Fault.CheckpointCycles, e.Spec.Fault.EarlyExit
 	e.Spec = man.Spec
 	if workers != 0 {
 		e.Spec.Workers = workers
 	}
+	e.Spec.Fault.CheckpointCycles = ckpt
+	e.Spec.Fault.EarlyExit = early
 	return e.Run(ctx, dir, true)
 }
 

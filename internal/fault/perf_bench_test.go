@@ -91,4 +91,11 @@ func BenchmarkPreparedParallel(b *testing.B) {
 	b.StopTimer()
 	_ = workers
 	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "inj/s")
+	// Acceleration quality ride-alongs, gated next to injections_per_sec
+	// in BENCH_simcore.json: the fraction of runs classified at
+	// reconvergence, and the fraction of pre-injection fast-forward
+	// cycles skipped by checkpoint forking.
+	pf := p.Perf()
+	b.ReportMetric(pf.EarlyExitFrac(), "early-exit-frac")
+	b.ReportMetric(pf.ForkSavedFrac(), "fork-saved-frac")
 }

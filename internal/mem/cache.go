@@ -18,7 +18,23 @@ type Cache struct {
 
 	Hits   uint64
 	Misses uint64
+
+	// Delta-clone support (SetBaseline). base is a frozen cache every
+	// fork origin shares; delta lists the lines where this (frozen)
+	// cache differs from base; journal lists the lines mutated since
+	// the last CloneInto restore. A restore from an origin sharing the
+	// same base then touches |journal|+|delta| lines instead of the
+	// whole tag store — for the L2 that is a few hundred lines versus
+	// half a megabyte. nil base disables all of it.
+	base    *Cache
+	delta   []int32
+	journal []int32
+	jovf    bool // journal overflowed; next CloneInto copies in full
 }
+
+// maxCacheJournal caps the mutation journal: a window that touches more
+// lines than this falls back to a flat copy on the next restore.
+const maxCacheJournal = 4096
 
 // NewCache creates a cache of sizeBytes with the given associativity and
 // line size (both powers of two).
@@ -55,12 +71,13 @@ func (c *Cache) Access(addr uint64) bool {
 	set := int(line % uint64(c.sets))
 	tag := line / uint64(c.sets)
 	c.stamp++
-	base := set * c.ways
-	victim, victimAge := base, c.age[base]
+	first := set * c.ways
+	victim, victimAge := first, c.age[first]
 	for w := 0; w < c.ways; w++ {
-		i := base + w
+		i := first + w
 		if c.valid[i] && c.tags[i] == tag {
 			c.age[i] = c.stamp
+			c.record(i)
 			c.Hits++
 			return true
 		}
@@ -74,7 +91,20 @@ func (c *Cache) Access(addr uint64) bool {
 	c.tags[victim] = tag
 	c.valid[victim] = true
 	c.age[victim] = c.stamp
+	c.record(victim)
 	return false
+}
+
+// record journals a mutated line index for the delta-clone restore.
+func (c *Cache) record(i int) {
+	if c.base == nil {
+		return
+	}
+	if len(c.journal) < maxCacheJournal {
+		c.journal = append(c.journal, int32(i))
+	} else {
+		c.jovf = true
+	}
 }
 
 // Accesses returns the total access count.
@@ -89,24 +119,70 @@ func (c *Cache) MissRate() float64 {
 	return float64(c.Misses) / float64(n)
 }
 
-// Clone returns an independent copy of the cache state.
+// Clone returns an independent copy of the cache state. The copy opts
+// out of the delta-clone machinery: it shares no baseline and journals
+// nothing.
 func (c *Cache) Clone() *Cache {
 	d := *c
 	d.tags = append([]uint64(nil), c.tags...)
 	d.valid = append([]bool(nil), c.valid...)
 	d.age = append([]uint64(nil), c.age...)
+	d.base, d.delta, d.journal, d.jovf = nil, nil, nil, false
 	return &d
+}
+
+// SetBaseline freezes c and registers base as its delta-clone anchor:
+// CloneInto from c can then restore a destination that shares the same
+// anchor by rewriting only the destination's journaled mutations and
+// c's precomputed divergence from the anchor. base must outlive c
+// unmodified; c itself must not be accessed after this call.
+func (c *Cache) SetBaseline(base *Cache) {
+	if len(c.tags) != len(base.tags) {
+		return
+	}
+	c.base = base
+	c.delta = c.delta[:0]
+	for i := range c.tags {
+		if c.tags[i] != base.tags[i] || c.valid[i] != base.valid[i] || c.age[i] != base.age[i] {
+			c.delta = append(c.delta, int32(i))
+		}
+	}
+	c.journal, c.jovf = nil, false
 }
 
 // CloneInto overwrites d with a deep copy of c, reusing d's tag arrays
 // when the geometry matches (the snapshot-arena path; the L2 alone is
-// over half a megabyte of tag state, so reuse matters).
+// over half a megabyte of tag state, so reuse matters). When c carries
+// a baseline (SetBaseline) and d was last restored from an origin with
+// the same baseline, only the lines d mutated since plus c's divergence
+// from the baseline are rewritten — the flat copy is the fallback.
 func (c *Cache) CloneInto(d *Cache) {
-	tags, valid, age := d.tags, d.valid, d.age
+	if b := c.base; b != nil && d.base == b && !d.jovf && len(d.tags) == len(c.tags) {
+		for _, i := range d.journal {
+			d.tags[i], d.valid[i], d.age[i] = b.tags[i], b.valid[i], b.age[i]
+		}
+		for _, i := range c.delta {
+			d.tags[i], d.valid[i], d.age[i] = c.tags[i], c.valid[i], c.age[i]
+		}
+		d.name, d.sets, d.ways, d.lineBits = c.name, c.sets, c.ways, c.lineBits
+		d.stamp, d.Hits, d.Misses = c.stamp, c.Hits, c.Misses
+		d.delta = nil
+		d.journal = append(d.journal[:0], c.delta...)
+		return
+	}
+	tags, valid, age, journal := d.tags, d.valid, d.age, d.journal
 	*d = *c
 	d.tags = append(tags[:0], c.tags...)
 	d.valid = append(valid[:0], c.valid...)
 	d.age = append(age[:0], c.age...)
+	// A flat copy leaves d byte-equal to c, so d's divergence from the
+	// baseline is exactly c's own delta.
+	d.delta = nil
+	d.journal = journal[:0]
+	d.jovf = false
+	if c.base != nil {
+		d.journal = append(d.journal, c.delta...)
+	}
 }
 
 // TLB is a small fully-associative LRU translation buffer, timing-only.
@@ -117,6 +193,12 @@ type TLB struct {
 	valid    []bool
 	age      []uint64
 	stamp    uint64
+	// last is the entry index of the most recent hit. Pages are unique
+	// across valid entries (fills happen only on miss), so when the
+	// next access maps to the same page the full scan provably lands on
+	// the same entry and is skipped. Pure memoization: never compared,
+	// cloned as an ordinary field.
+	last int
 
 	Hits   uint64
 	Misses uint64
@@ -145,10 +227,16 @@ func NewTLB(entries, pageBytes int) *TLB {
 func (t *TLB) Access(addr uint64) bool {
 	page := addr >> t.pageBits
 	t.stamp++
+	if l := t.last; t.valid[l] && t.pages[l] == page {
+		t.age[l] = t.stamp
+		t.Hits++
+		return true
+	}
 	victim, victimAge := 0, t.age[0]
 	for i := 0; i < t.entries; i++ {
 		if t.valid[i] && t.pages[i] == page {
 			t.age[i] = t.stamp
+			t.last = i
 			t.Hits++
 			return true
 		}
@@ -162,6 +250,7 @@ func (t *TLB) Access(addr uint64) bool {
 	t.pages[victim] = page
 	t.valid[victim] = true
 	t.age[victim] = t.stamp
+	t.last = victim
 	return false
 }
 

@@ -54,6 +54,12 @@ type Hierarchy struct {
 	l2   *Cache
 	itlb *TLB
 	dtlb *TLB
+	// sh folds every access (address and direction) into a running
+	// stream tag. Two hierarchies that started equal and carry equal
+	// tags have seen the same access sequence and therefore hold equal
+	// cache/TLB state — the reconvergence digest compares tags instead
+	// of walking tag arrays.
+	sh uint64
 }
 
 // NewHierarchy builds a hierarchy from cfg.
@@ -71,8 +77,21 @@ func NewHierarchy(cfg HierarchyConfig) *Hierarchy {
 // Config returns the hierarchy configuration.
 func (h *Hierarchy) Config() HierarchyConfig { return h.cfg }
 
+// foldStream mixes one access into the stream tag.
+func (h *Hierarchy) foldStream(x uint64) {
+	x ^= h.sh
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 29
+	h.sh = x
+}
+
+// StreamTag returns the access-stream fingerprint.
+func (h *Hierarchy) StreamTag() uint64 { return h.sh }
+
 // AccessI returns the latency of an instruction fetch at addr.
 func (h *Hierarchy) AccessI(addr uint64) int {
+	h.foldStream(addr<<2 | 1)
 	lat := h.cfg.L1ILatency
 	if !h.itlb.Access(addr) {
 		lat += h.cfg.TLBMissCycles
@@ -90,6 +109,11 @@ func (h *Hierarchy) AccessI(addr uint64) int {
 // hit in the L1 D cache (the condition that avoids a conventional load
 // replay).
 func (h *Hierarchy) AccessD(addr uint64, write bool) (latency int, l1Hit bool) {
+	tag := addr << 2
+	if write {
+		tag |= 2
+	}
+	h.foldStream(tag)
 	lat := h.cfg.L1DLatency
 	if !h.dtlb.Access(addr) {
 		lat += h.cfg.TLBMissCycles
@@ -121,6 +145,15 @@ func (h *Hierarchy) Stats() HierarchyStats {
 	}
 }
 
+// SetBaseline freezes h and registers base's L2 as the delta-clone
+// anchor for h's L2 (Cache.SetBaseline). Only the L2 is worth
+// journaling: its tag store is two orders of magnitude larger than the
+// L1s' and sees two orders of magnitude fewer accesses, so a per-run
+// restore rewrites a few hundred lines instead of half a megabyte.
+func (h *Hierarchy) SetBaseline(base *Hierarchy) {
+	h.l2.SetBaseline(base.l2)
+}
+
 // Clone returns an independent deep copy of the hierarchy state.
 func (h *Hierarchy) Clone() *Hierarchy {
 	return &Hierarchy{
@@ -130,6 +163,7 @@ func (h *Hierarchy) Clone() *Hierarchy {
 		l2:   h.l2.Clone(),
 		itlb: h.itlb.Clone(),
 		dtlb: h.dtlb.Clone(),
+		sh:   h.sh,
 	}
 }
 
@@ -137,6 +171,7 @@ func (h *Hierarchy) Clone() *Hierarchy {
 // storage. dst is typically a previous Clone of the same hierarchy.
 func (h *Hierarchy) CloneInto(dst *Hierarchy) {
 	dst.cfg = h.cfg
+	dst.sh = h.sh
 	h.l1i.CloneInto(dst.l1i)
 	h.l1d.CloneInto(dst.l1d)
 	h.l2.CloneInto(dst.l2)

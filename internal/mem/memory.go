@@ -166,6 +166,25 @@ func (m *Memory) Reset() {
 	m.hash = m.parent.hash
 }
 
+// ResetOnto discards every overlay write and re-points the overlay at a
+// new parent, taking the parent's exact contents and hash — Reset plus
+// a rebase. The snapshot arena uses it when consecutive snapshots fork
+// from different golden checkpoints: the dirty map's capacity is kept
+// while the base swaps underneath. It panics on a root memory.
+func (m *Memory) ResetOnto(parent *Memory) {
+	if m.parent == nil {
+		panic("mem: ResetOnto on a non-overlay memory")
+	}
+	clear(m.words)
+	m.parent = parent
+	m.base = parent.base
+	m.size = parent.size
+	m.hash = parent.hash
+}
+
+// Overlaid reports whether m is a copy-on-write overlay (of any base).
+func (m *Memory) Overlaid() bool { return m.parent != nil }
+
 // Hash returns a 64-bit fingerprint of the memory contents for tandem
 // state comparison. It is maintained incrementally, so this is O(1).
 func (m *Memory) Hash() uint64 { return m.hash }

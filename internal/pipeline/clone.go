@@ -37,11 +37,22 @@ type SnapshotArena struct {
 	slab []uop
 	ckpt []physID
 	segs []cloneSeg
+	// uopPool holds dead fetch-time uop chunks recycled from previous
+	// snapshots; the snapshot core's allocator draws from it before
+	// asking the heap.
+	uopPool [][]uop
 }
 
 // NewSnapshotArena returns an empty arena; storage is grown on first
 // use and reused afterwards.
 func NewSnapshotArena() *SnapshotArena { return &SnapshotArena{} }
+
+// SetCloneBaseline registers base's memory hierarchy as the frozen
+// delta-clone anchor for c's (mem.Hierarchy.SetBaseline): an arena
+// snapshot restored from c then rewrites only the L2 lines touched
+// since the destination's last restore instead of the full tag store.
+// Both cores must be frozen fork origins that are never stepped again.
+func (c *Core) SetCloneBaseline(base *Core) { c.hier.SetBaseline(base.hier) }
 
 // cloneSeg records where one thread's ROB and fetch queue landed in the
 // slab, for remapping the queues that alias into them.
@@ -60,10 +71,18 @@ func (c *Core) Snapshot(a *SnapshotArena) *Core {
 		return c.Clone()
 	}
 	var m *mem.Memory
-	if a.dst != nil && a.dst.memory != nil && a.dst.memory.IsOverlayOf(c.memory) {
+	switch {
+	case a.dst != nil && a.dst.memory != nil && a.dst.memory.IsOverlayOf(c.memory):
 		m = a.dst.memory
 		m.Reset()
-	} else {
+	case a.dst != nil && a.dst.memory != nil && a.dst.memory.Overlaid():
+		// The arena's overlay sits on a different base (the previous
+		// snapshot forked from another golden checkpoint, or another
+		// cell's golden core): rebase it instead of reallocating, so
+		// checkpoint-forked snapshots stay allocation-free too.
+		m = a.dst.memory
+		m.ResetOnto(c.memory)
+	default:
 		m = c.memory.Overlay()
 	}
 	return c.cloneWith(m, a)
@@ -119,6 +138,14 @@ func (c *Core) cloneWith(shared *mem.Memory, a *SnapshotArena) *Core {
 		slab = ensureLen(&a.slab, nUops)
 		ckpt = ensureLen(&a.ckpt, nCkpt)
 		segs = ensureLen(&a.segs, len(c.threads))
+		// Recycle the previous run's fetch-time uop chunks: nothing
+		// references them once the queues are rebuilt from the slab
+		// below, and the next run's newUop calls reuse them (cleared on
+		// hand-out) instead of allocating.
+		a.uopPool = append(a.uopPool, d.liveUopChunks...)
+		d.liveUopChunks = d.liveUopChunks[:0]
+		d.uopChunkPool = &a.uopPool
+		d.uopChunk = nil
 	} else {
 		d = &Core{}
 		slab = make([]uop, nUops)
@@ -205,6 +232,13 @@ func (c *Core) cloneWith(shared *mem.Memory, a *SnapshotArena) *Core {
 	}
 	d.iq = remapInto(d.iq, c.iq)
 	d.iqUsed = c.iqUsed
+	d.iqMask = c.iqMask
+	d.iqDisp = c.iqDisp
+	d.iqSched = c.iqSched
+	d.iqReady = c.iqReady
+	d.iqPend = c.iqPend
+	d.rfWait = append(d.rfWait[:0], c.rfWait...)
+	d.rfRef = append(d.rfRef[:0], c.rfRef...)
 	d.inFlight = remapInto(d.inFlight, c.inFlight)
 	d.delayBuf = remapInto(d.delayBuf, c.delayBuf)
 	if c.mshrFree == nil {
@@ -227,6 +261,7 @@ func (c *Core) cloneWith(shared *mem.Memory, a *SnapshotArena) *Core {
 	} else {
 		d.detector = c.detector.Clone()
 	}
+	d.detStream = c.detStream
 	// Observation hooks never carry over: the fault runner installs its
 	// own per-run hooks on the copy.
 	d.probe = nil
@@ -241,6 +276,8 @@ func (c *Core) cloneWith(shared *mem.Memory, a *SnapshotArena) *Core {
 	d.issueScratch = d.issueScratch[:0]
 	d.doneScratch = d.doneScratch[:0]
 	d.replayScratch = d.replayScratch[:0]
+	// Conservative: the copy has no gather memo to inherit.
+	d.schedClean = false
 
 	if cap(d.threads) < len(c.threads) {
 		d.threads = make([]*threadState, 0, len(c.threads))

@@ -52,6 +52,7 @@ func (c *Core) commitOne(t *threadState) bool {
 	if !u.inst.IsAtomic() && c.cycle < u.completeAt+uint64(c.cfg.CommitDelay) {
 		return false
 	}
+	c.schedTouch() // retiring frees registers and can expose an atomic at the ROB head
 
 	if u.excepted {
 		// Precise exception at commit: the paper's "noisy" outcome.
@@ -100,6 +101,7 @@ func (c *Core) retire(t *threadState, u *uop) {
 		// the wrong physical register — the post-commit corruption the
 		// paper notes is unrecoverable (Section 5.5).
 		c.rf.free(u.oldDst)
+		c.schedWake(u.oldDst)
 		t.aRAT[u.inst.Rd] = u.dst
 		t.writtenRegs |= 1 << u.inst.Rd
 	}
@@ -168,9 +170,9 @@ func (c *Core) checkCommit(u *uop) detect.Action {
 	if t := c.threads[u.thread]; t.committed+1 <= t.exemptUntil {
 		return detect.None // deemed final (rollback re-execution)
 	}
-	act := c.detector.OnCommit(loadOrStoreAddrEvent(u))
+	act := c.detOnCommit(loadOrStoreAddrEvent(u))
 	if u.isStore() {
-		if a := c.detector.OnCommit(storeValueEvent(u)); a > act {
+		if a := c.detOnCommit(storeValueEvent(u)); a > act {
 			act = a
 		}
 	}

@@ -132,6 +132,11 @@ func (c Config) Validate() error {
 	if c.IQSize < 4 || c.ROBPerThread < 4 || c.LSQPerThread < 2 {
 		return &ConfigError{"queues too small"}
 	}
+	// The scheduler mirrors IQ occupancy in single-word bitmasks
+	// (Core.iqMask/iqDisp); the paper's machine uses 40 entries.
+	if c.IQSize > 64 {
+		return &ConfigError{"IQSize above 64 unsupported"}
+	}
 	return nil
 }
 

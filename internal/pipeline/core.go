@@ -2,6 +2,7 @@ package pipeline
 
 import (
 	"fmt"
+	"math/bits"
 
 	"faulthound/internal/branch"
 	"faulthound/internal/detect"
@@ -43,6 +44,10 @@ type threadState struct {
 	archHistory uint64
 	// fetchBlockedUntil implements the rollback redirect penalty.
 	fetchBlockedUntil uint64
+	// schedMinStore is per-gather scratch (see issue): the seq of the
+	// thread's oldest incomplete store/atomic, recomputed before every
+	// IQ scan and read by olderStoresDone. Never cloned or folded.
+	schedMinStore uint64
 	// exemptUntil is an absolute committed-instruction position: the
 	// re-executions of instructions that will commit at or before it
 	// are deemed final (Section 2.1: "values re-computed by rollbacks
@@ -65,6 +70,35 @@ type Core struct {
 	rf      *regFile
 	iq      []*uop // nil entries are free
 	iqUsed  int
+	// iqMask/iqDisp mirror iq as occupancy bitmasks (IQSize <= 64,
+	// enforced by Config.validate): iqMask has a bit per occupied slot,
+	// iqDisp the subset whose uop is in stDispatched. Insert/remove
+	// become O(1) and the issue gather walks set bits instead of
+	// scanning every slot for state.
+	iqMask uint64
+	iqDisp uint64
+	// iqSched[i] caches the scheduler-relevant fields of iq[i] — all
+	// immutable for the uop's IQ residency — in one compact record, so
+	// the per-cycle gather reads 16 hot bytes per waiting entry instead
+	// of chasing the 200+-byte uop. Written by iqInsert, copied
+	// wholesale on clone, never folded into digests (derivable from
+	// iq).
+	iqSched [64]iqSchedEnt
+	// Event-driven wakeup state: the gather no longer polls ready
+	// bits for every waiting entry every cycle. iqReady holds the
+	// slots whose renamed sources are all ready, maintained at the
+	// points where readiness changes (schedRegister/schedWake/
+	// schedAllocated/rebuildSched); iqPend counts each slot's
+	// outstanding distinct sources; rfWait maps a physical register
+	// to the slots waiting on it; rfRef counts source references from
+	// live IQ slots so a register allocation can detect the
+	// corrupted-RAT hazard in O(1). All of it is derivable from
+	// (iqMask, iqSched, rf.ready) — copied on clone, never folded
+	// into digests.
+	iqReady uint64
+	iqPend  [64]uint8
+	rfWait  []uint64
+	rfRef   []uint8
 
 	inFlight []*uop // issued, waiting for completeAt
 	delayBuf []*uop // completed instructions eligible for replay
@@ -76,8 +110,16 @@ type Core struct {
 	hier   *mem.Hierarchy
 
 	detector detect.Detector
-	probe    func(detect.Event)
-	tracer   Tracer
+	// detStream folds every detector interaction (completion/commit
+	// checks with their full events, learn-only transitions) into a
+	// running stream tag: two cores that started from the same snapshot
+	// and carry equal tags have driven their detectors identically, so
+	// the detectors hold equal internal state. The reconvergence digest
+	// compares this one word instead of the detector's filter tables.
+	// Stays zero for a detector-less baseline.
+	detStream uint64
+	probe     func(detect.Event)
+	tracer    Tracer
 	// commitHook is called after every retirement with the thread id
 	// and its new committed count (fault-injection state comparison).
 	commitHook func(tid int, count uint64)
@@ -99,6 +141,16 @@ type Core struct {
 	doneScratch   []*uop
 	replayScratch []*uop
 
+	// schedClean memoizes an empty issue gather: it is true only when
+	// the previous gather found no issuable candidate AND no event
+	// since could have created one (IQ membership change, a uop
+	// returning to dispatched, a ready-bit or store-completion change,
+	// a commit unblocking an atomic, or a fault flip). Pure
+	// memoization: it skips rescanning a provably-unchanged issue
+	// queue in stalled cycles and never alters which uops issue, so it
+	// is scratch state — never cloned, never folded into digests.
+	schedClean bool
+
 	// Chunked allocators for fetch-time uops and dispatch-time RAT
 	// checkpoints: carving from a chunk replaces one heap allocation
 	// per uop with one per chunk. Slots are handed out exactly once
@@ -108,6 +160,14 @@ type Core struct {
 	// clone starts with its own (possibly leftover) chunk.
 	uopChunk  []uop
 	ckptChunk []physID
+
+	// Arena chunk recycling (snapshot cores only; nil elsewhere):
+	// uopChunkPool points at the owning arena's free pool, and
+	// liveUopChunks records every chunk handed out since the last
+	// snapshot so cloneWith can return them — the previous run's uops
+	// are unreachable once the queues are rebuilt from the slab.
+	uopChunkPool  *[][]uop
+	liveUopChunks [][]uop
 
 	stats Stats
 }
@@ -119,7 +179,17 @@ const uopChunkSize = 256
 // newUop returns a zeroed uop from the chunk allocator.
 func (c *Core) newUop() *uop {
 	if len(c.uopChunk) == 0 {
-		c.uopChunk = make([]uop, uopChunkSize)
+		if p := c.uopChunkPool; p != nil && len(*p) > 0 {
+			ch := (*p)[len(*p)-1]
+			*p = (*p)[:len(*p)-1]
+			clear(ch)
+			c.uopChunk = ch
+		} else {
+			c.uopChunk = make([]uop, uopChunkSize)
+		}
+		if c.uopChunkPool != nil {
+			c.liveUopChunks = append(c.liveUopChunks, c.uopChunk)
+		}
 	}
 	u := &c.uopChunk[0]
 	c.uopChunk = c.uopChunk[1:]
@@ -182,6 +252,8 @@ func NewShared(cfg Config, programs []*prog.Program, detector detect.Detector, s
 		cfg:      cfg,
 		rf:       newRegFile(cfg.IntPhysRegs, cfg.FPPhysRegs),
 		iq:       make([]*uop, cfg.IQSize),
+		rfWait:   make([]uint64, cfg.IntPhysRegs+cfg.FPPhysRegs),
+		rfRef:    make([]uint8, cfg.IntPhysRegs+cfg.FPPhysRegs),
 		memory:   shared,
 		hier:     mem.NewHierarchy(cfg.Hierarchy),
 		detector: detector,
@@ -243,6 +315,48 @@ func (c *Core) DetectorStats() detect.Stats {
 		return detect.Stats{}
 	}
 	return c.detector.Stats()
+}
+
+// mixDet finalizes one word of the detector stream tag.
+func mixDet(x uint64) uint64 {
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 29
+	return x
+}
+
+// foldDet mixes one word into the detector-interaction stream tag.
+func (c *Core) foldDet(x uint64) { c.detStream = mixDet(x ^ c.detStream) }
+
+// detOnComplete routes a completion-check event to the detector,
+// folding the full event into the stream tag. Caller guarantees
+// c.detector != nil.
+func (c *Core) detOnComplete(ev detect.Event) detect.Action {
+	c.foldDet(ev.PC<<8 | uint64(ev.Kind)<<5 | uint64(ev.Thread)<<1 | 1)
+	c.foldDet(ev.Value)
+	return c.detector.OnComplete(ev)
+}
+
+// detOnCommit routes a commit-check event to the detector, folding the
+// full event into the stream tag. Caller guarantees c.detector != nil.
+func (c *Core) detOnCommit(ev detect.Event) detect.Action {
+	c.foldDet(ev.PC<<8 | uint64(ev.Kind)<<5 | uint64(ev.Thread)<<1 | 2)
+	c.foldDet(ev.Value)
+	return c.detector.OnCommit(ev)
+}
+
+// detSetLearnOnly flips the detector's learn-only mode, folding the
+// transition into the stream tag. No-op for a detector-less baseline.
+func (c *Core) detSetLearnOnly(v bool) {
+	if c.detector == nil {
+		return
+	}
+	x := uint64(4)
+	if v {
+		x |= 1
+	}
+	c.foldDet(x)
+	c.detector.SetLearnOnly(v)
 }
 
 // Cycle returns the current cycle number.
@@ -337,11 +451,11 @@ func (c *Core) WarmDetector(n uint64) {
 		switch in.Op {
 		case isa.LD:
 			addr := it.Regs[in.Rs1] + uint64(int64(in.Imm))
-			c.detector.OnComplete(detect.Event{Kind: detect.LoadAddr, Value: addr, PC: pc})
+			c.detOnComplete(detect.Event{Kind: detect.LoadAddr, Value: addr, PC: pc})
 		case isa.ST:
 			addr := it.Regs[in.Rs1] + uint64(int64(in.Imm))
-			c.detector.OnComplete(detect.Event{Kind: detect.StoreAddr, Value: addr, PC: pc})
-			c.detector.OnComplete(detect.Event{Kind: detect.StoreValue, Value: it.Regs[in.Rs2], PC: pc})
+			c.detOnComplete(detect.Event{Kind: detect.StoreAddr, Value: addr, PC: pc})
+			c.detOnComplete(detect.Event{Kind: detect.StoreValue, Value: it.Regs[in.Rs2], PC: pc})
 		}
 	}
 }
@@ -441,17 +555,18 @@ func (c *Core) fetchThread(t *threadState) {
 			return
 		}
 		in := t.prog.Code[t.pc]
+		// newUop hands out zeroed entries (fresh or cleared chunks), so
+		// only the non-zero fields need writes — a full struct literal
+		// would re-zero all 200+ bytes per fetched instruction.
 		u := c.newUop()
-		*u = uop{
-			seq:      c.nextSeq(),
-			thread:   t.id,
-			pc:       t.pc,
-			inst:     in,
-			dst:      physNone,
-			oldDst:   physNone,
-			lsqIndex: -1,
-			readyAt:  readyAt,
-		}
+		u.seq = c.nextSeq()
+		u.thread = t.id
+		u.pc = t.pc
+		u.inst = in
+		u.dst = physNone
+		u.oldDst = physNone
+		u.lsqIndex = -1
+		u.readyAt = readyAt
 		c.stats.Fetched++
 
 		nextPC := t.pc + 1
@@ -546,6 +661,7 @@ func (c *Core) dispatchOne(t *threadState, u *uop) bool {
 			c.stats.RegFullStalls++
 			return false
 		}
+		c.schedAllocated(p)
 		u.dst = p
 		u.oldDst = t.rat[u.inst.Rd]
 		t.rat[u.inst.Rd] = p
@@ -575,17 +691,44 @@ func (c *Core) dispatchOne(t *threadState, u *uop) bool {
 	return true
 }
 
-// iqInsert places u into a free IQ slot.
+// schedTouch invalidates the empty-gather memo (see schedClean).
+func (c *Core) schedTouch() { c.schedClean = false }
+
+// iqSchedEnt is the issue gather's compact view of one IQ entry; see
+// Core.iqSched.
+type iqSchedEnt struct {
+	seq    uint64
+	src0   physID
+	src1   physID
+	nsrc   uint8
+	thread uint8
+	load   bool
+	atomic bool
+}
+
+// iqInsert places u into the lowest free IQ slot.
 func (c *Core) iqInsert(u *uop) {
-	for i, e := range c.iq {
-		if e == nil {
-			c.iq[i] = u
-			u.inIQ = true
-			c.iqUsed++
-			return
-		}
+	c.schedTouch()
+	i := bits.TrailingZeros64(^c.iqMask)
+	if i >= len(c.iq) {
+		panic("pipeline: iqInsert with no free slot")
 	}
-	panic("pipeline: iqInsert with no free slot")
+	c.iq[i] = u
+	c.iqMask |= 1 << uint(i)
+	c.iqDisp |= 1 << uint(i) // dispatchOne inserts in stDispatched
+	c.iqSched[i] = iqSchedEnt{
+		seq:    u.seq,
+		src0:   u.src[0],
+		src1:   u.src[1],
+		nsrc:   uint8(u.nsrc),
+		thread: uint8(u.thread),
+		load:   u.isLoad(),
+		atomic: u.inst.IsAtomic(),
+	}
+	u.inIQ = true
+	u.iqSlot = int8(i)
+	c.iqUsed++
+	c.schedRegister(i)
 }
 
 // iqRemove frees u's IQ slot.
@@ -593,15 +736,115 @@ func (c *Core) iqRemove(u *uop) {
 	if !u.inIQ {
 		return
 	}
-	for i, e := range c.iq {
-		if e == u {
-			c.iq[i] = nil
-			c.iqUsed--
-			u.inIQ = false
-			return
+	c.schedTouch()
+	i := uint(u.iqSlot)
+	c.schedDeregister(int(i))
+	c.iq[i] = nil
+	c.iqMask &^= 1 << i
+	c.iqDisp &^= 1 << i
+	c.iqUsed--
+	u.inIQ = false
+}
+
+// schedRegister records slot i's wakeup state under the current ready
+// bits: each distinct not-ready source counts in iqPend and enrolls
+// the slot in rfWait; a slot with none is immediately issue-ready.
+// rfRef counts every source reference of a live slot — ready or not —
+// so schedAllocated can detect in O(1) that some slot's cached
+// readiness might mention a just-allocated register.
+func (c *Core) schedRegister(i int) {
+	e := &c.iqSched[i]
+	bit := uint64(1) << uint(i)
+	pend := uint8(0)
+	ready := c.rf.ready
+	if e.nsrc >= 1 {
+		c.rfRef[e.src0]++
+		if !ready[e.src0] {
+			c.rfWait[e.src0] |= bit
+			pend++
 		}
 	}
-	u.inIQ = false
+	if e.nsrc >= 2 {
+		c.rfRef[e.src1]++
+		if e.src1 != e.src0 && !ready[e.src1] {
+			c.rfWait[e.src1] |= bit
+			pend++
+		}
+	}
+	c.iqPend[i] = pend
+	if pend == 0 {
+		c.iqReady |= bit
+	} else {
+		c.iqReady &^= bit
+	}
+}
+
+// schedDeregister erases slot i's wakeup state (unconditional bit
+// clears: a source whose wakeup was already consumed simply has no
+// bit to clear).
+func (c *Core) schedDeregister(i int) {
+	e := &c.iqSched[i]
+	bit := uint64(1) << uint(i)
+	if e.nsrc >= 1 {
+		c.rfRef[e.src0]--
+		c.rfWait[e.src0] &^= bit
+	}
+	if e.nsrc >= 2 {
+		c.rfRef[e.src1]--
+		c.rfWait[e.src1] &^= bit
+	}
+	c.iqReady &^= bit
+}
+
+// schedWake consumes p turning ready: every slot waiting on p drops
+// one pending source and becomes issue-ready at zero. Callers pass
+// physNone freely (writes and frees of no-destination uops).
+func (c *Core) schedWake(p physID) {
+	if int(p) >= len(c.rfWait) {
+		return
+	}
+	for m := c.rfWait[p]; m != 0; m &= m - 1 {
+		i := bits.TrailingZeros64(m)
+		if c.iqPend[i]--; c.iqPend[i] == 0 {
+			c.iqReady |= 1 << uint(i)
+		}
+	}
+	c.rfWait[p] = 0
+}
+
+// schedAllocated handles the one ready->false transition the wakeup
+// bookkeeping cannot see coming: allocating p clears its ready bit,
+// invalidating any slot that cached p as ready. Fault-free this never
+// happens — rename reads only live mappings, and a live register is
+// not freed while a consumer sits in the IQ — so rfRef[p] is zero and
+// this is a single branch. A corrupted rename table (FlipRATBit) can
+// make a waiting uop source a free register; the fix-up re-derives
+// the registration of every live slot referencing p so the cached
+// readiness stays exact even then.
+func (c *Core) schedAllocated(p physID) {
+	if c.rfRef[p] == 0 {
+		return
+	}
+	for m := c.iqMask; m != 0; m &= m - 1 {
+		i := bits.TrailingZeros64(m)
+		e := &c.iqSched[i]
+		if (e.nsrc >= 1 && e.src0 == p) || (e.nsrc >= 2 && e.src1 == p) {
+			c.schedDeregister(i)
+			c.schedRegister(i)
+		}
+	}
+}
+
+// rebuildSched rebuilds the wakeup state from scratch — used after a
+// predecessor replay marks completed destinations not-ready again,
+// the one event that flips ready bits under already-registered slots.
+func (c *Core) rebuildSched() {
+	clear(c.rfWait)
+	clear(c.rfRef)
+	c.iqReady = 0
+	for m := c.iqMask; m != 0; m &= m - 1 {
+		c.schedRegister(bits.TrailingZeros64(m))
+	}
 }
 
 // evictFromDelayBuffer frees an IQ slot occupied by a completed

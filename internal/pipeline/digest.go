@@ -1,0 +1,258 @@
+package pipeline
+
+import "math"
+
+// StateDigest is a reconvergence fingerprint of one core at one cycle.
+// The fault runner captures digests of the golden trace at a fixed
+// cadence during Prepare; after an injection it compares the faulty
+// clone against the digest for the same cycle and, on a match, declares
+// the fault masked without simulating the rest of the window
+// (divergence-bounded replay).
+//
+// A match is an equality proof in three stages, cheapest-to-fail
+// first:
+//
+//  1. Stream scalars: cycle, the global seq counter, the detector
+//     interaction stream, the O(1) memory hash, and the cache
+//     hierarchy's access-stream tag. Any divergence in control flow,
+//     memory contents, or detector behavior lands here within a few
+//     word compares.
+//  2. The physical register file, element by element against a full
+//     copy of the golden values. A mismatched register is tolerated
+//     only when it is provably dead in the current core: on a free
+//     list and referenced by no RAT, architectural RAT, in-flight uop
+//     operand, or RAT checkpoint. A dead register is overwritten at
+//     its next allocation before any read can reach it, so its value
+//     cannot influence future behavior (and the architectural hash
+//     reads only aRAT-mapped registers, so it cannot leak into the
+//     final comparison either).
+//  3. A structural fold of everything else: per-thread scalars and
+//     rename tables, every in-flight uop's full contents, the
+//     positional IQ/LSQ/delay-buffer/executing-set ordering, free
+//     lists, ready bits, and MSHR timing.
+//
+// Stages 1 and 3 are hash compares, so a match is "equal with
+// overwhelming probability" rather than a bitwise proof — the same
+// standing as the ArchHash comparison the classifier already rests on.
+type StateDigest struct {
+	Cycle     uint64
+	Seq       uint64
+	DetStream uint64
+	MemHash   uint64
+	HierTag   uint64
+	// Regs is a full copy of the physical register file values, kept
+	// elementwise so MatchesDigest can apply the dead-register
+	// allowance instead of failing on a hash of the whole file.
+	Regs       []uint64
+	StructHash uint64
+}
+
+// CaptureDigest records the core's digest at the current cycle. It
+// allocates (the register-file copy) and is meant for the golden trace
+// during Prepare, not for per-injection hot paths.
+func (c *Core) CaptureDigest() StateDigest {
+	return StateDigest{
+		Cycle:      c.cycle,
+		Seq:        c.seq,
+		DetStream:  c.detStream,
+		MemHash:    c.memory.Hash(),
+		HierTag:    c.hier.StreamTag(),
+		Regs:       append([]uint64(nil), c.rf.val...),
+		StructHash: c.structFold(),
+	}
+}
+
+// MatchesDigest reports whether the core's state at the current cycle
+// provably matches d (see StateDigest). It allocates nothing.
+func (c *Core) MatchesDigest(d *StateDigest) bool {
+	if c.cycle != d.Cycle || c.seq != d.Seq || c.detStream != d.DetStream ||
+		c.memory.Hash() != d.MemHash || c.hier.StreamTag() != d.HierTag {
+		return false
+	}
+	if len(c.rf.val) != len(d.Regs) {
+		return false
+	}
+	for p, v := range c.rf.val {
+		if v != d.Regs[p] && !c.regProvablyDead(physID(p)) {
+			return false
+		}
+	}
+	return c.structFold() == d.StructHash
+}
+
+// regProvablyDead reports whether physical register p is free and
+// referenced by nothing that could read it before its next allocation
+// rewrites it. Called only for a value mismatch, so the O(free+rob)
+// scans run a handful of times per digest check at most.
+func (c *Core) regProvablyDead(p physID) bool {
+	free := false
+	for _, f := range c.rf.freeInt {
+		if f == p {
+			free = true
+			break
+		}
+	}
+	if !free {
+		for _, f := range c.rf.freeFP {
+			if f == p {
+				free = true
+				break
+			}
+		}
+	}
+	if !free {
+		return false
+	}
+	refs := func(u *uop) bool {
+		if u.dst == p || u.oldDst == p {
+			return true
+		}
+		for i := 0; i < u.nsrc; i++ {
+			if u.src[i] == p {
+				return true
+			}
+		}
+		for _, q := range u.ratCkpt {
+			if q == p {
+				return true
+			}
+		}
+		return false
+	}
+	for _, t := range c.threads {
+		for _, q := range t.rat {
+			if q == p {
+				return false
+			}
+		}
+		for _, q := range t.aRAT {
+			if q == p {
+				return false
+			}
+		}
+		for _, u := range t.rob {
+			if refs(u) {
+				return false
+			}
+		}
+		for _, u := range t.fetchQ {
+			if refs(u) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// structFold hashes every piece of core state not covered by the
+// digest's scalar and register-file stages: thread scalars, rename
+// tables, in-flight uop contents, queue orderings, free lists, ready
+// bits, and MSHR/stall/shadow bookkeeping.
+func (c *Core) structFold() uint64 {
+	h := uint64(0x5f4bf2c7a9d3e681)
+	fold := func(x uint64) {
+		h = mixDet(x ^ h)
+	}
+	foldBool := func(b bool) {
+		if b {
+			fold(3)
+		} else {
+			fold(5)
+		}
+	}
+	foldUop := func(u *uop) {
+		fold(u.seq)
+		fold(uint64(u.thread)<<32 | uint64(u.state)<<24 | uint64(uint8(u.nsrc))<<16 | uint64(uint8(u.lsqIndex&0xff))<<8)
+		fold(u.pc)
+		fold(uint64(u.dst)<<32 | uint64(u.oldDst)<<16 | uint64(u.src[0]))
+		fold(uint64(u.src[1]))
+		h = u.pred.Fold(h)
+		fold(u.predPC)
+		var flags uint64
+		for i, b := range [...]bool{u.isCall, u.isRet, u.excepted, u.taken,
+			u.rmwDone, u.inDelayBuf, u.replaying, u.replayed, u.shadow, u.halt, u.inIQ} {
+			if b {
+				flags |= 1 << i
+			}
+		}
+		fold(flags)
+		fold(u.result)
+		fold(u.effAddr)
+		fold(u.storeVal)
+		fold(u.target)
+		fold(u.readyAt)
+		fold(u.completeAt)
+		for _, q := range u.ratCkpt {
+			fold(uint64(q))
+		}
+		fold(uint64(len(u.ratCkpt)))
+	}
+
+	for _, t := range c.threads {
+		fold(t.pc)
+		fold(t.aPC)
+		fold(t.committed)
+		fold(t.writtenRegs)
+		fold(t.archHistory)
+		fold(t.exemptUntil)
+		fold(t.fetchBlockedUntil)
+		fold(t.pred.StreamTag())
+		foldBool(t.halted)
+		foldBool(t.fetchStopped)
+		foldBool(t.excepted)
+		for _, q := range t.rat {
+			fold(uint64(q))
+		}
+		for _, q := range t.aRAT {
+			fold(uint64(q))
+		}
+		fold(uint64(len(t.fetchQ)))
+		for _, u := range t.fetchQ {
+			foldUop(u)
+		}
+		fold(uint64(len(t.rob)))
+		for _, u := range t.rob {
+			foldUop(u)
+		}
+		// LSQ/IQ/delay-buffer/executing-set entries alias ROB uops whose
+		// contents are folded above; here only membership and order
+		// matter, keyed by the globally unique seq.
+		fold(uint64(len(t.lsq)))
+		for _, u := range t.lsq {
+			fold(u.seq)
+		}
+	}
+	fold(uint64(c.iqUsed))
+	for i, u := range c.iq {
+		if u != nil {
+			fold(uint64(i)<<32 ^ u.seq)
+		}
+	}
+	fold(uint64(len(c.inFlight)))
+	for _, u := range c.inFlight {
+		fold(u.seq)
+	}
+	fold(uint64(len(c.delayBuf)))
+	for _, u := range c.delayBuf {
+		fold(u.seq)
+	}
+	for _, r := range c.rf.ready {
+		foldBool(r)
+	}
+	fold(uint64(len(c.rf.freeInt)))
+	for _, q := range c.rf.freeInt {
+		fold(uint64(q))
+	}
+	fold(uint64(len(c.rf.freeFP)))
+	for _, q := range c.rf.freeFP {
+		fold(uint64(q))
+	}
+	fold(uint64(len(c.mshrFree)))
+	for _, v := range c.mshrFree {
+		fold(v)
+	}
+	fold(uint64(c.replayPending)<<32 | uint64(uint32(c.commitStall)))
+	fold(uint64(c.shadowPending))
+	fold(math.Float64bits(c.shadowAcc))
+	return h
+}

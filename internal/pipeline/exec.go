@@ -1,6 +1,8 @@
 package pipeline
 
 import (
+	"math/bits"
+
 	"faulthound/internal/detect"
 	"faulthound/internal/isa"
 )
@@ -25,27 +27,52 @@ func sortBySeq(us []*uop) {
 // reads their operands, executes them functionally, and schedules their
 // completion. Leftover issue slots drain pending SRT-iso shadow ops.
 func (c *Core) issue() {
-	// Gather ready candidates from the IQ in age order.
+	// Gather ready candidates from the IQ in age order — unless the
+	// previous gather came up empty and nothing since could have
+	// created a candidate (schedClean), in which case the scan would
+	// provably find nothing and is skipped. The stalled cycles of a
+	// long cache miss reduce to this no-op.
 	cand := c.issueScratch[:0]
-	for _, u := range c.iq {
-		if u == nil || u.state != stDispatched {
-			continue
-		}
-		if !c.srcsReady(u) {
-			continue
-		}
-		if u.isLoad() && !c.olderStoresDone(u) {
-			continue
-		}
-		// Atomics execute non-speculatively: only at the head of their
-		// thread's ROB (everything older has committed).
-		if u.inst.IsAtomic() {
-			rob := c.threads[u.thread].rob
-			if len(rob) == 0 || rob[0] != u {
-				continue
+	if !c.schedClean {
+		// Memoize each thread's oldest incomplete store/atomic once per
+		// cycle: the LSQ is seq-ascending, so the per-load
+		// olderStoresDone scan collapses to one compare against it.
+		for _, t := range c.threads {
+			t.schedMinStore = ^uint64(0)
+			for _, s := range t.lsq {
+				if (s.isStore() || s.inst.IsAtomic()) && s.state != stCompleted && s.state != stCommitted {
+					t.schedMinStore = s.seq
+					break
+				}
 			}
 		}
-		cand = append(cand, u)
+		// Source readiness is event-driven (iqReady, maintained by
+		// schedWake and friends): entries stalled on a long-latency
+		// producer cost nothing here, cycle after cycle. Only the
+		// per-cycle conditions — store ordering and ROB-head atomics
+		// — are tested in the loop.
+		for m := c.iqDisp & c.iqReady; m != 0; m &= m - 1 {
+			i := bits.TrailingZeros64(m)
+			e := &c.iqSched[i]
+			// Loads wait for every older same-thread store to have
+			// computed its address and value (no memory-order
+			// speculation): one compare against the per-thread memo.
+			// seq == schedMinStore only when the entry is that
+			// store/atomic itself.
+			if e.load && c.threads[e.thread].schedMinStore < e.seq {
+				continue
+			}
+			// Atomics execute non-speculatively: only at the head of their
+			// thread's ROB (everything older has committed).
+			if e.atomic {
+				rob := c.threads[e.thread].rob
+				if len(rob) == 0 || rob[0] != c.iq[i] {
+					continue
+				}
+			}
+			cand = append(cand, c.iq[i])
+		}
+		c.schedClean = len(cand) == 0
 	}
 	c.issueScratch = cand
 	sortBySeq(cand)
@@ -108,36 +135,11 @@ func (c *Core) issue() {
 	}
 }
 
-// srcsReady reports whether all of u's source registers hold final or
-// bypassed values.
-func (c *Core) srcsReady(u *uop) bool {
-	for i := 0; i < u.nsrc; i++ {
-		if !c.rf.ready[u.src[i]] {
-			return false
-		}
-	}
-	return true
-}
-
-// olderStoresDone reports whether every older same-thread store has
-// computed its address and value, the conservative condition under
-// which a load may issue (no memory-order speculation).
-func (c *Core) olderStoresDone(u *uop) bool {
-	for _, s := range c.threads[u.thread].lsq {
-		if s.seq >= u.seq {
-			break
-		}
-		if (s.isStore() || s.inst.IsAtomic()) && s.state != stCompleted && s.state != stCommitted {
-			return false
-		}
-	}
-	return true
-}
-
 // issueOne reads operands, executes u functionally, and schedules its
 // completion.
 func (c *Core) issueOne(u *uop) {
 	u.state = stIssued
+	c.iqDisp &^= 1 << uint(u.iqSlot)
 	c.stats.Issued++
 	c.trace(TraceIssue, u, "")
 	c.stats.IssuedByClass[u.fuClass()]++
@@ -293,12 +295,14 @@ func (c *Core) complete() {
 }
 
 func (c *Core) completeOne(u *uop) {
+	c.schedTouch() // a write can wake a consumer; a store completion can unblock a load
 	u.state = stCompleted
 	c.stats.Completed++
 	c.trace(TraceComplete, u, "")
 
 	if u.dst != physNone {
 		c.rf.write(u.dst, u.result)
+		c.schedWake(u.dst)
 		c.stats.RegWrites++
 	}
 
@@ -309,8 +313,8 @@ func (c *Core) completeOne(u *uop) {
 		u.replayed = true
 		c.stats.ReplayedUops++
 		c.replayPending--
-		if c.replayPending == 0 && c.detector != nil {
-			c.detector.SetLearnOnly(false)
+		if c.replayPending == 0 {
+			c.detSetLearnOnly(false)
 		}
 	}
 
@@ -327,10 +331,10 @@ func (c *Core) completeOne(u *uop) {
 	if u.isMem() && !u.excepted {
 		if u.replayed || c.isExempt(u) {
 			if c.detector != nil {
-				c.detector.SetLearnOnly(true)
+				c.detSetLearnOnly(true)
 				c.checkComplete(u)
 				if c.replayPending == 0 {
-					c.detector.SetLearnOnly(false)
+					c.detSetLearnOnly(false)
 				}
 			}
 		} else if act := c.checkComplete(u); act != detect.None {
@@ -432,7 +436,7 @@ func (c *Core) checkCompleteEvent(ev detect.Event) detect.Action {
 	if c.detector == nil {
 		return detect.None
 	}
-	return c.detector.OnComplete(ev)
+	return c.detOnComplete(ev)
 }
 
 // loadOrStoreAddrEvent and storeValueEvent build the checked-operand
@@ -459,6 +463,7 @@ func (c *Core) triggerReplay(trigger *uop) {
 	if c.replayPending > 0 {
 		return
 	}
+	c.schedTouch() // replayed uops return to dispatched
 	marked := append(append(c.replayScratch[:0], c.delayBuf...), trigger)
 	c.replayScratch = marked
 	c.delayBuf = c.delayBuf[:0]
@@ -470,6 +475,7 @@ func (c *Core) triggerReplay(trigger *uop) {
 		}
 		m.inDelayBuf = false
 		m.state = stDispatched
+		c.iqDisp |= 1 << uint(m.iqSlot)
 		m.replaying = true
 		if m.dst != physNone {
 			c.rf.ready[m.dst] = false
@@ -480,8 +486,10 @@ func (c *Core) triggerReplay(trigger *uop) {
 	if started == 0 {
 		return
 	}
+	// Replay flipped completed destinations back to not-ready — the
+	// one ready->false transition under already-registered slots —
+	// so re-derive the wakeup state wholesale.
+	c.rebuildSched()
 	c.stats.ReplayTriggers++
-	if c.detector != nil {
-		c.detector.SetLearnOnly(true)
-	}
+	c.detSetLearnOnly(true)
 }

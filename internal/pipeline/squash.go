@@ -15,6 +15,7 @@ func (c *Core) squashUop(u *uop) {
 	u.inDelayBuf = false
 	c.iqRemove(u)
 	c.rf.free(u.dst)
+	c.schedWake(u.dst)
 	u.dst = physNone
 }
 
@@ -26,6 +27,7 @@ func (c *Core) squashUop(u *uop) {
 // to and including the trigger are deemed final (checked learn-only),
 // which guarantees forward progress.
 func (c *Core) fullSquash(trigger *uop) {
+	c.schedTouch()
 	t := c.threads[trigger.thread]
 	// An executed atomic's read-modify-write cannot be undone: stop the
 	// rollback just after the youngest such atomic (it stays and
@@ -56,20 +58,21 @@ func (c *Core) fullSquash(trigger *uop) {
 	}
 	t.fetchBlockedUntil = c.cycle + uint64(c.cfg.RollbackPenalty)
 	c.finishThreadSquash(t)
-	if c.replayPending == 0 && c.detector != nil {
-		c.detector.SetLearnOnly(false)
+	if c.replayPending == 0 {
+		c.detSetLearnOnly(false)
 	}
 }
 
 // squashThread clears a thread's in-flight state without counting it as
 // a detector rollback (used at HALT and exception commit).
 func (c *Core) squashThread(t *threadState) {
+	c.schedTouch()
 	for _, u := range t.rob {
 		c.squashUop(u)
 	}
 	c.finishThreadSquash(t)
-	if c.replayPending == 0 && c.detector != nil {
-		c.detector.SetLearnOnly(false)
+	if c.replayPending == 0 {
+		c.detSetLearnOnly(false)
 	}
 }
 
@@ -90,6 +93,7 @@ func (c *Core) finishThreadSquash(t *threadState) {
 // (branch misprediction recovery): the RAT is restored from b's
 // checkpoint and fetch resumes at the resolved target (set by caller).
 func (c *Core) squashAfter(b *uop) {
+	c.schedTouch()
 	t := c.threads[b.thread]
 	keep := t.rob[:0]
 	for _, u := range t.rob {
@@ -120,8 +124,8 @@ func (c *Core) squashAfter(b *uop) {
 	t.fetchStopped = false
 	c.filterDelayBuf()
 	c.filterInFlight()
-	if c.replayPending == 0 && c.detector != nil {
-		c.detector.SetLearnOnly(false)
+	if c.replayPending == 0 {
+		c.detSetLearnOnly(false)
 	}
 }
 

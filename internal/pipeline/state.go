@@ -89,6 +89,7 @@ func (c *Core) FlipRegisterBit(p uint16, bit uint) bool {
 	if p == 0 || int(p) >= len(c.rf.val) {
 		return false
 	}
+	c.schedTouch()
 	c.rf.val[p] ^= 1 << (bit & 63)
 	return true
 }
@@ -147,6 +148,7 @@ func (c *Core) FlipLSQBit(site LSQSite, field LSQField, bit uint) bool {
 	if site.Index >= len(t.lsq) {
 		return false
 	}
+	c.schedTouch()
 	u := t.lsq[site.Index]
 	if u.state != stCompleted {
 		return false
@@ -171,6 +173,7 @@ func (c *Core) FlipRATBit(tid int, r isa.Reg, bit uint) bool {
 	if r == isa.RZero || !r.Valid() {
 		return false
 	}
+	c.schedTouch()
 	t := c.threads[tid]
 	classBase, classSize := 0, c.cfg.IntPhysRegs
 	if r.IsFP() {

@@ -61,7 +61,8 @@ type uop struct {
 
 	// Queue positions.
 	inIQ     bool
-	lsqIndex int // index into the thread's LSQ ring, -1 if none
+	iqSlot   int8 // IQ slot index while inIQ (IQSize <= 64)
+	lsqIndex int  // index into the thread's LSQ ring, -1 if none
 
 	// Replay bookkeeping.
 	// rmwDone marks an atomic whose read-modify-write has been applied

@@ -71,6 +71,9 @@ func (c *CellQuality) metrics() []Delta {
 		add("latency.p50", float64(c.Latency.P50))
 		add("latency.p95", float64(c.Latency.P95))
 		add("latency.max", float64(c.Latency.Max))
+		for _, b := range c.Latency.Hist {
+			add(fmt.Sprintf("latency.hist.le%d", b.Le), float64(b.Count))
+		}
 	}
 	if c.Confusion != nil {
 		for _, row := range []struct {
@@ -171,9 +174,19 @@ func Exceeds(deltas []Delta, tol float64) []Delta {
 }
 
 // BenchGated lists the BENCH_simcore.json metrics the release gate
-// treats as higher-is-better regressions (ISSUE: injections/sec and
-// simulated cycles/sec guard the two hot loops).
-var BenchGated = []string{"injections_per_sec", "sim_cycles_per_sec"}
+// treats as higher-is-better regressions: injections/sec and simulated
+// cycles/sec guard the two hot loops, and the checkpoint-forking and
+// reconvergence-early-exit fractions guard the acceleration that the
+// injection throughput depends on (a silent drop in either frac shows
+// up here even before it fully erodes injections_per_sec). Metrics
+// absent from the reference file are not gated, so pre-acceleration
+// references stay comparable.
+var BenchGated = []string{
+	"injections_per_sec",
+	"sim_cycles_per_sec",
+	"early_exit_frac",
+	"checkpoint_fork_cycles_saved_frac",
+}
 
 // CompareBench validates two BENCH_simcore.json payloads against the
 // bench contract and returns (all metric deltas, gated regressions):

@@ -43,6 +43,24 @@ func Markdown(q *Quality) string {
 			c.Detected, cov, c.FPRate, p50, p95, mx)
 	}
 
+	wroteLatHeader := false
+	for _, c := range q.Cells {
+		if c.Latency == nil || len(c.Latency.Hist) == 0 {
+			continue
+		}
+		if !wroteLatHeader {
+			sb.WriteString("\n## Detection-latency distribution\n\n")
+			sb.WriteString("Cumulative power-of-two buckets per cell: `<=N:k` means k of the\n")
+			sb.WriteString("cell's detections completed within N cycles of the injection.\n\n")
+			wroteLatHeader = true
+		}
+		parts := make([]string, 0, len(c.Latency.Hist))
+		for _, b := range c.Latency.Hist {
+			parts = append(parts, fmt.Sprintf("<=%d:%d", b.Le, b.Count))
+		}
+		fmt.Fprintf(&sb, "- %s — %s: `%s`\n", c.Bench, c.Scheme, strings.Join(parts, " "))
+	}
+
 	wroteHeader := false
 	for _, c := range q.Cells {
 		if c.Confusion == nil {

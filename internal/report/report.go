@@ -47,12 +47,24 @@ type Coverage struct {
 
 // Latency summarizes a cell's detection latencies in cycles
 // (injection to first detector action), nearest-rank percentiles over
-// the replayed samples.
+// the replayed samples plus a cumulative power-of-two histogram.
 type Latency struct {
 	Count int    `json:"count"`
 	P50   uint64 `json:"p50"`
 	P95   uint64 `json:"p95"`
 	Max   uint64 `json:"max"`
+	// Hist is the cumulative bucket distribution: Hist[i].Count
+	// samples had latency <= Hist[i].Le cycles, with Le doubling from
+	// 1 up to the first power of two covering Max (so the last bucket
+	// always equals Count). Optional in the quality.v1 contract:
+	// pre-histogram reports stay valid.
+	Hist []HistBucket `json:"histogram,omitempty"`
+}
+
+// HistBucket is one cumulative detection-latency bucket.
+type HistBucket struct {
+	Le    uint64 `json:"le"`
+	Count int    `json:"count"`
 }
 
 // Confusion is the 3×3 outcome matrix of a scheme cell against its
@@ -300,12 +312,25 @@ func summarizeLatency(samples []uint64) *Latency {
 		}
 		return s[i]
 	}
-	return &Latency{
+	lat := &Latency{
 		Count: len(s),
 		P50:   rank(0.50),
 		P95:   rank(0.95),
 		Max:   s[len(s)-1],
 	}
+	// Cumulative power-of-two buckets over the sorted samples: each
+	// boundary's count is the index of the first sample above it.
+	idx := 0
+	for le := uint64(1); ; le <<= 1 {
+		for idx < len(s) && s[idx] <= le {
+			idx++
+		}
+		lat.Hist = append(lat.Hist, HistBucket{Le: le, Count: idx})
+		if le >= lat.Max {
+			break
+		}
+	}
+	return lat
 }
 
 // WriteFiles renders q into dir's report/ sidecar directory —

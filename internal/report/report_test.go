@@ -5,6 +5,7 @@ import (
 	"math"
 	"os"
 	"path/filepath"
+	"reflect"
 	"testing"
 
 	"faulthound/internal/campaign"
@@ -254,16 +255,23 @@ func mutateJSON(t *testing.T, raw []byte, key string, factor float64) []byte {
 	return b
 }
 
-// TestSummarizeLatency pins the nearest-rank percentile convention.
+// TestSummarizeLatency pins the nearest-rank percentile convention and
+// the cumulative power-of-two histogram (doubling boundaries from 1 up
+// to the first power covering the max; last bucket equals the count).
 func TestSummarizeLatency(t *testing.T) {
 	l := summarizeLatency([]uint64{40, 10, 20, 30})
-	want := Latency{Count: 4, P50: 20, P95: 40, Max: 40}
-	if *l != want {
+	want := Latency{Count: 4, P50: 20, P95: 40, Max: 40, Hist: []HistBucket{
+		{Le: 1, Count: 0}, {Le: 2, Count: 0}, {Le: 4, Count: 0}, {Le: 8, Count: 0},
+		{Le: 16, Count: 1}, {Le: 32, Count: 3}, {Le: 64, Count: 4},
+	}}
+	if !reflect.DeepEqual(*l, want) {
 		t.Fatalf("got %+v, want %+v", *l, want)
 	}
 	l = summarizeLatency([]uint64{7})
-	want = Latency{Count: 1, P50: 7, P95: 7, Max: 7}
-	if *l != want {
+	want = Latency{Count: 1, P50: 7, P95: 7, Max: 7, Hist: []HistBucket{
+		{Le: 1, Count: 0}, {Le: 2, Count: 0}, {Le: 4, Count: 0}, {Le: 8, Count: 1},
+	}}
+	if !reflect.DeepEqual(*l, want) {
 		t.Fatalf("got %+v, want %+v", *l, want)
 	}
 }

@@ -53,6 +53,8 @@ awk '
       if (u == "allocs/op") { al[name] += v;  na[name]++ }
       if (u == "B/op")      { by[name] += v;  nb[name]++ }
       if (u == "inj/s")     { inj[name] += v; ni[name]++ }
+      if (u == "early-exit-frac") { ee[name] += v; ne[name]++ }
+      if (u == "fork-saved-frac") { fs[name] += v; nf[name]++ }
     }
   }
   function avg(sum, cnt, nm) { return cnt[nm] ? sum[nm] / cnt[nm] : 0 }
@@ -68,7 +70,9 @@ awk '
     printf "  \"allocs_per_injection\": %.1f,\n",    avg(al, na, "BenchmarkRunOne")
     printf "  \"allocs_per_injection_deep\": %.1f,\n", avg(al, na, "BenchmarkRunOneDeepClone")
     printf "  \"bytes_per_injection\": %.0f,\n",     avg(by, nb, "BenchmarkRunOne")
-    printf "  \"injections_per_sec\": %.1f\n",       avg(inj, ni, "BenchmarkPreparedParallel")
+    printf "  \"injections_per_sec\": %.1f,\n",      avg(inj, ni, "BenchmarkPreparedParallel")
+    printf "  \"early_exit_frac\": %.3f,\n",         avg(ee, ne, "BenchmarkPreparedParallel")
+    printf "  \"checkpoint_fork_cycles_saved_frac\": %.3f\n", avg(fs, nf, "BenchmarkPreparedParallel")
     printf "}\n"
   }
 ' "$raw" > "$OUT/BENCH_simcore.json"

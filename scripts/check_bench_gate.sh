@@ -1,0 +1,53 @@
+#!/usr/bin/env sh
+# check_bench_gate.sh — sanity-check the bench release gate itself
+# (docs/PERFORMANCE.md, docs/CONTRACTS.md).
+#
+# Two checks against the committed BENCH_simcore.json:
+#   1. Positive control: the file compared against itself passes.
+#   2. Negative control: degrading any single gated metric by 50% in a
+#      copy must make `fhreport bench` exit non-zero. This catches the
+#      gate silently going soft — e.g. a gated metric dropped from the
+#      reference file, renamed in the bench harness, or removed from
+#      report.BenchGated without anyone noticing.
+#
+# Usage: scripts/check_bench_gate.sh [reference.json]
+set -eu
+
+GO=${GO:-go}
+ref=${1:-results/bench/BENCH_simcore.json}
+tol=0.10
+
+echo "bench gate positive control: $ref vs itself"
+$GO run ./cmd/fhreport bench -tolerance "$tol" "$ref" "$ref"
+
+tmp=$(mktemp)
+trap 'rm -f "$tmp"' EXIT
+
+# Keep this list in sync with BenchGated in internal/report/diff.go —
+# the loop below fails loudly if a listed metric is missing from the
+# reference file, so drift shows up here rather than as a gate that
+# quietly stopped gating.
+for metric in injections_per_sec sim_cycles_per_sec early_exit_frac checkpoint_fork_cycles_saved_frac; do
+  if ! grep -q "\"$metric\"" "$ref"; then
+    echo "FAIL: gated metric $metric missing from $ref" >&2
+    exit 1
+  fi
+  awk -v m="\"$metric\"" '{
+    if (index($0, m)) {
+      split($0, a, ":")
+      v = a[2]
+      gsub(/[ ,]/, "", v)
+      comma = ($0 ~ /,$/) ? "," : ""
+      printf "  %s: %g%s\n", m, v * 0.5, comma
+    } else {
+      print
+    }
+  }' "$ref" > "$tmp"
+  if $GO run ./cmd/fhreport bench -tolerance "$tol" "$tmp" "$ref" >/dev/null 2>&1; then
+    echo "FAIL: degraded $metric passed the bench gate" >&2
+    exit 1
+  fi
+  echo "bench gate negative control: degraded $metric correctly rejected"
+done
+
+echo "bench gate controls passed"
