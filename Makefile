@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet lint race bench bench-json report gates campaign serve smoke-server smoke-cluster smoke-wgen trace-demo experiments extensions quick clean
+.PHONY: all build test vet lint race bench bench-json report gates campaign serve smoke-server smoke-cluster smoke-wgen smoke-optimize trace-demo experiments extensions quick clean
 
 all: lint test build
 
@@ -31,7 +31,7 @@ race:
 	$(GO) test -race ./internal/workload/ ./internal/wgen/ ./internal/system/ \
 		./internal/pipeline/ ./internal/mem/ ./internal/campaign/ ./internal/fault/ \
 		./internal/obs/... ./internal/server/... ./internal/cluster/ \
-		./internal/contract/ ./internal/report/
+		./internal/contract/ ./internal/report/ ./internal/search/
 
 # Regenerate the reference bundle's detector-quality report sidecar
 # (docs/CONTRACTS.md). The bundle's own artifacts are never touched;
@@ -47,7 +47,9 @@ gates:
 	$(GO) run ./cmd/fhreport validate results/campaigns/reference-1k \
 		results/bench/BENCH_simcore.json \
 		internal/server/testdata/spechash_golden.json \
-		internal/server/testdata/wspec_golden.json
+		internal/server/testdata/wspec_golden.json \
+		internal/search/testdata/golden \
+		internal/search/testdata/golden/pareto.csv
 	$(GO) run ./cmd/fhreport bundle -out /tmp/fh-gate-regen results/campaigns/reference-1k
 	cmp /tmp/fh-gate-regen/quality.json results/campaigns/reference-1k/report/quality.json
 	cmp /tmp/fh-gate-regen/quality.md results/campaigns/reference-1k/report/quality.md
@@ -79,6 +81,13 @@ smoke-cluster:
 # a sweep campaign is bit-identical across -workers settings.
 smoke-wgen:
 	./scripts/smoke_wgen.sh
+
+# Pareto-search round trip (docs/OPTIMIZE.md): a seeded local
+# fhcampaign -optimize byte-identical across -workers settings,
+# contract-validated artifacts, and a daemon POST /v1/optimize whose
+# repeat hits the request-hash cache.
+smoke-optimize:
+	./scripts/smoke_optimize.sh
 
 # Perfetto trace of a short simulation — load results/trace-demo.json
 # in ui.perfetto.dev (docs/OBSERVABILITY.md).

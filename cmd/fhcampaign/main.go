@@ -19,6 +19,17 @@
 // instead of executing locally: identical specs deduplicate against
 // the daemon's spec-hash cache, and the rendered tables come from the
 // daemon's bundle. See docs/SERVER.md.
+//
+// With -optimize the tool runs a Pareto search instead of a fixed
+// campaign: a deterministic, seeded evolutionary driver mutates the
+// base schemes' registry parameters, scores each configuration on
+// coverage, false-positive rate, energy overhead, and perf overhead,
+// and writes the non-dominated frontier as pareto.{csv,json,md}
+// artifacts. Same seed + weights + budget ⇒ byte-identical artifacts,
+// for any -workers value. See docs/OPTIMIZE.md:
+//
+//	fhcampaign -optimize -quick -bench bzip2 -schemes faulthound -budget 12
+//	fhcampaign -optimize -addr localhost:8418 -bench bzip2 -schemes faulthound
 package main
 
 import (
@@ -28,6 +39,7 @@ import (
 	"os"
 	"os/signal"
 	"path/filepath"
+	"strings"
 	"syscall"
 	"time"
 
@@ -37,6 +49,7 @@ import (
 	"faulthound/internal/obs"
 	"faulthound/internal/obs/metrics"
 	"faulthound/internal/scheme"
+	"faulthound/internal/search"
 	"faulthound/internal/server"
 	"faulthound/internal/wgen"
 	"faulthound/internal/workload"
@@ -60,6 +73,12 @@ func main() {
 		ckptCycles = flag.Uint64("checkpoint-cycles", fault.DefaultConfig().CheckpointCycles, "golden checkpoint interval in cycles for injection forking (0 disables)")
 		earlyExit  = flag.Bool("early-exit", fault.DefaultConfig().EarlyExit, "classify masked injections at provable reconvergence instead of simulating the full window")
 		verbose    = flag.Bool("v", false, "per-cell progress lines")
+
+		// Pareto search (docs/OPTIMIZE.md).
+		optimize   = flag.Bool("optimize", false, "run a Pareto search over the base schemes' parameters instead of a fixed campaign")
+		budget     = flag.Int("budget", 8, "with -optimize: distinct configurations to evaluate")
+		optWeights = flag.String("fitness-weights", "", "with -optimize: objective weights as \"coverage=1,fp=1,energy=1,perf=1\" (missing keys default to 1)")
+		optParams  = flag.String("opt-params", "", "with -optimize: comma-separated parameter names to mutate (default: every mutable parameter)")
 	)
 	flag.Parse()
 
@@ -69,6 +88,28 @@ func main() {
 	}
 	opts.Verbose = *verbose
 	opts.Workers = *workers
+
+	if *optimize {
+		if *resume != "" {
+			fatal(fmt.Errorf("-optimize and -resume are incompatible (searches are cheap to rerun: same seed, same frontier)"))
+		}
+		runOptimize(opts, optimizeFlags{
+			bench:      *bench,
+			workloads:  *workloads,
+			schemes:    *schemes,
+			injections: *injections,
+			seed:       *seed,
+			budget:     *budget,
+			weights:    *optWeights,
+			params:     *optParams,
+			runID:      *runID,
+			out:        *out,
+			addr:       *addr,
+			retries:    *retries,
+			verbose:    *verbose,
+		})
+		return
+	}
 
 	var (
 		spec campaign.Spec
@@ -279,6 +320,124 @@ func runRemote(ctx context.Context, addr string, retries int, spec campaign.Spec
 	printCellSpecs(spec)
 	fmt.Printf("job: %s (run %s, %d injections/cell)\n", final.ID, final.RunID, sum.Injections)
 	fmt.Printf("bundle: %s/v1/campaigns/%s/bundle/\n", cl.Base, final.ID)
+}
+
+// optimizeFlags carries the flag values the -optimize path consumes.
+type optimizeFlags struct {
+	bench, workloads, schemes string
+	injections                int
+	seed                      uint64
+	budget                    int
+	weights, params           string
+	runID, out, addr          string
+	retries                   int
+	verbose                   bool
+}
+
+// runOptimize executes the plan/execute/score stack as a Pareto
+// search: locally through the harness evaluator, or on a daemon via
+// POST /v1/optimize when -addr is set. Either way the artifacts land
+// in the output directory and the front prints to stdout.
+func runOptimize(opts harness.Options, of optimizeFlags) {
+	benches, err := benchList(of.bench, of.workloads)
+	if err != nil {
+		fatal(err)
+	}
+	base, err := scheme.ParseList(of.schemes)
+	if err != nil {
+		fatal(err)
+	}
+	weights, err := search.ParseWeights(of.weights)
+	if err != nil {
+		fatal(err)
+	}
+	var params []string
+	for _, p := range strings.Split(of.params, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			params = append(params, p)
+		}
+	}
+	if of.injections > 0 {
+		opts.Fault.Injections = of.injections
+	}
+	// -seed drives the mutation RNG only; the fault seed stays at the
+	// harness (or daemon) default so local and -addr runs of the same
+	// request score identically. A zero seed defaults to the fault seed
+	// so a bare run is still fully pinned.
+	searchSeed := of.seed
+	if searchSeed == 0 {
+		searchSeed = opts.Fault.Seed
+	}
+	runID := of.runID
+	if runID == "" {
+		runID = campaign.DefaultRunID()
+	}
+	dir := of.out
+	if dir == "" {
+		dir = filepath.Join("results", "optimize", runID)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	var rep *search.Report
+	if of.addr != "" {
+		var specs []string
+		for _, sp := range base {
+			specs = append(specs, sp.String())
+		}
+		cl := server.NewClient(of.addr)
+		cl.Retries = of.retries
+		rep, err = cl.Optimize(ctx, server.OptimizeRequest{
+			Benchmarks: benches,
+			Schemes:    specs,
+			Budget:     of.budget,
+			Seed:       searchSeed,
+			Weights:    weights.String(),
+			Params:     params,
+			Injections: of.injections,
+		})
+		if err != nil {
+			fatal(err)
+		}
+	} else {
+		cfg := search.Config{
+			Seed:    searchSeed,
+			Budget:  of.budget,
+			Weights: weights,
+			Base:    base,
+			Params:  params,
+			Eval:    harness.NewSearchEval(opts.NewEvaluator(fault.NewPreparedCache(), progressLine()), benches),
+		}
+		if of.verbose {
+			cfg.Log = func(format string, args ...any) {
+				fmt.Fprintf(os.Stderr, "# "+format+"\n", args...)
+			}
+		}
+		res, err := search.Run(ctx, cfg)
+		fmt.Fprintln(os.Stderr)
+		if err != nil {
+			if ctx.Err() != nil {
+				fmt.Fprintln(os.Stderr, "fhcampaign: interrupted (searches have no resume; rerun with the same seed)")
+				os.Exit(130)
+			}
+			fatal(err)
+		}
+		rep = search.NewReport(runID, benches, cfg, res)
+	}
+
+	if err := rep.WriteArtifacts(dir); err != nil {
+		fatal(err)
+	}
+	front := rep.Front()
+	fmt.Printf("pareto front: %d non-dominated of %d evaluated (%d rounds, seed %d)\n",
+		len(front), rep.Evaluated, rep.Rounds, rep.Seed)
+	for _, p := range front {
+		fmt.Printf("  %-32s coverage=%.4f fp=%.6f energy=%+.4f perf=%+.4f fitness=%.4f\n",
+			p.Spec, p.Coverage, p.FPRate, p.EnergyOverhead, p.PerfOverhead, p.Fitness)
+	}
+	fmt.Printf("weights: %s\n", rep.Weights.String())
+	fmt.Printf("artifacts: %s\n", dir)
 }
 
 // cellSchemes lists the non-baseline scheme specs of the campaign in

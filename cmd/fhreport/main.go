@@ -210,15 +210,32 @@ func validateOne(path string) error {
 		return err
 	}
 	if st.IsDir() {
+		// A directory holding pareto.json but no campaign manifest is a
+		// standalone Pareto-search result (fhcampaign -optimize output,
+		// or the daemon's optimize cache), not a bundle.
+		if _, err := os.Stat(filepath.Join(path, "pareto.json")); err == nil {
+			if _, err := os.Stat(filepath.Join(path, campaign.ManifestName)); err != nil {
+				return contract.ValidateParetoDir(path)
+			}
+		}
 		return contract.ValidateBundle(path)
 	}
-	if filepath.Base(path) == "results.csv" {
+	switch filepath.Base(path) {
+	case "results.csv":
 		f, err := os.Open(path)
 		if err != nil {
 			return err
 		}
 		defer f.Close()
 		_, err = contract.ValidateResultsCSV(f)
+		return err
+	case "pareto.csv":
+		f, err := os.Open(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		_, err = contract.ValidateParetoCSV(f)
 		return err
 	}
 	kind := contract.SniffKind(path)

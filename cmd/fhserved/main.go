@@ -119,6 +119,7 @@ func main() {
 		MaxInjections: *maxInj,
 		Log:           log,
 		Prepared:      cache,
+		Timing:        opts.TimingRunner(),
 		RateLimit:     *rate,
 		RateBurst:     *burst,
 	}

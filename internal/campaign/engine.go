@@ -44,6 +44,12 @@ func ReadManifest(dir string) (*Manifest, error) {
 type Engine struct {
 	Spec    Spec
 	Factory CoreFactory
+	// Source overrides the plan layer: the cells to execute. Nil means
+	// the classic static enumeration Spec.Source() — benchmark-major,
+	// baseline first. A non-nil Source drives the engine from an
+	// external plan (a search batch); Spec.Benchmarks/Schemes are then
+	// ignored and only Spec.Fault and Spec.Workers apply.
+	Source CellSource
 	// Progress is called after every completed injection with the
 	// cumulative completed count (including journal-resumed results)
 	// and the campaign total.
@@ -139,8 +145,15 @@ func (e *Engine) Run(ctx context.Context, dir string, resume bool) (*Outcome, er
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	if err := e.Spec.validate(); err != nil {
-		return nil, err
+	source := e.Source
+	if source == nil {
+		// Classic path: the spec itself is the plan.
+		if err := e.Spec.validate(); err != nil {
+			return nil, err
+		}
+		source = e.Spec.Source()
+	} else if e.Spec.Fault.Injections <= 0 {
+		return nil, fmt.Errorf("campaign: spec has no injections")
 	}
 	if e.Factory == nil {
 		return nil, fmt.Errorf("campaign: engine has no core factory")
@@ -149,7 +162,10 @@ func (e *Engine) Run(ctx context.Context, dir string, resume bool) (*Outcome, er
 		return nil, fmt.Errorf("campaign: resume requires a run directory")
 	}
 
-	cells := e.Spec.Cells()
+	cells := source.Plan()
+	if len(cells) == 0 {
+		return nil, fmt.Errorf("campaign: plan has no cells")
+	}
 	nInj := e.Spec.Fault.Injections
 	injs := fault.DrawInjections(e.Spec.Fault)
 	cellIdx := make(map[Cell]int, len(cells))

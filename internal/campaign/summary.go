@@ -76,6 +76,34 @@ func (s *Summary) FPRate(bench, scheme string) (float64, bool) {
 	return c.FPRate, true
 }
 
+// summarizeCell aggregates one cell's campaign into its summary row.
+// base is the benchmark's baseline campaign for coverage pairing; nil
+// (or a baseline cell) leaves Coverage unset.
+func summarizeCell(c Cell, camp, base *fault.Campaign, fpRate float64) CellSummary {
+	cs := CellSummary{Bench: c.Bench, Scheme: c.Scheme.String(), FPRate: fpRate}
+	cs.Masked, cs.Noisy, cs.SDC = camp.Classification()
+	for _, r := range camp.Results {
+		if r.Detected {
+			cs.Detected++
+		}
+	}
+	if c.Scheme != BaselineSpec && base != nil {
+		rep := fault.PairCoverage(base, camp)
+		cov := &CoverageSummary{
+			SDCBase:    rep.SDCBase,
+			Covered:    rep.CoveredCount,
+			FalseNoisy: rep.FalseNoisy,
+			Coverage:   rep.Coverage(),
+			Bins:       map[string]int{},
+		}
+		for _, b := range fault.BinNames() {
+			cov.Bins[b.String()] = rep.Bins[b]
+		}
+		cs.Coverage = cov
+	}
+	return cs
+}
+
 // buildSummary aggregates per-cell campaigns into the summary
 // artifact. campaigns and fpRates are keyed by the cell's position in
 // spec.Cells().
@@ -89,31 +117,7 @@ func buildSummary(spec Spec, cells []Cell, campaigns []*fault.Campaign, fpRates 
 		}
 	}
 	for i, c := range cells {
-		camp := campaigns[i]
-		cs := CellSummary{Bench: c.Bench, Scheme: c.Scheme.String(), FPRate: fpRates[i]}
-		cs.Masked, cs.Noisy, cs.SDC = camp.Classification()
-		for _, r := range camp.Results {
-			if r.Detected {
-				cs.Detected++
-			}
-		}
-		if c.Scheme != BaselineSpec {
-			if base := baseline[c.Bench]; base != nil {
-				rep := fault.PairCoverage(base, camp)
-				cov := &CoverageSummary{
-					SDCBase:    rep.SDCBase,
-					Covered:    rep.CoveredCount,
-					FalseNoisy: rep.FalseNoisy,
-					Coverage:   rep.Coverage(),
-					Bins:       map[string]int{},
-				}
-				for _, b := range fault.BinNames() {
-					cov.Bins[b.String()] = rep.Bins[b]
-				}
-				cs.Coverage = cov
-			}
-		}
-		sum.Cells = append(sum.Cells, cs)
+		sum.Cells = append(sum.Cells, summarizeCell(c, campaigns[i], baseline[c.Bench], fpRates[i]))
 	}
 	return sum
 }

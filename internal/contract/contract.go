@@ -38,6 +38,7 @@ const (
 	KindBench    Kind = "bench"
 	KindQuality  Kind = "quality"
 	KindHashes   Kind = "hashes"
+	KindPareto   Kind = "pareto"
 )
 
 // Schema versions — the $id of each kind's current contract.
@@ -47,6 +48,7 @@ const (
 	BenchV1    = "faulthound.bench/v1"
 	QualityV1  = "faulthound.quality/v1"
 	HashesV1   = "faulthound.hashes/v1"
+	ParetoV1   = "faulthound.pareto/v1"
 )
 
 // ReportDirName is the derived-report subdirectory of a bundle; the
@@ -66,6 +68,7 @@ var schemas = func() map[Kind]*Schema {
 		KindBench:    "bench.v1.schema.json",
 		KindQuality:  "quality.v1.schema.json",
 		KindHashes:   "hashes.v1.schema.json",
+		KindPareto:   "pareto.v1.schema.json",
 	} {
 		b, err := schemaFS.ReadFile("schemas/" + file)
 		if err != nil {
@@ -131,6 +134,8 @@ func SniffKind(name string) Kind {
 		return KindManifest
 	case base == QualityJSONName:
 		return KindQuality
+	case base == "pareto.json":
+		return KindPareto
 	case strings.HasPrefix(base, "BENCH_"):
 		return KindBench
 	case strings.HasSuffix(base, "_golden.json"):
@@ -209,6 +214,92 @@ func binName(s string) error {
 		}
 	}
 	return fmt.Errorf("%q is not a known classification bin", s)
+}
+
+// numberCell admits any finite decimal value, signed included —
+// overheads and fitness can legitimately be negative.
+func numberCell(s string) error {
+	f, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return fmt.Errorf("%q is not a number", s)
+	}
+	if f != f || f > 1.7e308 || f < -1.7e308 {
+		return fmt.Errorf("%q is not finite", s)
+	}
+	return nil
+}
+
+// unitInterval admits a number in [0, 1] (coverage fractions).
+func unitInterval(s string) error {
+	f, err := strconv.ParseFloat(s, 64)
+	if err != nil || f < 0 || f > 1 {
+		return fmt.Errorf("%q is not a fraction in [0, 1]", s)
+	}
+	return nil
+}
+
+// paretoColumns is the pareto.csv column contract (docs/OPTIMIZE.md):
+// one row per evaluated configuration, front members first.
+var paretoColumns = []struct {
+	name  string
+	check func(s string) error
+}{
+	{"spec", nonEmpty},
+	{"front", boolean},
+	{"round", integer},
+	{"coverage", unitInterval},
+	{"fp_rate", numberCell},
+	{"energy_overhead", numberCell},
+	{"perf_overhead", numberCell},
+	{"fitness", numberCell},
+}
+
+// ParetoColumns returns the v1 pareto.csv header, in order.
+func ParetoColumns() []string {
+	out := make([]string, len(paretoColumns))
+	for i, c := range paretoColumns {
+		out[i] = c.name
+	}
+	return out
+}
+
+// ValidateParetoCSV checks a pareto.csv stream against the column
+// contract: exact header, typed cells, and the front-first row
+// ordering the artifact promises. It returns the row count (header
+// excluded).
+func ValidateParetoCSV(r io.Reader) (rows int, err error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = len(paretoColumns)
+	header, err := cr.Read()
+	if err != nil {
+		return 0, fmt.Errorf("contract: pareto.csv: reading header: %w", err)
+	}
+	for i, c := range paretoColumns {
+		if header[i] != c.name {
+			return 0, fmt.Errorf("contract: pareto.csv: column %d is %q, contract wants %q", i, header[i], c.name)
+		}
+	}
+	sawDominated := false
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			return rows, nil
+		}
+		if err != nil {
+			return rows, fmt.Errorf("contract: pareto.csv: %w", err)
+		}
+		rows++
+		for i, c := range paretoColumns {
+			if err := c.check(rec[i]); err != nil {
+				return rows, fmt.Errorf("contract: pareto.csv row %d, column %s: %w", rows, c.name, err)
+			}
+		}
+		if rec[1] == "false" {
+			sawDominated = true
+		} else if sawDominated {
+			return rows, fmt.Errorf("contract: pareto.csv row %d: front row after a dominated row (rows must be front-first)", rows)
+		}
+	}
 }
 
 // ResultsColumns returns the v1 results.csv header, in order.
@@ -342,6 +433,76 @@ func ValidateBundle(dir string) error {
 			if json.Unmarshal(qB, &q) == nil && summary.RunID != "" && q.RunID != summary.RunID {
 				errs = append(errs, fmt.Errorf("contract: run_id mismatch: quality report %q vs summary %q", q.RunID, summary.RunID))
 			}
+		}
+	}
+
+	// Pareto-search sidecars (pareto.json + pareto.csv) are optional:
+	// when an optimize run left them beside the bundle they must
+	// conform and agree with each other.
+	if _, err := os.Stat(filepath.Join(dir, "pareto.json")); err == nil {
+		if err := ValidateParetoDir(dir); err != nil {
+			errs = append(errs, err)
+		}
+	}
+
+	return errors.Join(errs...)
+}
+
+// ValidateParetoDir validates a Pareto-search artifact directory:
+// pareto.json must conform to its contract, pareto.csv to the column
+// contract, and the two must agree — the CSV carries exactly one row
+// per archive point and the same number of front members. fhreport
+// validate routes directories holding a pareto.json without a
+// manifest.json here.
+func ValidateParetoDir(dir string) error {
+	var errs []error
+
+	report := struct {
+		Evaluated int `json:"evaluated"`
+		Points    []struct {
+			Front bool `json:"front"`
+		} `json:"points"`
+	}{}
+	jPath := filepath.Join(dir, "pareto.json")
+	jB, err := os.ReadFile(jPath)
+	if err == nil {
+		err = ValidateJSON(KindPareto, jB)
+		if err != nil {
+			err = fmt.Errorf("%s: %w", jPath, err)
+		}
+	}
+	if err != nil {
+		errs = append(errs, err)
+	} else if err := json.Unmarshal(jB, &report); err != nil {
+		errs = append(errs, err)
+	}
+
+	rows := -1
+	if f, err := os.Open(filepath.Join(dir, "pareto.csv")); err != nil {
+		errs = append(errs, err)
+	} else {
+		rows, err = ValidateParetoCSV(f)
+		f.Close()
+		if err != nil {
+			errs = append(errs, err)
+		}
+	}
+
+	if len(report.Points) > 0 {
+		if report.Evaluated != len(report.Points) {
+			errs = append(errs, fmt.Errorf("contract: pareto.json: evaluated %d but %d points", report.Evaluated, len(report.Points)))
+		}
+		if rows >= 0 && rows != len(report.Points) {
+			errs = append(errs, fmt.Errorf("contract: pareto.csv has %d rows, pareto.json has %d points", rows, len(report.Points)))
+		}
+		front := 0
+		for _, p := range report.Points {
+			if p.Front {
+				front++
+			}
+		}
+		if front == 0 {
+			errs = append(errs, fmt.Errorf("contract: pareto.json: no front members"))
 		}
 	}
 

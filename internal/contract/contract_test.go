@@ -13,6 +13,7 @@ const (
 	benchGuard      = "../../results/bench/BENCH_simcore.json"
 	spechashGolden  = "../server/testdata/spechash_golden.json"
 	wspecGolden     = "../server/testdata/wspec_golden.json"
+	paretoGolden    = "../search/testdata/golden"
 )
 
 // TestSchemaEngine exercises each validation rule of the embedded
@@ -179,11 +180,41 @@ func TestResultsCSVContract(t *testing.T) {
 	}
 }
 
+// TestParetoArtifactsConform validates the committed Pareto-search
+// golden directory (internal/search/testdata/golden) the same way the
+// release gate does, plus targeted corruptions of the CSV contract.
+func TestParetoArtifactsConform(t *testing.T) {
+	if err := ValidateParetoDir(paretoGolden); err != nil {
+		t.Errorf("pareto golden: %v", err)
+	}
+	raw, err := os.ReadFile(filepath.Join(paretoGolden, "pareto.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(raw)), "\n")
+	if len(lines) < 3 {
+		t.Fatalf("pareto golden has %d rows, want a multi-point archive", len(lines)-1)
+	}
+	last := lines[len(lines)-1]
+	for name, doc := range map[string]string{
+		"reordered header": strings.Join(append([]string{"front,spec" + lines[0][len("spec,front"):]}, lines[1:]...), "\n"),
+		"bad front flag":   lines[0] + "\n" + strings.Replace(lines[1], ",true,", ",yes,", 1),
+		"coverage above 1": lines[0] + "\nfaulthound,true,0,1.5,0,0,0,0\n",
+		"front after dominated": strings.Join(append(append([]string{lines[0]}, last),
+			strings.Replace(lines[1], ",false,", ",true,", 1)), "\n"),
+	} {
+		if _, err := ValidateParetoCSV(strings.NewReader(doc)); err == nil {
+			t.Errorf("%s: contract accepted the break", name)
+		}
+	}
+}
+
 func TestSniffKind(t *testing.T) {
 	for name, want := range map[string]Kind{
 		"summary.json":                  KindSummary,
 		"some/dir/manifest.json":        KindManifest,
 		"report/quality.json":           KindQuality,
+		"opt/pareto.json":               KindPareto,
 		"results/BENCH_simcore.json":    KindBench,
 		"testdata/spechash_golden.json": KindHashes,
 		"journal.jsonl":                 "",

@@ -103,7 +103,12 @@ func TestOverhead(t *testing.T) {
 	if got := Overhead(125, 100); math.Abs(got-0.25) > 1e-9 {
 		t.Fatalf("Overhead = %v", got)
 	}
-	if Overhead(1, 0) != 0 {
+	if got := Overhead(80, 100); math.Abs(got-(-0.2)) > 1e-9 {
+		t.Fatalf("negative overhead = %v, want -0.2", got)
+	}
+	// Degenerate cells (zero injections, missing baseline) report zero
+	// energy; the overhead must stay finite instead of dividing by it.
+	if Overhead(1, 0) != 0 || Overhead(0, 0) != 0 {
 		t.Fatal("zero baseline should yield 0")
 	}
 }

@@ -7,7 +7,9 @@ package harness
 import (
 	"fmt"
 
+	"faulthound/internal/campaign"
 	"faulthound/internal/detect"
+	"faulthound/internal/energy"
 	"faulthound/internal/fault"
 	"faulthound/internal/pipeline"
 	"faulthound/internal/scheme"
@@ -207,7 +209,17 @@ func (r Run) FPRate() float64 {
 // TimingRun measures one (benchmark, scheme) pair: detector fast-
 // forward, pipeline warmup, then run to the per-thread commit budget.
 func (o Options) TimingRun(bm workload.Benchmark, s Scheme) (Run, error) {
-	c, err := o.BuildCore(bm, s, o.Threads)
+	sp, err := scheme.Parse(string(s))
+	if err != nil {
+		return Run{}, err
+	}
+	return o.TimingRunSpec(bm, sp)
+}
+
+// TimingRunSpec is TimingRun over an already-parsed scheme spec — the
+// form campaign cells and the search evaluator carry.
+func (o Options) TimingRunSpec(bm workload.Benchmark, sp scheme.Spec) (Run, error) {
+	c, err := o.BuildCoreSpec(bm, sp, o.Threads)
 	if err != nil {
 		return Run{}, err
 	}
@@ -219,7 +231,7 @@ func (o Options) TimingRun(bm workload.Benchmark, s Scheme) (Run, error) {
 	target := c.Committed(0) + o.MeasureCommits
 	if !c.RunUntilCommits(0, target, o.MaxCycles) {
 		return Run{}, fmt.Errorf("harness: %s/%s did not reach %d commits (at %d)",
-			bm.Name, s, target, c.Committed(0))
+			bm.Name, sp, target, c.Committed(0))
 	}
 	ds := c.DetectorStats()
 	return Run{
@@ -235,6 +247,40 @@ func (o Options) TimingRun(bm workload.Benchmark, s Scheme) (Run, error) {
 			Singletons: ds.Singletons - ds0.Singletons,
 		},
 	}, nil
+}
+
+// TimingRunner adapts the harness's timing and energy recipes (the
+// Figure 9/10 measurement loop) to the campaign execute layer. The
+// energy model's TCAM sizing follows the spec's tcam/entries parameter
+// when it declares one, so the search's energy objective actually
+// varies across table sizes.
+func (o Options) TimingRunner() campaign.TimingRunner {
+	return func(bench string, sp scheme.Spec) (campaign.TimingMetrics, error) {
+		bm, err := workload.Resolve(bench)
+		if err != nil {
+			return campaign.TimingMetrics{}, err
+		}
+		run, err := o.TimingRunSpec(bm, sp)
+		if err != nil {
+			return campaign.TimingMetrics{}, err
+		}
+		model := energy.Default()
+		if sc, ok := scheme.Lookup(sp.Name); ok {
+			if v, verr := scheme.ValuesOf(sp); verr == nil {
+			sizing:
+				for _, name := range []string{"tcam", "entries"} {
+					for _, p := range sc.Params {
+						if p.Name == name && p.Kind == scheme.Int {
+							model.TCAMEntries = v.Int(name)
+							break sizing
+						}
+					}
+				}
+			}
+		}
+		e := model.Compute(run.Core.Stats(), run.Core.MemStats(), run.DetectorDelta).Total()
+		return campaign.TimingMetrics{Cycles: run.Cycles, Energy: e}, nil
+	}
 }
 
 // progress emits a progress line when verbose.

@@ -136,6 +136,13 @@ func Build(sp Spec, env Env) (Instance, error) {
 	return inst, nil
 }
 
+// ValuesOf validates a canonical spec against the registry and
+// returns its typed parameter view (explicit settings plus defaults).
+// Consumers that need a parameter's effective value without building
+// the full instance — the energy model's TCAM sizing, the search
+// driver's mutation space — go through here.
+func ValuesOf(sp Spec) (Values, error) { return reg.ValuesOf(sp) }
+
 // Resolved renders the spec with every parameter explicit (defaults
 // filled in), in declaration order — the self-describing form campaign
 // summaries print per cell.

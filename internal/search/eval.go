@@ -1,0 +1,50 @@
+package search
+
+import (
+	"context"
+
+	"faulthound/internal/campaign"
+	"faulthound/internal/scheme"
+)
+
+// CampaignEval adapts the execute layer to the score layer: each
+// proposed spec is evaluated on every benchmark and the objectives are
+// averaged (arithmetic mean, matching the experiment tables' mean
+// rows). The benchmark list must be non-empty and pre-resolved.
+func CampaignEval(ev *campaign.Evaluator, benches []string) Evaluate {
+	return func(ctx context.Context, specs []scheme.Spec) ([]Metrics, error) {
+		cells := make([]campaign.Cell, 0, len(specs)*len(benches))
+		for _, sp := range specs {
+			for _, bm := range benches {
+				cells = append(cells, campaign.Cell{Bench: bm, Scheme: sp})
+			}
+		}
+		ms, err := ev.Evaluate(ctx, cells)
+		if err != nil {
+			return nil, err
+		}
+		out := make([]Metrics, len(specs))
+		i := 0
+		for si := range specs {
+			var agg Metrics
+			for range benches {
+				m := ms[i]
+				i++
+				if m.Coverage != nil {
+					agg.Coverage += m.Coverage.Coverage
+				}
+				agg.FPRate += m.FPRate
+				agg.EnergyOverhead += m.EnergyOverhead
+				agg.PerfOverhead += m.PerfOverhead
+			}
+			if n := float64(len(benches)); n > 0 {
+				agg.Coverage /= n
+				agg.FPRate /= n
+				agg.EnergyOverhead /= n
+				agg.PerfOverhead /= n
+			}
+			out[si] = agg
+		}
+		return out, nil
+	}
+}

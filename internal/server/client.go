@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"faulthound/internal/campaign"
+	"faulthound/internal/search"
 )
 
 // Client talks to a campaign-serving daemon. It is the programmatic
@@ -311,6 +312,39 @@ func (c *Client) BundleFile(ctx context.Context, id, name string) ([]byte, error
 		return nil, err
 	}
 	return out, nil
+}
+
+// Optimize runs a Pareto search on the daemon (POST /v1/optimize) and
+// returns the resulting report. The call blocks until the search
+// finishes; repeats are harmless — the daemon caches results by
+// request hash, so a retried request is served from disk.
+func (c *Client) Optimize(ctx context.Context, oreq OptimizeRequest) (*search.Report, error) {
+	body, err := json.Marshal(oreq)
+	if err != nil {
+		return nil, err
+	}
+	var rep *search.Report
+	err = c.retry(ctx, func() error {
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.Base+"/v1/optimize", bytes.NewReader(body))
+		if err != nil {
+			return err
+		}
+		req.Header.Set("Content-Type", "application/json")
+		resp, err := c.http().Do(req)
+		if err != nil {
+			return err
+		}
+		if resp.StatusCode != http.StatusOK {
+			return decodeError(resp)
+		}
+		defer resp.Body.Close()
+		rep = new(search.Report)
+		return json.NewDecoder(resp.Body).Decode(rep)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return rep, nil
 }
 
 // Summary fetches and parses a completed job's summary.json.

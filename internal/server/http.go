@@ -38,6 +38,7 @@ var bundleFiles = []string{
 //	GET  /v1/campaigns/{id}/bundle/ bundle file list; append a file name to fetch it
 //	GET  /v1/campaigns/{id}/report  detector-quality report (?format=md for markdown)
 //	GET  /v1/jobs/{id}/report       alias of the campaign report route
+//	POST /v1/optimize               run (or serve cached) a Pareto search (docs/OPTIMIZE.md)
 //	GET  /v1/schemes                scheme registry metadata (names, parameters)
 //	GET  /v1/workloads              workload catalogue (benchmarks + generators)
 //	GET  /metrics                   Prometheus text format
@@ -45,6 +46,7 @@ var bundleFiles = []string{
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/campaigns", s.handleSubmit)
+	mux.HandleFunc("POST /v1/optimize", s.handleOptimize)
 	mux.HandleFunc("GET /v1/campaigns", s.handleList)
 	mux.HandleFunc("GET /v1/schemes", s.handleSchemes)
 	mux.HandleFunc("GET /v1/workloads", s.handleWorkloads)

@@ -1,0 +1,250 @@
+package server
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"faulthound/internal/campaign"
+	"faulthound/internal/scheme"
+	"faulthound/internal/search"
+	"faulthound/internal/workload"
+)
+
+// OptimizeDirName is the subdirectory of the data root holding cached
+// Pareto-search results, one directory per request hash. It lives
+// beside the spec-hash job directories but is not a job: rescan skips
+// it.
+const OptimizeDirName = "optimize"
+
+// DefaultOptimizeBudget caps distinct configurations evaluated when a
+// request leaves Budget zero.
+const DefaultOptimizeBudget = 8
+
+// OptimizeRequest is the POST /v1/optimize body: the search space
+// (benchmarks × base schemes × mutable params) and the driver knobs.
+// Zero values take daemon defaults: Budget 8, Injections the daemon's
+// base fault config, Weights all-ones, Params every mutable parameter
+// the base schemes declare.
+type OptimizeRequest struct {
+	// Benchmarks under search; objectives are averaged across them.
+	Benchmarks []string `json:"benchmarks"`
+	// Schemes seed the search population (registry spec syntax; sweep
+	// values fan out).
+	Schemes []string `json:"schemes"`
+	// Budget caps distinct configurations evaluated.
+	Budget int `json:"budget,omitempty"`
+	// Seed drives the mutation RNG (0 is a valid seed).
+	Seed uint64 `json:"seed,omitempty"`
+	// Weights is the "-fitness-weights" flag syntax
+	// ("coverage=1,fp=1,energy=1,perf=1"); empty means all ones.
+	Weights string `json:"weights,omitempty"`
+	// Params restricts mutation to these parameter names.
+	Params []string `json:"params,omitempty"`
+	// Injections per cell; 0 takes the daemon's base fault config.
+	Injections int `json:"injections,omitempty"`
+}
+
+// normalizeOptimize validates and canonicalizes a request: workload
+// and scheme specs expand through their registries, defaults fill in,
+// and every benchmark × base-scheme cell must resolve through the
+// factory. The canonical form is what gets hashed, so equivalent
+// requests share a cache entry.
+func (s *Server) normalizeOptimize(req OptimizeRequest) (OptimizeRequest, []scheme.Spec, search.Weights, error) {
+	var base []scheme.Spec
+	if len(req.Benchmarks) == 0 {
+		return req, nil, search.Weights{}, errBadSpec("optimize request has no benchmarks")
+	}
+	if len(req.Schemes) == 0 {
+		return req, nil, search.Weights{}, errBadSpec("optimize request has no schemes")
+	}
+	benches, err := workload.ExpandSpecs(req.Benchmarks)
+	if err != nil {
+		return req, nil, search.Weights{}, wrapBadSpec(err)
+	}
+	req.Benchmarks = benches
+	var schemes []string
+	for _, raw := range req.Schemes {
+		specs, err := scheme.Expand(raw)
+		if err != nil {
+			return req, nil, search.Weights{}, wrapBadSpec(err)
+		}
+		for _, sp := range specs {
+			if sp == campaign.BaselineSpec {
+				continue // baselines are implicit pairing bases, not searchable
+			}
+			schemes = append(schemes, sp.String())
+			base = append(base, sp)
+		}
+	}
+	if len(base) == 0 {
+		return req, nil, search.Weights{}, errBadSpec("optimize request has no non-baseline schemes")
+	}
+	req.Schemes = schemes
+	w, err := search.ParseWeights(req.Weights)
+	if err != nil {
+		return req, nil, search.Weights{}, wrapBadSpec(err)
+	}
+	req.Weights = w.String()
+	if req.Budget <= 0 {
+		req.Budget = DefaultOptimizeBudget
+	}
+	if req.Injections <= 0 {
+		req.Injections = s.cfg.BaseFault.Injections
+	}
+	for i, p := range req.Params {
+		req.Params[i] = strings.TrimSpace(p)
+	}
+	// Resolve every cell up front so an unknown bench or scheme is a
+	// 400 at submit time, not a failed search later.
+	for _, bm := range req.Benchmarks {
+		for _, sp := range base {
+			if _, err := s.cfg.Factory(bm, sp); err != nil {
+				return req, nil, search.Weights{}, wrapBadSpec(err)
+			}
+		}
+	}
+	// The same admission cap campaigns get, against the worst case:
+	// every budgeted configuration (plus one baseline per benchmark)
+	// runs on every benchmark.
+	if max := s.cfg.MaxInjections; max > 0 {
+		worst := (req.Budget + 1) * len(req.Benchmarks) * req.Injections
+		if worst > max {
+			return req, nil, search.Weights{}, errBadSpec(fmt.Sprintf(
+				"optimize wants up to %d injections, limit is %d", worst, max))
+		}
+	}
+	return req, base, w, nil
+}
+
+// optimizeHash is the request's cache identity: the canonical request
+// JSON, the daemon's fault config (which parameterizes every
+// evaluation), and the source revision.
+func (s *Server) optimizeHash(req OptimizeRequest) string {
+	b, err := json.Marshal(struct {
+		Req    OptimizeRequest `json:"req"`
+		Fault  any             `json:"fault"`
+		Commit string          `json:"commit"`
+	}{req, s.faultFor(req.Injections), s.cfg.GitCommit})
+	if err != nil {
+		panic(fmt.Sprintf("server: optimize hash marshal: %v", err))
+	}
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:])[:24]
+}
+
+// faultFor is the fault config an optimize run evaluates under: the
+// daemon's base config with the request's injection count.
+func (s *Server) faultFor(injections int) any {
+	f := s.cfg.BaseFault
+	f.Injections = injections
+	return f
+}
+
+// handleOptimize runs (or serves from cache) a Pareto search:
+// normalize, hash, and either stream back the cached pareto.json or
+// execute the search synchronously and cache its artifacts under
+// Root/optimize/<hash>/. Searches serialize on one mutex — the driver
+// is single-threaded by contract and each evaluation already fans out
+// over the injection worker pool.
+func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
+	if s.cfg.Timing == nil {
+		writeError(w, http.StatusServiceUnavailable, "optimizer unavailable: daemon has no timing runner")
+		return
+	}
+	if s.admission != nil && !s.admission.Allow() {
+		s.reject429(w, "rate", "submission rate limit exceeded", s.admission.RetryAfter())
+		return
+	}
+	var req OptimizeRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad optimize JSON: "+err.Error())
+		return
+	}
+	req, base, weights, err := s.normalizeOptimize(req)
+	if err != nil {
+		if isBadSpec(err) {
+			if scheme.IsSpecError(err) {
+				writeJSON(w, http.StatusBadRequest, map[string]any{
+					"error":         err.Error(),
+					"known_schemes": scheme.Names(),
+				})
+				return
+			}
+			writeError(w, http.StatusBadRequest, err.Error())
+			return
+		}
+		writeError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+
+	hash := s.optimizeHash(req)
+	dir := filepath.Join(s.cfg.Root, OptimizeDirName, hash)
+	jsonPath := filepath.Join(dir, search.JSONName)
+
+	s.optMu.Lock()
+	defer s.optMu.Unlock()
+	if b, err := os.ReadFile(jsonPath); err == nil {
+		s.mOptHits.Inc()
+		s.log.Debug("optimize cache hit", "hash", hash)
+		w.Header().Set("Content-Type", "application/json")
+		w.Header().Set("X-Faulthound-Optimize-Cache", "hit")
+		w.WriteHeader(http.StatusOK)
+		w.Write(b)
+		return
+	}
+
+	fc := s.cfg.BaseFault
+	fc.Injections = req.Injections
+	ev := &campaign.Evaluator{
+		Factory:  s.cfg.Factory,
+		Fault:    fc,
+		Workers:  s.cfg.Workers,
+		Timing:   s.cfg.Timing,
+		Prepared: s.prepared,
+		Progress: func(int, int) { s.mInjections.Inc() },
+	}
+	cfg := search.Config{
+		Seed:    req.Seed,
+		Budget:  req.Budget,
+		Weights: weights,
+		Base:    base,
+		Params:  req.Params,
+		Eval:    search.CampaignEval(ev, req.Benchmarks),
+		Log: func(format string, args ...any) {
+			s.log.Debug(fmt.Sprintf(format, args...))
+		},
+	}
+	s.log.Info("optimize starting", "hash", hash,
+		"benchmarks", len(req.Benchmarks), "budget", req.Budget, "injections", req.Injections)
+	res, err := search.Run(r.Context(), cfg)
+	if err != nil {
+		s.log.Error("optimize failed", "hash", hash, "err", err)
+		writeError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	rep := search.NewReport("opt-"+hash[:12], req.Benchmarks, cfg, res)
+	if err := rep.WriteArtifacts(dir); err != nil {
+		writeError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	s.mOptRuns.Inc()
+	s.log.Info("optimize done", "hash", hash,
+		"evaluated", res.Evaluated, "front", len(res.Front()))
+	b, err := rep.JSON()
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("X-Faulthound-Optimize-Cache", "miss")
+	w.WriteHeader(http.StatusOK)
+	w.Write(b)
+}

@@ -1,0 +1,135 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"faulthound/internal/contract"
+	"faulthound/internal/harness"
+)
+
+// TestOptimizeEndpoint drives POST /v1/optimize end to end: a small
+// seeded search over a generated workload, a cached repeat that must
+// return identical points, contract-valid artifacts on disk, and a
+// rescan that must not mistake the optimize cache for jobs.
+func TestOptimizeEndpoint(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs real injections")
+	}
+	o := harness.QuickOptions()
+	o.Fault.Injections = 48
+	cfg := testConfig(t)
+	cfg.BaseFault = o.Fault
+	cfg.Timing = o.TimingRunner()
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Drain(context.Background())
+	s.Start()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	cl := NewClient(ts.URL)
+	ctx := context.Background()
+
+	req := OptimizeRequest{
+		Benchmarks: []string{"gen?seg=16k"},
+		Schemes:    []string{"faulthound?tcam=8"},
+		Budget:     3,
+		Seed:       7,
+		Params:     []string{"tcam"},
+	}
+	rep, err := cl.Optimize(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.SchemaVersion != "faulthound.pareto/v1" {
+		t.Errorf("schema_version = %q", rep.SchemaVersion)
+	}
+	if len(rep.Front()) == 0 || rep.Evaluated == 0 || rep.Evaluated > 3 {
+		t.Errorf("degenerate result: %d front, %d evaluated", len(rep.Front()), rep.Evaluated)
+	}
+
+	// The repeat must be a cache hit with identical points.
+	rep2, err := cl.Optimize(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep2.Points) != len(rep.Points) {
+		t.Fatalf("cached repeat returned %d points, want %d", len(rep2.Points), len(rep.Points))
+	}
+	for i := range rep.Points {
+		if rep.Points[i] != rep2.Points[i] {
+			t.Errorf("point %d differs on cached repeat: %+v vs %+v", i, rep.Points[i], rep2.Points[i])
+		}
+	}
+	if got := s.mOptHits.Get(); got != 1 {
+		t.Errorf("optimize cache hits = %v, want 1", got)
+	}
+
+	// Artifacts land under Root/optimize/<hash> and conform.
+	entries, err := os.ReadDir(filepath.Join(cfg.Root, OptimizeDirName))
+	if err != nil || len(entries) != 1 {
+		t.Fatalf("optimize cache dirs = %v, %v", entries, err)
+	}
+	dir := filepath.Join(cfg.Root, OptimizeDirName, entries[0].Name())
+	if err := contract.ValidateParetoDir(dir); err != nil {
+		t.Errorf("cached artifacts: %v", err)
+	}
+
+	// A restart's rescan must not treat the optimize cache as jobs.
+	s2, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Drain(context.Background())
+	if jobs := s2.Jobs(); len(jobs) != 0 {
+		t.Errorf("rescan invented %d jobs from the optimize cache", len(jobs))
+	}
+
+	// Bad requests are 400s, not searches.
+	for name, bad := range map[string]OptimizeRequest{
+		"no benchmarks":    {Schemes: []string{"faulthound"}},
+		"unknown scheme":   {Benchmarks: []string{"gen?seg=16k"}, Schemes: []string{"nope"}},
+		"baseline only":    {Benchmarks: []string{"gen?seg=16k"}, Schemes: []string{"baseline"}},
+		"unknown workload": {Benchmarks: []string{"nope"}, Schemes: []string{"faulthound"}},
+		"bad weights":      {Benchmarks: []string{"gen?seg=16k"}, Schemes: []string{"faulthound"}, Weights: "sdc=1"},
+	} {
+		if _, err := cl.Optimize(ctx, bad); !isHTTPStatus(err, http.StatusBadRequest) {
+			t.Errorf("%s: err = %v, want 400", name, err)
+		}
+	}
+}
+
+// TestOptimizeUnavailable checks the endpoint answers 503 when the
+// daemon has no timing runner (a worker-role daemon, or a config that
+// never wired one).
+func TestOptimizeUnavailable(t *testing.T) {
+	s, err := New(testConfig(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Drain(context.Background())
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	resp, err := http.Post(ts.URL+"/v1/optimize", "application/json",
+		bytes.NewReader([]byte(`{"benchmarks":["bzip2"],"schemes":["faulthound"]}`)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("status = %d, want 503", resp.StatusCode)
+	}
+}
+
+// isHTTPStatus reports whether err is an apiError with the given code.
+func isHTTPStatus(err error, code int) bool {
+	ae, ok := err.(*apiError)
+	return ok && ae.Code == code
+}

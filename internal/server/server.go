@@ -92,6 +92,10 @@ type Config struct {
 	// Prepared shares a golden-preparation cache with other subsystems
 	// (the cluster worker); nil builds a private one.
 	Prepared *fault.PreparedCache
+	// Timing measures fault-free perf/energy per cell for the optimize
+	// endpoint's overhead objectives (harness.Options.TimingRunner in
+	// the daemon); nil answers POST /v1/optimize with 503.
+	Timing campaign.TimingRunner
 	// Role names this daemon's cluster role for /healthz:
 	// "single" (default), "coordinator", or "worker".
 	Role string
@@ -120,6 +124,10 @@ type Server struct {
 	order []string        // submission order, for listing
 	queue chan *job
 
+	// optMu serializes Pareto searches (the driver is single-threaded
+	// by contract; parallelism lives in each evaluation's worker pool).
+	optMu sync.Mutex
+
 	runCtx  context.Context
 	cancel  context.CancelFunc
 	wg      sync.WaitGroup
@@ -140,6 +148,8 @@ type Server struct {
 	mInflight    *metrics.Value
 	mPrepHits    *metrics.Value
 	mPrepMisses  *metrics.Value
+	mOptRuns     *metrics.Value
+	mOptHits     *metrics.Value
 	mQueueWait   *metrics.Histogram
 
 	// injections-per-second window state (guarded by rateMu).
@@ -208,6 +218,8 @@ func New(cfg Config) (*Server, error) {
 	s.mInflight = s.reg.Gauge("fhserved_injections_inflight", "Faulty runs executing right now, across all jobs.")
 	s.mPrepHits = s.reg.Counter("fhserved_prepared_cache_hits_total", "Golden-run preparations reused from the prepared cache.")
 	s.mPrepMisses = s.reg.Counter("fhserved_prepared_cache_misses_total", "Golden-run preparations executed (cache fills).")
+	s.mOptRuns = s.reg.Counter("fhserved_optimize_runs_total", "Pareto searches executed to completion.")
+	s.mOptHits = s.reg.Counter("fhserved_optimize_cache_hits_total", "Optimize requests served from the request-hash cache.")
 	s.mQueueWait = s.reg.Histogram("fhserved_job_queue_wait_seconds",
 		"Seconds a job waited between submission and execution start.", metrics.ExpBuckets(0.01, 2, 16))
 	// Pre-register both reject reasons so scrapes render zeros before
@@ -247,7 +259,9 @@ func (s *Server) rescan() error {
 	}
 	names := make([]string, 0, len(entries))
 	for _, e := range entries {
-		if e.IsDir() {
+		// The optimize cache is keyed by request hash, not spec hash:
+		// its directories are not jobs.
+		if e.IsDir() && e.Name() != OptimizeDirName {
 			names = append(names, e.Name())
 		}
 	}

@@ -199,6 +199,21 @@ func TestRate(t *testing.T) {
 	}
 }
 
+// A histogram that never observed a sample (a campaign with zero
+// detected injections) must report zero, not NaN, for every derived
+// statistic.
+func TestHistogramEmpty(t *testing.T) {
+	h := NewHistogram(10, 20)
+	if h.MeanValue() != 0 {
+		t.Fatalf("empty MeanValue = %v, want 0", h.MeanValue())
+	}
+	for i := range h.Counts {
+		if h.Fraction(i) != 0 {
+			t.Fatalf("empty Fraction(%d) = %v, want 0", i, h.Fraction(i))
+		}
+	}
+}
+
 func TestHistogramBuckets(t *testing.T) {
 	h := NewHistogram(10, 20, 30)
 	for _, v := range []int64{5, 10, 11, 25, 31, 100} {

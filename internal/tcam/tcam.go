@@ -395,11 +395,21 @@ func (t *TCAM) Clone() *TCAM {
 
 // CloneInto overwrites dst with a deep copy of t, reusing dst's slice
 // capacity when the geometry matches — the per-injection snapshot path.
+// Nil slices stay nil: appending to a reused dst's empty slice would
+// turn a disabled second-level/squash bank (nil in the source) into a
+// non-nil empty one, and the `!= nil` feature checks would then index
+// out of range when an arena is reused across differently-configured
+// cells.
 func (t *TCAM) CloneInto(dst *TCAM) {
 	filters, age, second, squash := dst.filters, dst.age, dst.second, dst.squash
 	*dst = *t
 	dst.filters = append(filters[:0], t.filters...)
 	dst.age = append(age[:0], t.age...)
-	dst.second = append(second[:0], t.second...)
-	dst.squash = append(squash[:0], t.squash...)
+	dst.second, dst.squash = nil, nil
+	if t.second != nil {
+		dst.second = append(second[:0], t.second...)
+	}
+	if t.squash != nil {
+		dst.squash = append(squash[:0], t.squash...)
+	}
 }

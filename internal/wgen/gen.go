@@ -15,8 +15,10 @@ import (
 // coverage and false-positive behavior (PAPER.md §3-5): address
 // regularity (stride, chase — PRESAGE's structured-address axis),
 // store-value locality (vlocal), working-set size (seg), filter
-// re-learning pressure (phase), and delinquent-bit pressure (plant,
-// the pattern the second-level filter exists to suppress).
+// re-learning pressure (phase), delinquent-bit pressure (plant,
+// the pattern the second-level filter exists to suppress), and the
+// access inter-arrival process (arrive/rate: uniform back-to-back,
+// poisson, or gamma-shaped gaps drawn at build time).
 
 // genUnroll is the number of stream elements emitted per inner-loop
 // pass; the build-time RNG picks each element's store-value source, so
@@ -26,7 +28,14 @@ const genUnroll = 8
 const (
 	genSegMin = 4096     // below this the kernel degenerates
 	genSegMax = 16 << 20 // keeps offsets and data images sane
+
+	// genGapMax bounds one drawn inter-arrival gap (in filler
+	// instructions) so a tail sample cannot bloat the program.
+	genGapMax = 64
 )
+
+// genRateMin keeps the mean gap (≈ 1/rate) within genGapMax.
+const genRateMin = 1.0 / genGapMax
 
 func init() {
 	register(Generator{
@@ -45,6 +54,10 @@ func init() {
 				Help: "program phases cycled per outer iteration (1-16)"},
 			{Name: "plant", Kind: pspec.Int, Default: "0",
 				Help: "planted delinquent-bit toggle slots (0-64)"},
+			{Name: "arrive", Kind: pspec.Str, Default: "uniform",
+				Help: "inter-access arrival process: uniform (back-to-back), poisson, gamma"},
+			{Name: "rate", Kind: pspec.Float, Default: "0.25",
+				Help: "mean accesses per instruction slot for poisson/gamma arrivals (1/64-1]"},
 		},
 		Build: buildGen,
 	})
@@ -57,6 +70,8 @@ type genLayout struct {
 	stride, chase, phases, plant int
 	vlocal                       float64
 	segBytes                     uint64
+	arrive                       string
+	rate                         float64
 
 	segWords    uint64
 	chaseWords  uint64 // pointer-chase cycle at the segment start
@@ -73,6 +88,8 @@ func genPlan(sp Spec, v pspec.Values) (genLayout, error) {
 		plant:    v.Int("plant"),
 		vlocal:   v.Float("vlocal"),
 		segBytes: v.Size("seg"),
+		arrive:   v.Str("arrive"),
+		rate:     v.Float("rate"),
 	}
 	switch {
 	case l.stride%8 != 0:
@@ -87,6 +104,10 @@ func genPlan(sp Spec, v pspec.Values) (genLayout, error) {
 		return l, badSpec(sp, fmt.Sprintf("phase %d exceeds the maximum 16", l.phases))
 	case l.plant > 64:
 		return l, badSpec(sp, fmt.Sprintf("plant %d exceeds the maximum 64", l.plant))
+	case l.arrive != "uniform" && l.arrive != "poisson" && l.arrive != "gamma":
+		return l, badSpec(sp, fmt.Sprintf("arrive %q is not uniform, poisson, or gamma", l.arrive))
+	case l.rate < genRateMin || l.rate > 1:
+		return l, badSpec(sp, fmt.Sprintf("rate %g is outside [%g, 1]", l.rate, genRateMin))
 	}
 	l.segWords = l.segBytes / 8
 	if l.chase > 0 {
@@ -167,6 +188,7 @@ func genProgram(sp Spec, l genLayout, base, seed uint64) *prog.Program {
 		b.Label(loop)
 		for i := 0; i < genUnroll; i++ {
 			off := int32(i * l.stride)
+			emitGap(b, rng, l)
 			b.Ld(4, 8, off)
 			b.Op3(isa.ADD, 5, 5, 4)
 			b.OpI(isa.ANDI, 5, 5, 0xff)
@@ -201,6 +223,39 @@ func genProgram(sp Spec, l genLayout, base, seed uint64) *prog.Program {
 	}
 	b.Jmp("top")
 	return b.MustBuild()
+}
+
+// emitGap inserts one drawn inter-arrival gap before a stream element:
+// gap-many filler instructions (r7 scratch increments) that space the
+// memory accesses out in commit order. The draw comes from the build
+// RNG, so the same spec+seed reproduces the same schedule. uniform is
+// the back-to-back legacy behavior and consumes no draws, keeping
+// pre-arrival canonical specs byte-identical programs.
+func emitGap(b *prog.Builder, rng *stats.RNG, l genLayout) {
+	gap := 0
+	switch l.arrive {
+	case "poisson":
+		// Bernoulli(rate) per slot ⇒ geometric inter-arrival times with
+		// mean 1/rate slots (one of which is the access itself).
+		gap = rng.Geometric(l.rate) - 1
+	case "gamma":
+		// Erlang-2 shape: the sum of two geometrics at twice the rate
+		// keeps the mean but narrows the spread (less bursty than
+		// poisson, the classic gamma-arrival middle ground).
+		p := 2 * l.rate
+		if p > 1 {
+			p = 1
+		}
+		gap = (rng.Geometric(p) - 1) + (rng.Geometric(p) - 1)
+	default: // uniform: back to back
+		return
+	}
+	if gap > genGapMax {
+		gap = genGapMax
+	}
+	for g := 0; g < gap; g++ {
+		b.OpI(isa.ADDI, 7, 7, 1)
+	}
 }
 
 // permutationCycle writes a single-cycle permutation over words

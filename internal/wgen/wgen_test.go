@@ -143,6 +143,78 @@ func TestGenProgramDeterminism(t *testing.T) {
 	}
 }
 
+// TestGenArrivals: the arrival-process knobs canonicalize (defaults
+// elide, so pre-arrival spec strings and hashes are unchanged),
+// validate, build deterministically, and actually shape the emitted
+// code — poisson/gamma insert filler gaps, uniform stays byte-
+// identical to a spec that never mentions the knobs.
+func TestGenArrivals(t *testing.T) {
+	for _, c := range []struct{ in, want string }{
+		{"gen?arrive=uniform", "gen"},                              // default elides
+		{"gen?rate=0.25", "gen"},                                   // default elides
+		{"gen?arrive=poisson", "gen?arrive=poisson"},               // explicit survives
+		{"gen?rate=0.5,arrive=gamma", "gen?arrive=gamma,rate=0.5"}, // sorted
+	} {
+		sp, err := Parse(c.in)
+		if err != nil {
+			t.Errorf("Parse(%q): %v", c.in, err)
+			continue
+		}
+		if got := sp.String(); got != c.want {
+			t.Errorf("Parse(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+	for _, bad := range []string{"gen?arrive=bursty", "gen?arrive=poisson,rate=0", "gen?arrive=poisson,rate=1.5", "gen?arrive=poisson,rate=0.01"} {
+		sp, err := Parse(bad)
+		if err == nil {
+			_, err = Build(sp)
+		}
+		if err == nil || !IsSpecError(err) {
+			t.Errorf("%q: err = %v, want workload spec error", bad, err)
+		}
+	}
+
+	build := func(raw string, seed uint64) *prog.Program {
+		t.Helper()
+		sp, err := Parse(raw)
+		if err != nil {
+			t.Fatal(err)
+		}
+		w, err := Build(sp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return w.Build(0x10000, seed)
+	}
+	// uniform is the legacy back-to-back schedule: spelled out or
+	// elided, it canonicalizes away and the program matches a spec that
+	// predates the knobs (any non-default rate is a distinct canonical
+	// spec and deliberately reseeds the image).
+	plain := build("gen?seg=16k", 3)
+	if uni := build("gen?seg=16k,arrive=uniform,rate=0.25", 3); !reflect.DeepEqual(plain.Code, uni.Code) {
+		t.Error("explicit uniform arrivals changed the program")
+	}
+	for _, arrive := range []string{"poisson", "gamma"} {
+		spec := "gen?seg=16k,arrive=" + arrive
+		a := build(spec, 3)
+		if b := build(spec, 3); !reflect.DeepEqual(a.Code, b.Code) || !reflect.DeepEqual(a.Data, b.Data) {
+			t.Errorf("%s: same spec+seed built different programs", arrive)
+		}
+		if len(a.Code) <= len(plain.Code) {
+			t.Errorf("%s: no gap instructions emitted (%d <= %d)", arrive, len(a.Code), len(plain.Code))
+		}
+		if c := build(spec, 4); reflect.DeepEqual(a.Code, c.Code) {
+			t.Errorf("%s: different seed drew an identical schedule", arrive)
+		}
+	}
+	// A slower rate means longer gaps on average, hence more code.
+	slow := build("gen?seg=16k,arrive=poisson,rate=0.0625", 3)
+	fast := build("gen?seg=16k,arrive=poisson,rate=1", 3)
+	if len(slow.Code) <= len(fast.Code) {
+		t.Errorf("rate did not scale gaps: slow %d <= fast %d instructions", len(slow.Code), len(fast.Code))
+	}
+}
+
 // TestSplitList: comma-separated workload lists keep generated-spec
 // parameters attached to their item.
 func TestSplitList(t *testing.T) {
@@ -171,7 +243,7 @@ func TestResolvedAndMetadata(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	want := "gen?stride=64,chase=0,vlocal=0.9,seg=64k,phase=1,plant=0"
+	want := "gen?stride=64,chase=0,vlocal=0.9,seg=64k,phase=1,plant=0,arrive=uniform,rate=0.25"
 	if r != want {
 		t.Fatalf("Resolved = %q, want %q", r, want)
 	}
@@ -182,7 +254,7 @@ func TestResolvedAndMetadata(t *testing.T) {
 
 	var gen bool
 	for _, m := range All() {
-		if m.Name == "gen" && len(m.Params) == 6 {
+		if m.Name == "gen" && len(m.Params) == 8 {
 			gen = true
 		}
 	}
